@@ -1,0 +1,149 @@
+// Command gae-monitor surfaces the "Grid weather" a running gae-server
+// observes: per-site load and occupancy from the MonALISA repository,
+// metric series, job state-change events, and the replica catalog.
+//
+// Examples:
+//
+//	gae-monitor -user alice -pass secret sites
+//	gae-monitor -user alice -pass secret series caltech LoadAvg 300
+//	gae-monitor -user alice -pass secret events caltech/job3 600
+//	gae-monitor -user alice -pass secret datasets
+//	gae-monitor -user alice -pass secret replicas run2005A.raw
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"repro/internal/clarens"
+)
+
+func main() {
+	var (
+		server = flag.String("server", "http://localhost:8080", "Clarens endpoint")
+		user   = flag.String("user", "alice", "user name")
+		pass   = flag.String("pass", "secret", "password")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	ctx := context.Background()
+	c := clarens.NewClient(*server)
+	if err := c.Login(ctx, *user, *pass); err != nil {
+		log.Fatalf("gae-monitor: %v", err)
+	}
+	switch cmd := args[0]; cmd {
+	case "sites":
+		rows, err := c.CallArray(ctx, "monitor.sites")
+		fatalIf(err)
+		fmt.Printf("%-12s %8s %8s %6s\n", "site", "load", "running", "free")
+		for _, r := range rows {
+			m, ok := r.(map[string]any)
+			if !ok {
+				continue
+			}
+			fmt.Printf("%-12v %8.2f %8.0f %6.0f\n",
+				m["site"], num(m["load"]), num(m["running"]), num(m["free"]))
+		}
+	case "metrics":
+		rows, err := c.CallArray(ctx, "monitor.metrics")
+		fatalIf(err)
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+	case "latest":
+		need(args, 3)
+		v, err := c.CallFloat(ctx, "monitor.latest", args[1], args[2])
+		fatalIf(err)
+		fmt.Printf("%s/%s = %g\n", args[1], args[2], v)
+	case "series":
+		need(args, 4)
+		since, err := strconv.ParseFloat(args[3], 64)
+		fatalIf(err)
+		rows, err := c.CallArray(ctx, "monitor.series", args[1], args[2], since)
+		fatalIf(err)
+		for _, r := range rows {
+			m, ok := r.(map[string]any)
+			if !ok {
+				continue
+			}
+			fmt.Printf("%v  %g\n", m["t"], num(m["value"]))
+		}
+	case "events":
+		need(args, 3)
+		since, err := strconv.ParseFloat(args[2], 64)
+		fatalIf(err)
+		rows, err := c.CallArray(ctx, "monitor.events", args[1], since)
+		fatalIf(err)
+		for _, r := range rows {
+			m, ok := r.(map[string]any)
+			if !ok {
+				continue
+			}
+			fmt.Printf("%v  [%v] %v\n", m["t"], m["kind"], m["detail"])
+		}
+	case "datasets":
+		rows, err := c.CallArray(ctx, "replica.datasets")
+		fatalIf(err)
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+	case "replicas":
+		need(args, 2)
+		rows, err := c.CallArray(ctx, "replica.locations", args[1])
+		fatalIf(err)
+		for _, r := range rows {
+			m, ok := r.(map[string]any)
+			if !ok {
+				continue
+			}
+			fmt.Printf("%-12v %8.0f MB\n", m["site"], num(m["size_mb"]))
+		}
+	default:
+		usage()
+	}
+}
+
+func num(v any) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case int:
+		return float64(x)
+	}
+	return 0
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		log.Fatalf("gae-monitor: %v", err)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: gae-monitor [flags] <command> [args]
+
+commands:
+  sites                         per-site load / running / free snapshot
+  metrics                       list all known metric series
+  latest <source> <name>        most recent value of a metric
+  series <source> <name> <sec>  samples from the last <sec> seconds
+  events <source> <sec>         job state changes ("" source = all)
+  datasets                      replica catalog contents
+  replicas <dataset>            replica locations of a dataset
+`)
+	flag.PrintDefaults()
+	os.Exit(2)
+}

@@ -1,0 +1,174 @@
+// Command gae-server hosts a complete Grid Analysis Environment: a
+// simulated grid with Condor-like execution services, MonALISA
+// monitoring, the Sphinx-like scheduler, and the steering / job
+// monitoring / estimator / quota services on a Clarens XML-RPC endpoint.
+//
+// The simulated grid advances in real time (one simulated second per
+// wall-clock second) unless -accel is given.
+//
+// Example:
+//
+//	gae-server -addr :8080 \
+//	  -sites caltech:4:0.2:0.05,nust:2:0.0:0.01 \
+//	  -links caltech-nust:10:50 \
+//	  -users alice:secret:1000
+//
+// then point gae-submit / gae-steer at http://localhost:8080.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simgrid"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address for the Clarens host")
+		sites = flag.String("sites", "siteA:2:0.0:0.05,siteB:2:0.3:0.02",
+			"comma-separated site specs name:nodes:load:costPerCpuSecond")
+		links = flag.String("links", "siteA-siteB:10:50",
+			"comma-separated link specs a-b:MBps:latencyMS")
+		users = flag.String("users", "alice:secret:1000",
+			"comma-separated user specs name:password:credits (first user is admin)")
+		accel = flag.Int("accel", 1, "simulated seconds per wall-clock second")
+		seed  = flag.Int64("seed", 2005, "simulation random seed")
+	)
+	flag.Parse()
+	if *accel < 1 {
+		*accel = 1
+	}
+
+	cfg := core.Config{Seed: *seed}
+	var err error
+	if cfg.Sites, err = parseSites(*sites); err != nil {
+		log.Fatalf("gae-server: %v", err)
+	}
+	if cfg.Links, err = parseLinks(*links); err != nil {
+		log.Fatalf("gae-server: %v", err)
+	}
+	if cfg.Users, err = parseUsers(*users); err != nil {
+		log.Fatalf("gae-server: %v", err)
+	}
+	g := core.New(cfg)
+	url, err := g.Start(*addr)
+	if err != nil {
+		log.Fatalf("gae-server: %v", err)
+	}
+	log.Printf("Clarens host listening at %s", url)
+	log.Printf("sites: %s", strings.Join(g.Sites(), ", "))
+	log.Printf("services: jobmon, steering, estimator, quota, scheduler")
+
+	// Drive the simulation: *accel simulated seconds per real second.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			g.Run(time.Duration(*accel) * time.Second)
+		case <-stop:
+			log.Printf("shutting down (simulated time reached %v)", g.Now().Format(time.RFC3339))
+			if err := g.Stop(); err != nil {
+				log.Printf("stop: %v", err)
+			}
+			return
+		}
+	}
+}
+
+func parseSites(s string) ([]core.SiteSpec, error) {
+	var out []core.SiteSpec
+	for _, spec := range splitNonEmpty(s) {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("site spec %q: want name:nodes:load:cost", spec)
+		}
+		nodes, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("site spec %q: bad node count: %v", spec, err)
+		}
+		load, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("site spec %q: bad load: %v", spec, err)
+		}
+		cost, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("site spec %q: bad cost: %v", spec, err)
+		}
+		out = append(out, core.SiteSpec{
+			Name:             parts[0],
+			Nodes:            nodes,
+			Load:             simgrid.ConstantLoad(load),
+			CostPerCPUSecond: cost,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sites configured")
+	}
+	return out, nil
+}
+
+func parseLinks(s string) ([]core.LinkSpec, error) {
+	var out []core.LinkSpec
+	for _, spec := range splitNonEmpty(s) {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("link spec %q: want a-b:MBps:latencyMS", spec)
+		}
+		ends := strings.Split(parts[0], "-")
+		if len(ends) != 2 {
+			return nil, fmt.Errorf("link spec %q: endpoints must be a-b", spec)
+		}
+		mbps, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("link spec %q: bad bandwidth: %v", spec, err)
+		}
+		lat, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("link spec %q: bad latency: %v", spec, err)
+		}
+		out = append(out, core.LinkSpec{A: ends[0], B: ends[1], MBps: mbps, LatencyMS: lat})
+	}
+	return out, nil
+}
+
+func parseUsers(s string) ([]core.UserSpec, error) {
+	var out []core.UserSpec
+	for i, spec := range splitNonEmpty(s) {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("user spec %q: want name:password:credits", spec)
+		}
+		credits, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("user spec %q: bad credits: %v", spec, err)
+		}
+		out = append(out, core.UserSpec{
+			Name:     parts[0],
+			Password: parts[1],
+			Credits:  credits,
+			Admin:    i == 0,
+		})
+	}
+	return out, nil
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

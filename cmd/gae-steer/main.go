@@ -1,0 +1,155 @@
+// Command gae-steer is the advanced user's console: it lists, inspects,
+// and controls jobs through a running gae-server's Steering Service.
+//
+// Examples:
+//
+//	gae-steer -user alice -pass secret jobs
+//	gae-steer -user alice -pass secret status analysis-1 reco
+//	gae-steer -user alice -pass secret pause  analysis-1 reco
+//	gae-steer -user alice -pass secret move   analysis-1 reco nust
+//	gae-steer -user alice -pass secret setprio analysis-1 reco 9
+//	gae-steer -user alice -pass secret notifications
+//	gae-steer -user alice -pass secret preference cheap
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+
+	"repro/internal/clarens"
+)
+
+func main() {
+	var (
+		server = flag.String("server", "http://localhost:8080", "Clarens endpoint")
+		user   = flag.String("user", "alice", "user name")
+		pass   = flag.String("pass", "secret", "password")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	ctx := context.Background()
+	c := clarens.NewClient(*server)
+	if err := c.Login(ctx, *user, *pass); err != nil {
+		log.Fatalf("gae-steer: %v", err)
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "jobs":
+		jobs, err := c.CallArray(ctx, "steering.jobs")
+		fatalIf(err)
+		for _, j := range jobs {
+			fmt.Println(j)
+		}
+	case "status":
+		needRef(rest)
+		st, err := c.CallStruct(ctx, "steering.status", rest[0], rest[1])
+		fatalIf(err)
+		printStruct(st, "")
+	case "kill", "pause", "resume":
+		needRef(rest)
+		_, err := c.Call(ctx, "steering."+cmd, rest[0], rest[1])
+		fatalIf(err)
+		fmt.Printf("%s ok\n", cmd)
+	case "move":
+		needRef(rest)
+		callArgs := []any{rest[0], rest[1]}
+		if len(rest) >= 3 {
+			callArgs = append(callArgs, rest[2])
+		}
+		res, err := c.CallStruct(ctx, "steering.move", callArgs...)
+		fatalIf(err)
+		fmt.Printf("moved to %v (condor id %v)\n", res["site"], res["condorid"])
+	case "setprio":
+		if len(rest) != 3 {
+			usage()
+		}
+		prio, err := strconv.Atoi(rest[2])
+		fatalIf(err)
+		_, err = c.Call(ctx, "steering.setpriority", rest[0], rest[1], prio)
+		fatalIf(err)
+		fmt.Println("priority set")
+	case "estimate":
+		needRef(rest)
+		sec, err := c.CallFloat(ctx, "steering.estimate", rest[0], rest[1])
+		fatalIf(err)
+		fmt.Printf("estimated completion in %.0f s\n", sec)
+	case "notifications":
+		ns, err := c.CallArray(ctx, "steering.notifications")
+		fatalIf(err)
+		if len(ns) == 0 {
+			fmt.Println("(none)")
+		}
+		for _, n := range ns {
+			m, ok := n.(map[string]any)
+			if !ok {
+				continue
+			}
+			fmt.Printf("[%v] %v\n", m["kind"], m["message"])
+		}
+	case "preference":
+		var err error
+		var res any
+		if len(rest) == 0 {
+			res, err = c.Call(ctx, "steering.preference")
+		} else {
+			res, err = c.Call(ctx, "steering.preference", rest[0])
+		}
+		fatalIf(err)
+		fmt.Printf("optimizer preference: %v\n", res)
+	default:
+		usage()
+	}
+}
+
+func needRef(rest []string) {
+	if len(rest) < 2 {
+		usage()
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		log.Fatalf("gae-steer: %v", err)
+	}
+}
+
+func printStruct(m map[string]any, indent string) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if sub, ok := m[k].(map[string]any); ok {
+			fmt.Printf("%s%s:\n", indent, k)
+			printStruct(sub, indent+"  ")
+			continue
+		}
+		fmt.Printf("%s%s: %v\n", indent, k, m[k])
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: gae-steer [flags] <command> [args]
+
+commands:
+  jobs                          list your watched tasks
+  status <plan> <task>          assignment + live monitoring info
+  kill|pause|resume <plan> <task>
+  move <plan> <task> [site]     redirect (scheduler picks site if omitted)
+  setprio <plan> <task> <n>
+  estimate <plan> <task>        expected seconds to completion
+  notifications                 drain steering notifications
+  preference [fast|cheap]       read or set the optimizer preference
+`)
+	flag.PrintDefaults()
+	os.Exit(2)
+}

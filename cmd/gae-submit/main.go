@@ -1,0 +1,98 @@
+// Command gae-submit sends an abstract job plan to a running gae-server
+// and optionally watches it to completion.
+//
+// The plan file is JSON:
+//
+//	{
+//	  "name": "analysis-1",
+//	  "tasks": [
+//	    {"id": "stage",  "cpu_seconds": 60,  "queue": "short"},
+//	    {"id": "reco",   "cpu_seconds": 300, "queue": "long",
+//	     "depends_on": ["stage"], "output_file": "reco.root", "output_mb": 50}
+//	  ]
+//	}
+//
+// Example:
+//
+//	gae-submit -server http://localhost:8080 -user alice -pass secret \
+//	  -plan plan.json -watch
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/clarens"
+)
+
+func main() {
+	var (
+		server   = flag.String("server", "http://localhost:8080", "Clarens endpoint")
+		user     = flag.String("user", "alice", "user name")
+		pass     = flag.String("pass", "secret", "password")
+		planPath = flag.String("plan", "", "path to a JSON job plan (required)")
+		watch    = flag.Bool("watch", false, "poll plan status until done")
+		interval = flag.Duration("interval", 2*time.Second, "watch poll interval")
+	)
+	flag.Parse()
+	if *planPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*planPath)
+	if err != nil {
+		log.Fatalf("gae-submit: %v", err)
+	}
+	var plan map[string]any
+	if err := json.Unmarshal(raw, &plan); err != nil {
+		log.Fatalf("gae-submit: parsing %s: %v", *planPath, err)
+	}
+
+	ctx := context.Background()
+	c := clarens.NewClient(*server)
+	if err := c.Login(ctx, *user, *pass); err != nil {
+		log.Fatalf("gae-submit: %v", err)
+	}
+	name, err := c.CallString(ctx, "scheduler.submit", plan)
+	if err != nil {
+		log.Fatalf("gae-submit: submit: %v", err)
+	}
+	fmt.Printf("submitted plan %q\n", name)
+	if !*watch {
+		return
+	}
+	for {
+		status, err := c.CallStruct(ctx, "scheduler.plan", name)
+		if err != nil {
+			log.Fatalf("gae-submit: status: %v", err)
+		}
+		printStatus(status)
+		if done, _ := status["done"].(bool); done {
+			if ok, _ := status["succeeded"].(bool); ok {
+				fmt.Println("plan completed successfully")
+				return
+			}
+			fmt.Println("plan finished with failures")
+			os.Exit(1)
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func printStatus(status map[string]any) {
+	tasks, _ := status["tasks"].([]any)
+	fmt.Printf("plan %s:", status["name"])
+	for _, t := range tasks {
+		m, ok := t.(map[string]any)
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %s=%s@%v", m["task"], m["state"], m["site"])
+	}
+	fmt.Println()
+}

@@ -1,0 +1,182 @@
+package clarens
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+// User is a principal known to a Clarens host. Grid deployments
+// authenticated with X.509 proxies; we model the same trust decisions
+// with salted password digests and named roles.
+type User struct {
+	Name  string
+	Roles []string
+}
+
+// UserStore holds users and verifies credentials.
+type UserStore struct {
+	mu    sync.RWMutex
+	users map[string]*storedUser
+}
+
+type storedUser struct {
+	name   string
+	salt   []byte
+	digest []byte
+	roles  map[string]bool
+}
+
+// NewUserStore creates an empty user database.
+func NewUserStore() *UserStore {
+	return &UserStore{users: make(map[string]*storedUser)}
+}
+
+// Add creates or replaces a user with the given password and roles.
+func (s *UserStore) Add(name, password string, roles ...string) error {
+	if name == "" {
+		return fmt.Errorf("clarens: empty user name")
+	}
+	salt := make([]byte, 16)
+	if _, err := rand.Read(salt); err != nil {
+		return fmt.Errorf("clarens: generating salt: %w", err)
+	}
+	u := &storedUser{
+		name:   name,
+		salt:   salt,
+		digest: digest(salt, password),
+		roles:  make(map[string]bool, len(roles)),
+	}
+	for _, r := range roles {
+		u.roles[r] = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.users[name] = u
+	return nil
+}
+
+// Verify checks name/password and returns the user's roles.
+func (s *UserStore) Verify(name, password string) (User, error) {
+	s.mu.RLock()
+	u, ok := s.users[name]
+	s.mu.RUnlock()
+	if !ok {
+		return User{}, ErrBadCredentials
+	}
+	if subtle.ConstantTimeCompare(u.digest, digest(u.salt, password)) != 1 {
+		return User{}, ErrBadCredentials
+	}
+	roles := make([]string, 0, len(u.roles))
+	for r := range u.roles {
+		roles = append(roles, r)
+	}
+	sort.Strings(roles)
+	return User{Name: name, Roles: roles}, nil
+}
+
+// HasRole reports whether the named user holds the role.
+func (s *UserStore) HasRole(name, role string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	u, ok := s.users[name]
+	return ok && u.roles[role]
+}
+
+func digest(salt []byte, password string) []byte {
+	h := sha256.New()
+	h.Write(salt)
+	h.Write([]byte(password))
+	return h.Sum(nil)
+}
+
+// Session is an authenticated attachment to a Clarens host.
+type Session struct {
+	Token   string
+	User    User
+	Created time.Time
+	Expires time.Time
+}
+
+// SessionStore issues and validates session tokens.
+type SessionStore struct {
+	clock vtime.Clock
+	ttl   time.Duration
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+}
+
+// NewSessionStore creates a session store; sessions expire after ttl
+// (default 12 hours, Clarens' proxy-lifetime-scale default).
+func NewSessionStore(clock vtime.Clock, ttl time.Duration) *SessionStore {
+	if clock == nil {
+		clock = vtime.Real()
+	}
+	if ttl <= 0 {
+		ttl = 12 * time.Hour
+	}
+	return &SessionStore{clock: clock, ttl: ttl, sessions: make(map[string]*Session)}
+}
+
+// Open creates a session for the user and returns its token.
+func (s *SessionStore) Open(u User) (*Session, error) {
+	raw := make([]byte, 20)
+	if _, err := rand.Read(raw); err != nil {
+		return nil, fmt.Errorf("clarens: generating session token: %w", err)
+	}
+	now := s.clock.Now()
+	sess := &Session{
+		Token:   hex.EncodeToString(raw),
+		User:    u,
+		Created: now,
+		Expires: now.Add(s.ttl),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sessions[sess.Token] = sess
+	return sess, nil
+}
+
+// Lookup resolves a token to its live session; expired sessions are
+// reaped on access.
+func (s *SessionStore) Lookup(token string) (*Session, bool) {
+	if token == "" {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[token]
+	if !ok {
+		return nil, false
+	}
+	if s.clock.Now().After(sess.Expires) {
+		delete(s.sessions, token)
+		return nil, false
+	}
+	return sess, true
+}
+
+// Close terminates a session; it reports whether the token was live.
+func (s *SessionStore) Close(token string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.sessions[token]
+	delete(s.sessions, token)
+	return ok
+}
+
+// Active returns the number of live sessions (expired ones included until
+// reaped).
+func (s *SessionStore) Active() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}

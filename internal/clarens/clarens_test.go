@@ -1,0 +1,413 @@
+package clarens
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/vtime"
+	"repro/internal/xmlrpc"
+)
+
+// startHost spins up a Clarens host on an httptest server with one user
+// and one demo service.
+func startHost(t *testing.T, clock vtime.Clock) (*Server, *Client) {
+	t.Helper()
+	srv := NewServer("testhost", clock)
+	if err := srv.Users.Add("alice", "secret", "physicist"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Users.Add("bob", "hunter2"); err != nil {
+		t.Fatal(err)
+	}
+	srv.RegisterService("demo", "demo service", map[string]xmlrpc.Handler{
+		"echo": func(_ context.Context, args []any) (any, error) { return args, nil },
+		"who": func(ctx context.Context, _ []any) (any, error) {
+			sess, ok := srv.Sessions.Lookup(SessionToken(ctx))
+			if !ok {
+				return "anonymous", nil
+			}
+			return sess.User.Name, nil
+		},
+	})
+	srv.ACL.Allow("authenticated", "demo.*")
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	srv.SetBaseURL(hs.URL)
+	return srv, NewClient(hs.URL)
+}
+
+func TestPingIsPublic(t *testing.T) {
+	_, c := startHost(t, nil)
+	name, err := c.CallString(context.Background(), "system.ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "testhost" {
+		t.Fatalf("ping = %q", name)
+	}
+}
+
+func TestAuthFlow(t *testing.T) {
+	_, c := startHost(t, nil)
+	ctx := context.Background()
+	// Protected method before login.
+	if _, err := c.Call(ctx, "demo.echo", 1); !xmlrpc.IsFault(err, xmlrpc.FaultAuth) {
+		t.Fatalf("unauthenticated call error = %v", err)
+	}
+	// Bad credentials.
+	if err := c.Login(ctx, "alice", "wrong"); err == nil {
+		t.Fatal("bad password accepted")
+	}
+	if err := c.Login(ctx, "eve", "x"); err == nil {
+		t.Fatal("unknown user accepted")
+	}
+	// Good login.
+	if err := c.Login(ctx, "alice", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Token() == "" {
+		t.Fatal("no token after login")
+	}
+	who, err := c.CallString(ctx, "demo.who")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if who != "alice" {
+		t.Fatalf("who = %q", who)
+	}
+	// whoami built-in.
+	info, err := c.CallStruct(ctx, "system.whoami")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info["user"] != "alice" {
+		t.Fatalf("whoami = %v", info)
+	}
+	// Logout invalidates the session.
+	if err := c.Logout(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(ctx, "demo.echo", 1); !xmlrpc.IsFault(err, xmlrpc.FaultAuth) {
+		t.Fatalf("post-logout call error = %v", err)
+	}
+}
+
+func TestSessionExpiry(t *testing.T) {
+	clock := vtime.NewSimClock(time.Time{})
+	srv, c := startHost(t, clock)
+	ctx := context.Background()
+	if err := c.Login(ctx, "alice", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(ctx, "demo.echo", 1); err != nil {
+		t.Fatalf("fresh session rejected: %v", err)
+	}
+	clock.Advance(13 * time.Hour) // default TTL is 12h
+	if _, err := c.Call(ctx, "demo.echo", 1); !xmlrpc.IsFault(err, xmlrpc.FaultAuth) {
+		t.Fatalf("expired session error = %v", err)
+	}
+	if srv.Sessions.Active() != 0 {
+		t.Fatalf("expired session not reaped: %d active", srv.Sessions.Active())
+	}
+}
+
+func TestStolenTokenIsRejected(t *testing.T) {
+	_, c := startHost(t, nil)
+	c.SetToken("deadbeef")
+	if _, err := c.Call(context.Background(), "demo.echo", 1); !xmlrpc.IsFault(err, xmlrpc.FaultAuth) {
+		t.Fatalf("bogus token error = %v", err)
+	}
+	c.SetToken("")
+	if c.Token() != "" {
+		t.Fatal("SetToken(\"\") kept a token")
+	}
+}
+
+func TestACLRolesAndDeny(t *testing.T) {
+	srv, c := startHost(t, nil)
+	srv.RegisterService("steering", "steer jobs", map[string]xmlrpc.Handler{
+		"move": func(context.Context, []any) (any, error) { return "moved", nil },
+		"kill": func(context.Context, []any) (any, error) { return "killed", nil },
+	})
+	srv.ACL.Allow("role:physicist", "steering.*")
+	srv.ACL.Deny("*", "steering.kill")
+	ctx := context.Background()
+
+	if err := c.Login(ctx, "alice", "secret"); err != nil { // physicist
+		t.Fatal(err)
+	}
+	if _, err := c.Call(ctx, "steering.move"); err != nil {
+		t.Fatalf("role-allowed call failed: %v", err)
+	}
+	if _, err := c.Call(ctx, "steering.kill"); !xmlrpc.IsFault(err, xmlrpc.FaultAuth) {
+		t.Fatalf("deny rule not enforced: %v", err)
+	}
+
+	bobC := NewClient(c.URL)
+	if err := bobC.Login(ctx, "bob", "hunter2"); err != nil { // no role
+		t.Fatal(err)
+	}
+	if _, err := bobC.Call(ctx, "steering.move"); !xmlrpc.IsFault(err, xmlrpc.FaultAuth) {
+		t.Fatalf("roleless user allowed: %v", err)
+	}
+}
+
+func TestACLSpecificAllowBeatsServiceDeny(t *testing.T) {
+	a := NewACL()
+	a.Deny("*", "svc.*")
+	a.Allow("alice", "svc.read")
+	sess := &Session{User: User{Name: "alice"}}
+	if !a.Check(sess, "svc.read") {
+		t.Fatal("exact allow lost to service-level deny")
+	}
+	if a.Check(sess, "svc.write") {
+		t.Fatal("service-level deny not applied")
+	}
+}
+
+func TestACLEqualSpecificityDenyWins(t *testing.T) {
+	a := NewACL()
+	a.Allow("alice", "svc.read")
+	a.Deny("alice", "svc.read")
+	if a.Check(&Session{User: User{Name: "alice"}}, "svc.read") {
+		t.Fatal("deny did not win at equal specificity")
+	}
+}
+
+func TestACLDefaultDeny(t *testing.T) {
+	a := NewACL()
+	if a.Check(nil, "anything.method") {
+		t.Fatal("default allow")
+	}
+	if !a.Check(nil, "system.auth") || !a.Check(nil, "system.listMethods") {
+		t.Fatal("built-in public methods blocked")
+	}
+}
+
+func TestACLRuleValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty principal accepted")
+		}
+	}()
+	NewACL().Allow("", "x")
+}
+
+func TestUserStoreVerify(t *testing.T) {
+	us := NewUserStore()
+	if err := us.Add("", "pw"); err == nil {
+		t.Fatal("empty user name accepted")
+	}
+	if err := us.Add("carol", "pw", "admin", "ops"); err != nil {
+		t.Fatal(err)
+	}
+	u, err := us.Verify("carol", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Name != "carol" || len(u.Roles) != 2 || u.Roles[0] != "admin" {
+		t.Fatalf("user = %+v", u)
+	}
+	if !us.HasRole("carol", "ops") || us.HasRole("carol", "root") || us.HasRole("nobody", "x") {
+		t.Fatal("HasRole broken")
+	}
+	if _, err := us.Verify("carol", "wrong"); err != ErrBadCredentials {
+		t.Fatalf("wrong password error = %v", err)
+	}
+}
+
+func TestRegistryListAndLookup(t *testing.T) {
+	_, c := startHost(t, nil)
+	ctx := context.Background()
+	svcs, err := c.Services(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(svcs) != 1 || svcs[0].Name != "demo" {
+		t.Fatalf("Services = %+v", svcs)
+	}
+	if len(svcs[0].Methods) != 2 || svcs[0].Methods[0] != "demo.echo" {
+		t.Fatalf("methods = %v", svcs[0].Methods)
+	}
+	if !strings.HasPrefix(svcs[0].Endpoint, "http://") {
+		t.Fatalf("endpoint = %q", svcs[0].Endpoint)
+	}
+	got, err := c.CallStruct(ctx, "registry.lookup", "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["name"] != "demo" {
+		t.Fatalf("lookup = %v", got)
+	}
+	if _, err := c.Call(ctx, "registry.lookup", "nope"); err == nil {
+		t.Fatal("lookup of missing service succeeded")
+	}
+}
+
+func TestP2PDiscovery(t *testing.T) {
+	// Host A knows nothing; host B hosts "estimator"; A peers with B.
+	srvA := NewServer("hostA", nil)
+	srvB := NewServer("hostB", nil)
+	srvB.RegisterService("estimator", "estimates", map[string]xmlrpc.Handler{
+		"runtime": func(context.Context, []any) (any, error) { return 283.0, nil },
+	})
+	hsA := httptest.NewServer(srvA)
+	hsB := httptest.NewServer(srvB)
+	defer hsA.Close()
+	defer hsB.Close()
+	srvA.SetBaseURL(hsA.URL)
+	srvB.SetBaseURL(hsB.URL)
+	srvA.AddPeer(hsB.URL)
+	srvA.AddPeer(hsB.URL) // duplicate ignored
+	if got := srvA.Peers(); len(got) != 1 {
+		t.Fatalf("peers = %v", got)
+	}
+
+	c := NewClient(hsA.URL)
+	ctx := context.Background()
+	info, err := c.Discover(ctx, "estimator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Endpoint != hsB.URL {
+		t.Fatalf("discovered endpoint = %q, want %q", info.Endpoint, hsB.URL)
+	}
+	// The discovered endpoint is directly callable.
+	ec := NewClient(info.Endpoint)
+	// estimator.runtime has no ACL on host B — expect an auth fault, which
+	// proves the endpoint resolves and dispatches.
+	if _, err := ec.Call(ctx, "estimator.runtime"); !xmlrpc.IsFault(err, xmlrpc.FaultAuth) {
+		t.Fatalf("discovered service call = %v", err)
+	}
+	// Unknown service fails across the federation.
+	if _, err := c.Discover(ctx, "nothing"); err == nil {
+		t.Fatal("discovering a phantom service succeeded")
+	}
+}
+
+func TestDiscoverLocalWinsOverPeers(t *testing.T) {
+	srv := NewServer("host", nil)
+	srv.RegisterService("svc", "local", map[string]xmlrpc.Handler{
+		"m": func(context.Context, []any) (any, error) { return nil, nil },
+	})
+	srv.AddPeer("http://127.0.0.1:1") // unreachable; must not matter
+	info, ok := srv.Discover(context.Background(), "svc", true)
+	if !ok || info.Description != "local" {
+		t.Fatalf("Discover = %+v, %v", info, ok)
+	}
+	// Unknown service with unreachable peer: graceful miss.
+	if _, ok := srv.Discover(context.Background(), "ghost", true); ok {
+		t.Fatal("phantom discovery")
+	}
+}
+
+func TestStartStopRealListener(t *testing.T) {
+	srv := NewServer("live", nil)
+	url, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	if srv.BaseURL() != url {
+		t.Fatalf("BaseURL = %q, want %q", srv.BaseURL(), url)
+	}
+	c := NewClient(url)
+	name, err := c.CallString(context.Background(), "system.ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "live" {
+		t.Fatalf("ping = %q", name)
+	}
+	if err := srv.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Stop(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterServiceValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty service name accepted")
+		}
+	}()
+	NewServer("x", nil).RegisterService("", "", nil)
+}
+
+func TestMethodsIncludeBuiltinsAndService(t *testing.T) {
+	srv, _ := startHost(t, nil)
+	joined := strings.Join(srv.Methods(), ",")
+	for _, want := range []string{"system.auth", "system.ping", "registry.discover", "demo.echo"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("Methods missing %s", want)
+		}
+	}
+}
+
+func TestStateStore(t *testing.T) {
+	s := NewStateStore()
+	if err := s.Set("", "k", "v"); err == nil {
+		t.Error("empty user accepted")
+	}
+	if err := s.Set("alice", "", "v"); err == nil {
+		t.Error("empty key accepted")
+	}
+	if err := s.Set("alice", "cuts", "pt>20"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("alice", "dataset", "run2005A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("bob", "cuts", "pt>5"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get("alice", "cuts"); !ok || v != "pt>20" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	// Per-user isolation.
+	if v, _ := s.Get("bob", "cuts"); v != "pt>5" {
+		t.Fatalf("bob sees %q", v)
+	}
+	if _, ok := s.Get("carol", "cuts"); ok {
+		t.Fatal("phantom state")
+	}
+	keys := s.Keys("alice")
+	if len(keys) != 2 || keys[0] != "cuts" || keys[1] != "dataset" {
+		t.Fatalf("Keys = %v", keys)
+	}
+	if !s.Delete("alice", "cuts") || s.Delete("alice", "cuts") {
+		t.Fatal("Delete semantics broken")
+	}
+	if s.Delete("carol", "x") {
+		t.Fatal("Delete for unknown user returned true")
+	}
+}
+
+func TestStateStoreSaveLoad(t *testing.T) {
+	s := NewStateStore()
+	s.Set("alice", "k1", "v1")
+	s.Set("bob", "k2", "v2")
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewStateStore()
+	if err := fresh.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := fresh.Get("alice", "k1"); !ok || v != "v1" {
+		t.Fatalf("round trip = %q, %v", v, ok)
+	}
+	if v, ok := fresh.Get("bob", "k2"); !ok || v != "v2" {
+		t.Fatalf("round trip = %q, %v", v, ok)
+	}
+	if err := fresh.Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("loading missing file succeeded")
+	}
+}

@@ -1,0 +1,79 @@
+package clarens
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/xmlrpc"
+)
+
+// Client is a session-aware Clarens client. After Login every call carries
+// the session token; the embedded typed helpers (CallString, CallStruct,
+// ...) come from the XML-RPC client.
+type Client struct {
+	*xmlrpc.Client
+}
+
+// NewClient creates a client for a Clarens endpoint.
+func NewClient(endpoint string) *Client {
+	c := xmlrpc.NewClient(endpoint)
+	c.HTTP = &http.Client{Timeout: 30 * time.Second}
+	c.Headers = make(map[string]string)
+	return &Client{Client: c}
+}
+
+// Login authenticates and attaches the session token to future calls.
+func (c *Client) Login(ctx context.Context, user, password string) error {
+	token, err := c.CallString(ctx, "system.auth", user, password)
+	if err != nil {
+		return fmt.Errorf("clarens: login %q: %w", user, err)
+	}
+	c.Headers[SessionHeader] = token
+	return nil
+}
+
+// Logout closes the session server-side and drops the local token.
+func (c *Client) Logout(ctx context.Context) error {
+	_, err := c.Call(ctx, "system.logout")
+	delete(c.Headers, SessionHeader)
+	return err
+}
+
+// Token returns the current session token ("" when logged out).
+func (c *Client) Token() string { return c.Headers[SessionHeader] }
+
+// SetToken attaches an existing session token (e.g. shared across
+// processes).
+func (c *Client) SetToken(token string) {
+	if token == "" {
+		delete(c.Headers, SessionHeader)
+		return
+	}
+	c.Headers[SessionHeader] = token
+}
+
+// Discover asks the host (and its peers) for a service endpoint.
+func (c *Client) Discover(ctx context.Context, service string) (ServiceInfo, error) {
+	res, err := c.CallStruct(ctx, "registry.discover", service, true)
+	if err != nil {
+		return ServiceInfo{}, err
+	}
+	return structToServiceInfo(res), nil
+}
+
+// Services lists the host's registered services.
+func (c *Client) Services(ctx context.Context) ([]ServiceInfo, error) {
+	raw, err := c.CallArray(ctx, "registry.list")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ServiceInfo, 0, len(raw))
+	for _, v := range raw {
+		if m, ok := v.(map[string]any); ok {
+			out = append(out, structToServiceInfo(m))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,322 @@
+package clarens
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/vtime"
+	"repro/internal/xmlrpc"
+)
+
+// Server is a Clarens web-service host: an XML-RPC dispatcher with
+// sessions, ACLs, a service registry, and peer-to-peer discovery.
+type Server struct {
+	Name     string
+	Users    *UserStore
+	Sessions *SessionStore
+	ACL      *ACL
+	Registry *Registry
+
+	mux *xmlrpc.ServeMux
+
+	mu       sync.Mutex
+	baseURL  string
+	peers    []string
+	listener net.Listener
+	httpSrv  *http.Server
+}
+
+// NewServer creates a host named name. The clock governs session expiry;
+// nil means the real clock.
+func NewServer(name string, clock vtime.Clock) *Server {
+	s := &Server{
+		Name:     name,
+		Users:    NewUserStore(),
+		Sessions: NewSessionStore(clock, 0),
+		ACL:      NewACL(),
+		Registry: NewRegistry(),
+		mux:      xmlrpc.NewServeMux(),
+	}
+	s.mux.Intercept = s.intercept
+	s.registerBuiltins()
+	return s
+}
+
+// intercept enforces authentication and access control on every dispatch.
+func (s *Server) intercept(ctx context.Context, method string, args []any, next xmlrpc.Handler) (any, error) {
+	sess, _ := s.Sessions.Lookup(SessionToken(ctx))
+	if !s.ACL.Check(sess, method) {
+		if sess == nil {
+			return nil, xmlrpc.NewFault(xmlrpc.FaultAuth, "method %s requires authentication", method)
+		}
+		return nil, xmlrpc.NewFault(xmlrpc.FaultAuth, "user %s may not call %s", sess.User.Name, method)
+	}
+	return next(ctx, args)
+}
+
+// RegisterService hosts a set of methods under the service name and
+// records it in the registry. Method keys are bare names ("status"); they
+// are exposed as "name.key".
+func (s *Server) RegisterService(name, description string, methods map[string]xmlrpc.Handler) {
+	if name == "" {
+		panic("clarens: empty service name")
+	}
+	full := make([]string, 0, len(methods))
+	for m, h := range methods {
+		fq := name + "." + m
+		s.mux.Handle(fq, h)
+		full = append(full, fq)
+	}
+	s.mu.Lock()
+	base := s.baseURL
+	s.mu.Unlock()
+	s.Registry.Register(ServiceInfo{
+		Name:        name,
+		Endpoint:    base,
+		Description: description,
+		Methods:     full,
+	})
+}
+
+// registerBuiltins installs the system.* and registry.* methods every
+// Clarens host exposes.
+func (s *Server) registerBuiltins() {
+	s.mux.Handle("system.ping", func(context.Context, []any) (any, error) {
+		return s.Name, nil
+	})
+	s.mux.Handle("system.auth", func(_ context.Context, args []any) (any, error) {
+		p := xmlrpc.Params(args)
+		if err := p.Want(2); err != nil {
+			return nil, err
+		}
+		user, err := p.String(0)
+		if err != nil {
+			return nil, err
+		}
+		pass, err := p.String(1)
+		if err != nil {
+			return nil, err
+		}
+		u, err := s.Users.Verify(user, pass)
+		if err != nil {
+			return nil, xmlrpc.NewFault(xmlrpc.FaultAuth, "authentication failed for %q", user)
+		}
+		sess, err := s.Sessions.Open(u)
+		if err != nil {
+			return nil, err
+		}
+		return sess.Token, nil
+	})
+	s.mux.Handle("system.logout", func(ctx context.Context, _ []any) (any, error) {
+		return s.Sessions.Close(SessionToken(ctx)), nil
+	})
+	s.mux.Handle("system.whoami", func(ctx context.Context, _ []any) (any, error) {
+		sess, ok := s.Sessions.Lookup(SessionToken(ctx))
+		if !ok {
+			return nil, xmlrpc.NewFault(xmlrpc.FaultAuth, "no session")
+		}
+		roles := make([]any, len(sess.User.Roles))
+		for i, r := range sess.User.Roles {
+			roles[i] = r
+		}
+		return map[string]any{"user": sess.User.Name, "roles": roles}, nil
+	})
+	s.mux.Handle("registry.list", func(context.Context, []any) (any, error) {
+		infos := s.Registry.List()
+		out := make([]any, len(infos))
+		for i, info := range infos {
+			out[i] = serviceInfoToStruct(info)
+		}
+		return out, nil
+	})
+	s.mux.Handle("registry.lookup", func(_ context.Context, args []any) (any, error) {
+		p := xmlrpc.Params(args)
+		name, err := p.String(0)
+		if err != nil {
+			return nil, err
+		}
+		info, ok := s.Registry.Lookup(name)
+		if !ok {
+			return nil, xmlrpc.NewFault(xmlrpc.FaultApplication, "no service %q", name)
+		}
+		return serviceInfoToStruct(info), nil
+	})
+	s.mux.Handle("registry.peers", func(context.Context, []any) (any, error) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		out := make([]any, len(s.peers))
+		for i, p := range s.peers {
+			out[i] = p
+		}
+		return out, nil
+	})
+	s.mux.Handle("registry.discover", func(ctx context.Context, args []any) (any, error) {
+		p := xmlrpc.Params(args)
+		name, err := p.String(0)
+		if err != nil {
+			return nil, err
+		}
+		forward := true
+		if p.Len() >= 2 {
+			if fwd, err := p.Bool(1); err == nil {
+				forward = fwd
+			}
+		}
+		info, ok := s.Discover(ctx, name, forward)
+		if !ok {
+			return nil, xmlrpc.NewFault(xmlrpc.FaultApplication, "service %q not found in federation", name)
+		}
+		return serviceInfoToStruct(info), nil
+	})
+
+	// Built-in ACLs: registry reads are open to all; logout/whoami need a
+	// session.
+	s.ACL.Allow("*", "registry.*")
+	s.ACL.Allow("authenticated", "system.logout")
+	s.ACL.Allow("authenticated", "system.whoami")
+}
+
+func serviceInfoToStruct(info ServiceInfo) map[string]any {
+	methods := make([]any, len(info.Methods))
+	for i, m := range info.Methods {
+		methods[i] = m
+	}
+	return map[string]any{
+		"name":        info.Name,
+		"endpoint":    info.Endpoint,
+		"description": info.Description,
+		"methods":     methods,
+	}
+}
+
+func structToServiceInfo(m map[string]any) ServiceInfo {
+	info := ServiceInfo{}
+	info.Name, _ = m["name"].(string)
+	info.Endpoint, _ = m["endpoint"].(string)
+	info.Description, _ = m["description"].(string)
+	if raw, ok := m["methods"].([]any); ok {
+		for _, v := range raw {
+			if s, ok := v.(string); ok {
+				info.Methods = append(info.Methods, s)
+			}
+		}
+	}
+	return info
+}
+
+// AddPeer connects this host to another Clarens server's endpoint for
+// federated discovery.
+func (s *Server) AddPeer(endpoint string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.peers {
+		if p == endpoint {
+			return
+		}
+	}
+	s.peers = append(s.peers, endpoint)
+}
+
+// Peers returns the configured peer endpoints.
+func (s *Server) Peers() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.peers))
+	copy(out, s.peers)
+	return out
+}
+
+// Discover resolves a service name locally, then (if forward is true)
+// asks each peer with forwarding disabled — one-hop flooding, the shape of
+// Clarens' P2P lookup without loop risk.
+func (s *Server) Discover(ctx context.Context, name string, forward bool) (ServiceInfo, bool) {
+	if info, ok := s.Registry.Lookup(name); ok {
+		return info, true
+	}
+	if !forward {
+		return ServiceInfo{}, false
+	}
+	for _, peer := range s.Peers() {
+		c := xmlrpc.NewClient(peer)
+		c.HTTP = &http.Client{Timeout: 5 * time.Second}
+		res, err := c.Call(ctx, "registry.discover", name, false)
+		if err != nil {
+			continue
+		}
+		if m, ok := res.(map[string]any); ok {
+			info := structToServiceInfo(m)
+			if info.Name == name {
+				return info, true
+			}
+		}
+	}
+	return ServiceInfo{}, false
+}
+
+// ServeHTTP implements http.Handler: it moves the session header into the
+// request context and dispatches through the XML-RPC mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ctx := context.WithValue(r.Context(), ctxSessionToken, r.Header.Get(SessionHeader))
+	ctx = context.WithValue(ctx, ctxRemoteAddr, r.RemoteAddr)
+	s.mux.ServeHTTP(w, r.WithContext(ctx))
+}
+
+// SetBaseURL records the host's public endpoint and rewrites existing
+// registry records to it. Tests wiring the server through httptest call
+// this with the test server URL.
+func (s *Server) SetBaseURL(url string) {
+	s.mu.Lock()
+	s.baseURL = url
+	s.mu.Unlock()
+	for _, info := range s.Registry.List() {
+		info.Endpoint = url
+		s.Registry.Register(info)
+	}
+}
+
+// BaseURL returns the configured endpoint ("" before Start/SetBaseURL).
+func (s *Server) BaseURL() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.baseURL
+}
+
+// Start listens on addr ("host:port"; ":0" picks a free port) and serves
+// until Stop. It returns the base URL.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("clarens: listen %s: %w", addr, err)
+	}
+	url := "http://" + ln.Addr().String()
+	srv := &http.Server{Handler: s}
+	s.mu.Lock()
+	s.listener = ln
+	s.httpSrv = srv
+	s.mu.Unlock()
+	s.SetBaseURL(url)
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Stop
+	return url, nil
+}
+
+// Stop shuts the HTTP listener down.
+func (s *Server) Stop() error {
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.httpSrv = nil
+	s.listener = nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}
+
+// Methods returns every dispatchable method name, sorted.
+func (s *Server) Methods() []string { return s.mux.Methods() }

@@ -1,0 +1,110 @@
+package clarens
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// StateStore holds per-user analysis-session state. The GAE's services
+// cooperate to "store the state of users' analysis sessions" (paper §3);
+// this store gives every Clarens host a persistent, per-user key→value
+// space for exactly that: selected datasets, cut definitions, job plan
+// drafts, UI layout — whatever an interactive analysis client wants to
+// find again at its next login.
+type StateStore struct {
+	mu   sync.RWMutex
+	data map[string]map[string]string // user → key → value
+}
+
+// NewStateStore creates an empty store.
+func NewStateStore() *StateStore {
+	return &StateStore{data: make(map[string]map[string]string)}
+}
+
+// Set stores a value under the user's key.
+func (s *StateStore) Set(user, key, value string) error {
+	if user == "" {
+		return fmt.Errorf("clarens: state for empty user")
+	}
+	if key == "" {
+		return fmt.Errorf("clarens: empty state key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.data[user]
+	if !ok {
+		m = make(map[string]string)
+		s.data[user] = m
+	}
+	m[key] = value
+	return nil
+}
+
+// Get fetches the user's value for key.
+func (s *StateStore) Get(user, key string) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[user][key]
+	return v, ok
+}
+
+// Delete removes a key; it reports whether the key existed.
+func (s *StateStore) Delete(user, key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.data[user]
+	if !ok {
+		return false
+	}
+	if _, ok := m[key]; !ok {
+		return false
+	}
+	delete(m, key)
+	if len(m) == 0 {
+		delete(s.data, user)
+	}
+	return true
+}
+
+// Keys lists the user's state keys, sorted.
+func (s *StateStore) Keys(user string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := s.data[user]
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Save persists the store as JSON.
+func (s *StateStore) Save(path string) error {
+	s.mu.RLock()
+	data, err := json.MarshalIndent(s.data, "", "  ")
+	s.mu.RUnlock()
+	if err != nil {
+		return fmt.Errorf("clarens: encoding state: %w", err)
+	}
+	return os.WriteFile(path, data, 0o600)
+}
+
+// Load replaces the store contents from a file written by Save.
+func (s *StateStore) Load(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("clarens: reading state: %w", err)
+	}
+	data := make(map[string]map[string]string)
+	if err := json.Unmarshal(raw, &data); err != nil {
+		return fmt.Errorf("clarens: decoding state: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = data
+	return nil
+}

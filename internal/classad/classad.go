@@ -1,0 +1,441 @@
+// Package classad implements a ClassAd-style attribute and expression
+// language, the matchmaking substrate of the Condor-like execution service
+// (internal/condor).
+//
+// A ClassAd (classified advertisement) is a set of named attributes whose
+// values are literals or expressions. Jobs advertise Requirements and Rank
+// expressions over machine attributes; machines advertise the same over job
+// attributes; the negotiator pairs ads whose Requirements are mutually
+// satisfied. The GAE paper's execution service is "based on any execution
+// engine such as Condor", and its estimator matches "tasks with similar
+// characteristics", which this package expresses as attribute templates.
+//
+// The dialect implemented here covers the classic ClassAd core:
+//
+//   - types: integer, real, string, boolean, undefined, error, list
+//   - operators: + - * / %  == != < <= > >=  && || !  unary -
+//   - three-valued logic: undefined propagates through comparisons and is
+//     absorbed by && / || exactly as in Condor's matchmaker
+//   - scopes: MY.attr, TARGET.attr, and unqualified names that resolve in
+//     self first, then target
+//   - builtin functions: floor ceil round abs min max strcat size toLower
+//     toUpper substr member isUndefined ifThenElse pow
+//
+// Attribute names are case-insensitive, as in Condor.
+package classad
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates value kinds.
+type Kind int
+
+// Value kinds.
+const (
+	KindUndefined Kind = iota
+	KindError
+	KindBool
+	KindInt
+	KindReal
+	KindString
+	KindList
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindUndefined:
+		return "undefined"
+	case KindError:
+		return "error"
+	case KindBool:
+		return "boolean"
+	case KindInt:
+		return "integer"
+	case KindReal:
+		return "real"
+	case KindString:
+		return "string"
+	case KindList:
+		return "list"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Value is a ClassAd value. The zero Value is undefined.
+type Value struct {
+	kind Kind
+	b    bool
+	i    int64
+	r    float64
+	s    string
+	l    []Value
+	emsg string
+}
+
+// Constructors.
+
+// Undefined returns the undefined value.
+func Undefined() Value { return Value{kind: KindUndefined} }
+
+// Errorf returns an error value with a formatted message.
+func Errorf(format string, args ...any) Value {
+	return Value{kind: KindError, emsg: fmt.Sprintf(format, args...)}
+}
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Real returns a real value.
+func Real(r float64) Value { return Value{kind: KindReal, r: r} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// List returns a list value.
+func List(vs ...Value) Value { return Value{kind: KindList, l: vs} }
+
+// From converts a Go value into a ClassAd Value. Unsupported types yield
+// an error value.
+func From(v any) Value {
+	switch x := v.(type) {
+	case nil:
+		return Undefined()
+	case Value:
+		return x
+	case bool:
+		return Bool(x)
+	case int:
+		return Int(int64(x))
+	case int32:
+		return Int(int64(x))
+	case int64:
+		return Int(x)
+	case float32:
+		return Real(float64(x))
+	case float64:
+		return Real(x)
+	case string:
+		return Str(x)
+	case []string:
+		vs := make([]Value, len(x))
+		for i, s := range x {
+			vs[i] = Str(s)
+		}
+		return List(vs...)
+	case []any:
+		vs := make([]Value, len(x))
+		for i, e := range x {
+			vs[i] = From(e)
+		}
+		return List(vs...)
+	default:
+		return Errorf("unconvertible Go type %T", v)
+	}
+}
+
+// Kind returns the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsUndefined reports whether v is undefined.
+func (v Value) IsUndefined() bool { return v.kind == KindUndefined }
+
+// IsError reports whether v is an error value.
+func (v Value) IsError() bool { return v.kind == KindError }
+
+// BoolVal returns the boolean content; ok is false for non-booleans.
+func (v Value) BoolVal() (val, ok bool) { return v.b, v.kind == KindBool }
+
+// IntVal returns the integer content; ok is false for non-integers.
+func (v Value) IntVal() (int64, bool) { return v.i, v.kind == KindInt }
+
+// RealVal returns the value as float64 for int or real kinds.
+func (v Value) RealVal() (float64, bool) {
+	switch v.kind {
+	case KindReal:
+		return v.r, true
+	case KindInt:
+		return float64(v.i), true
+	}
+	return 0, false
+}
+
+// StringVal returns the string content; ok is false for non-strings.
+func (v Value) StringVal() (string, bool) { return v.s, v.kind == KindString }
+
+// ListVal returns the list content; ok is false for non-lists.
+func (v Value) ListVal() ([]Value, bool) { return v.l, v.kind == KindList }
+
+// Go converts the value back to a plain Go value (nil for undefined,
+// error values become strings prefixed "error:").
+func (v Value) Go() any {
+	switch v.kind {
+	case KindUndefined:
+		return nil
+	case KindError:
+		return "error:" + v.emsg
+	case KindBool:
+		return v.b
+	case KindInt:
+		return int(v.i)
+	case KindReal:
+		return v.r
+	case KindString:
+		return v.s
+	case KindList:
+		out := make([]any, len(v.l))
+		for i, e := range v.l {
+			out[i] = e.Go()
+		}
+		return out
+	}
+	return nil
+}
+
+// String renders the value in ClassAd literal syntax.
+func (v Value) String() string {
+	switch v.kind {
+	case KindUndefined:
+		return "undefined"
+	case KindError:
+		return "error(" + v.emsg + ")"
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindReal:
+		return strconv.FormatFloat(v.r, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindList:
+		parts := make([]string, len(v.l))
+		for i, e := range v.l {
+			parts[i] = e.String()
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	}
+	return "?"
+}
+
+// Equal reports deep equality of two values (same kind and content).
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindUndefined:
+		return true
+	case KindError:
+		return v.emsg == o.emsg
+	case KindBool:
+		return v.b == o.b
+	case KindInt:
+		return v.i == o.i
+	case KindReal:
+		return v.r == o.r || (math.IsNaN(v.r) && math.IsNaN(o.r))
+	case KindString:
+		return v.s == o.s
+	case KindList:
+		if len(v.l) != len(o.l) {
+			return false
+		}
+		for i := range v.l {
+			if !v.l[i].Equal(o.l[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Ad is a ClassAd: a case-insensitive attribute map. Values stored may be
+// literals (Value) or unevaluated expressions (Expr).
+type Ad struct {
+	attrs map[string]entry
+}
+
+type entry struct {
+	name string // original-case name, for printing
+	val  Value
+	expr Expr // non-nil when the attribute is an expression
+}
+
+// New returns an empty ad.
+func New() *Ad { return &Ad{attrs: make(map[string]entry)} }
+
+// Set stores a literal attribute, converting the Go value via From.
+func (a *Ad) Set(name string, v any) *Ad {
+	a.attrs[strings.ToLower(name)] = entry{name: name, val: From(v)}
+	return a
+}
+
+// SetExpr parses src as an expression and stores it under name.
+func (a *Ad) SetExpr(name, src string) error {
+	e, err := Parse(src)
+	if err != nil {
+		return fmt.Errorf("classad: attribute %s: %w", name, err)
+	}
+	a.attrs[strings.ToLower(name)] = entry{name: name, expr: e}
+	return nil
+}
+
+// MustSetExpr is SetExpr that panics on parse errors; for literals in code.
+func (a *Ad) MustSetExpr(name, src string) *Ad {
+	if err := a.SetExpr(name, src); err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Delete removes an attribute.
+func (a *Ad) Delete(name string) { delete(a.attrs, strings.ToLower(name)) }
+
+// Has reports whether the attribute exists.
+func (a *Ad) Has(name string) bool {
+	_, ok := a.attrs[strings.ToLower(name)]
+	return ok
+}
+
+// Names returns the attribute names in sorted order (original case).
+func (a *Ad) Names() []string {
+	out := make([]string, 0, len(a.attrs))
+	for _, e := range a.attrs {
+		out = append(out, e.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of attributes.
+func (a *Ad) Len() int { return len(a.attrs) }
+
+// Lookup evaluates the attribute in the context of this ad alone.
+func (a *Ad) Lookup(name string) Value {
+	return a.EvalAttr(name, nil)
+}
+
+// EvalAttr evaluates attribute name with target as the TARGET scope.
+func (a *Ad) EvalAttr(name string, target *Ad) Value {
+	e, ok := a.attrs[strings.ToLower(name)]
+	if !ok {
+		return Undefined()
+	}
+	if e.expr == nil {
+		return e.val
+	}
+	return e.expr.Eval(&scope{self: a, target: target})
+}
+
+// String renders the ad in [a = 1; b = "x";] form with sorted attributes.
+func (a *Ad) String() string {
+	names := a.Names()
+	var sb strings.Builder
+	sb.WriteString("[")
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		e := a.attrs[strings.ToLower(n)]
+		sb.WriteString(e.name)
+		sb.WriteString(" = ")
+		if e.expr != nil {
+			sb.WriteString(e.expr.String())
+		} else {
+			sb.WriteString(e.val.String())
+		}
+	}
+	sb.WriteString("]")
+	return sb.String()
+}
+
+// Clone returns a deep-enough copy (expressions are immutable and shared).
+func (a *Ad) Clone() *Ad {
+	c := New()
+	for k, e := range a.attrs {
+		c.attrs[k] = e
+	}
+	return c
+}
+
+// Project returns a new ad with only the named attributes (those present).
+func (a *Ad) Project(names ...string) *Ad {
+	c := New()
+	for _, n := range names {
+		if e, ok := a.attrs[strings.ToLower(n)]; ok {
+			c.attrs[strings.ToLower(n)] = e
+		}
+	}
+	return c
+}
+
+// Float fetches a numeric attribute as float64 with a default.
+func (a *Ad) Float(name string, def float64) float64 {
+	if f, ok := a.Lookup(name).RealVal(); ok {
+		return f
+	}
+	return def
+}
+
+// Int fetches an integer attribute with a default.
+func (a *Ad) Int(name string, def int64) int64 {
+	if n, ok := a.Lookup(name).IntVal(); ok {
+		return n
+	}
+	return def
+}
+
+// Str fetches a string attribute with a default.
+func (a *Ad) Str(name, def string) string {
+	if s, ok := a.Lookup(name).StringVal(); ok {
+		return s
+	}
+	return def
+}
+
+// Bool fetches a boolean attribute with a default.
+func (a *Ad) Bool(name string, def bool) bool {
+	if b, ok := a.Lookup(name).BoolVal(); ok {
+		return b
+	}
+	return def
+}
+
+// Match reports whether left.Requirements is satisfied against right and
+// vice versa — symmetric gang-matching as Condor's negotiator performs.
+// A missing Requirements attribute counts as satisfied.
+func Match(left, right *Ad) bool {
+	return halfMatch(left, right) && halfMatch(right, left)
+}
+
+// halfMatch evaluates self's Requirements with target in scope.
+func halfMatch(self, target *Ad) bool {
+	if !self.Has("Requirements") {
+		return true
+	}
+	v := self.EvalAttr("Requirements", target)
+	b, ok := v.BoolVal()
+	return ok && b
+}
+
+// Rank evaluates self's Rank expression against target, returning 0.0 when
+// absent or non-numeric (Condor semantics).
+func Rank(self, target *Ad) float64 {
+	if !self.Has("Rank") {
+		return 0
+	}
+	if f, ok := self.EvalAttr("Rank", target).RealVal(); ok {
+		return f
+	}
+	return 0
+}

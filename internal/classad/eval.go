@@ -1,0 +1,274 @@
+package classad
+
+import (
+	"math"
+	"strings"
+)
+
+// scope carries the self/target ads during evaluation, plus a depth guard
+// against mutually recursive attribute definitions.
+type scope struct {
+	self   *Ad
+	target *Ad
+	depth  int
+}
+
+const maxEvalDepth = 64
+
+// resolve looks up an attribute reference. Unqualified names search self
+// then target; MY restricts to self; TARGET to target.
+func (sc *scope) resolve(name, scopeName string) Value {
+	if sc == nil {
+		return Undefined()
+	}
+	if sc.depth >= maxEvalDepth {
+		return Errorf("attribute recursion limit reached at %q", name)
+	}
+	lookup := func(ad *Ad, other *Ad) (Value, bool) {
+		if ad == nil {
+			return Undefined(), false
+		}
+		e, ok := ad.attrs[strings.ToLower(name)]
+		if !ok {
+			return Undefined(), false
+		}
+		if e.expr == nil {
+			return e.val, true
+		}
+		inner := &scope{self: ad, target: other, depth: sc.depth + 1}
+		return e.expr.Eval(inner), true
+	}
+	switch scopeName {
+	case "my":
+		v, _ := lookup(sc.self, sc.target)
+		return v
+	case "target":
+		v, _ := lookup(sc.target, sc.self)
+		return v
+	default:
+		if v, ok := lookup(sc.self, sc.target); ok {
+			return v
+		}
+		v, _ := lookup(sc.target, sc.self)
+		return v
+	}
+}
+
+// EvalInContext evaluates a parsed expression with explicit self/target
+// ads; either may be nil.
+func EvalInContext(e Expr, self, target *Ad) Value {
+	return e.Eval(&scope{self: self, target: target})
+}
+
+// EvalString parses and evaluates src against self/target in one shot.
+func EvalString(src string, self, target *Ad) (Value, error) {
+	e, err := Parse(src)
+	if err != nil {
+		return Undefined(), err
+	}
+	return EvalInContext(e, self, target), nil
+}
+
+func evalUnary(op string, v Value) Value {
+	if v.IsError() {
+		return v
+	}
+	switch op {
+	case "-":
+		switch v.kind {
+		case KindInt:
+			return Int(-v.i)
+		case KindReal:
+			return Real(-v.r)
+		case KindUndefined:
+			return Undefined()
+		}
+		return Errorf("cannot negate %s", v.Kind())
+	case "!":
+		switch v.kind {
+		case KindBool:
+			return Bool(!v.b)
+		case KindUndefined:
+			return Undefined()
+		}
+		return Errorf("cannot logically negate %s", v.Kind())
+	}
+	return Errorf("unknown unary operator %q", op)
+}
+
+// evalAnd implements Condor's three-valued conjunction:
+// false && anything == false (even error), undefined && true == undefined.
+func evalAnd(le, re Expr, sc *scope) Value {
+	l := le.Eval(sc)
+	if b, ok := l.BoolVal(); ok && !b {
+		return Bool(false)
+	}
+	r := re.Eval(sc)
+	if b, ok := r.BoolVal(); ok && !b {
+		return Bool(false)
+	}
+	if l.IsError() {
+		return l
+	}
+	if r.IsError() {
+		return r
+	}
+	lb, lok := l.BoolVal()
+	rb, rok := r.BoolVal()
+	if lok && rok {
+		return Bool(lb && rb)
+	}
+	if l.IsUndefined() || r.IsUndefined() {
+		return Undefined()
+	}
+	return Errorf("non-boolean operand to &&")
+}
+
+// evalOr mirrors evalAnd: true || anything == true.
+func evalOr(le, re Expr, sc *scope) Value {
+	l := le.Eval(sc)
+	if b, ok := l.BoolVal(); ok && b {
+		return Bool(true)
+	}
+	r := re.Eval(sc)
+	if b, ok := r.BoolVal(); ok && b {
+		return Bool(true)
+	}
+	if l.IsError() {
+		return l
+	}
+	if r.IsError() {
+		return r
+	}
+	lb, lok := l.BoolVal()
+	rb, rok := r.BoolVal()
+	if lok && rok {
+		return Bool(lb || rb)
+	}
+	if l.IsUndefined() || r.IsUndefined() {
+		return Undefined()
+	}
+	return Errorf("non-boolean operand to ||")
+}
+
+func evalBinary(op string, l, r Value) Value {
+	if l.IsError() {
+		return l
+	}
+	if r.IsError() {
+		return r
+	}
+	switch op {
+	case "+", "-", "*", "/", "%":
+		return evalArith(op, l, r)
+	case "==", "!=", "<", "<=", ">", ">=":
+		return evalCompare(op, l, r)
+	}
+	return Errorf("unknown operator %q", op)
+}
+
+func evalArith(op string, l, r Value) Value {
+	if l.IsUndefined() || r.IsUndefined() {
+		return Undefined()
+	}
+	// String concatenation via "+" is a convenience extension.
+	if op == "+" && l.kind == KindString && r.kind == KindString {
+		return Str(l.s + r.s)
+	}
+	// Integer arithmetic stays integral (Condor semantics).
+	if l.kind == KindInt && r.kind == KindInt {
+		switch op {
+		case "+":
+			return Int(l.i + r.i)
+		case "-":
+			return Int(l.i - r.i)
+		case "*":
+			return Int(l.i * r.i)
+		case "/":
+			if r.i == 0 {
+				return Errorf("division by zero")
+			}
+			return Int(l.i / r.i)
+		case "%":
+			if r.i == 0 {
+				return Errorf("modulo by zero")
+			}
+			return Int(l.i % r.i)
+		}
+	}
+	lf, lok := l.RealVal()
+	rf, rok := r.RealVal()
+	if !lok || !rok {
+		return Errorf("arithmetic on %s and %s", l.Kind(), r.Kind())
+	}
+	switch op {
+	case "+":
+		return Real(lf + rf)
+	case "-":
+		return Real(lf - rf)
+	case "*":
+		return Real(lf * rf)
+	case "/":
+		if rf == 0 {
+			return Errorf("division by zero")
+		}
+		return Real(lf / rf)
+	case "%":
+		if rf == 0 {
+			return Errorf("modulo by zero")
+		}
+		return Real(math.Mod(lf, rf))
+	}
+	return Errorf("unknown arithmetic operator %q", op)
+}
+
+func evalCompare(op string, l, r Value) Value {
+	if l.IsUndefined() || r.IsUndefined() {
+		return Undefined()
+	}
+	// Strings compare case-insensitively, as in classic ClassAds.
+	if l.kind == KindString && r.kind == KindString {
+		ls, rs := strings.ToLower(l.s), strings.ToLower(r.s)
+		return cmpResult(op, strings.Compare(ls, rs))
+	}
+	if l.kind == KindBool && r.kind == KindBool {
+		switch op {
+		case "==":
+			return Bool(l.b == r.b)
+		case "!=":
+			return Bool(l.b != r.b)
+		}
+		return Errorf("ordering comparison on booleans")
+	}
+	lf, lok := l.RealVal()
+	rf, rok := r.RealVal()
+	if !lok || !rok {
+		return Errorf("comparison between %s and %s", l.Kind(), r.Kind())
+	}
+	switch {
+	case lf < rf:
+		return cmpResult(op, -1)
+	case lf > rf:
+		return cmpResult(op, 1)
+	default:
+		return cmpResult(op, 0)
+	}
+}
+
+func cmpResult(op string, c int) Value {
+	switch op {
+	case "==":
+		return Bool(c == 0)
+	case "!=":
+		return Bool(c != 0)
+	case "<":
+		return Bool(c < 0)
+	case "<=":
+		return Bool(c <= 0)
+	case ">":
+		return Bool(c > 0)
+	case ">=":
+		return Bool(c >= 0)
+	}
+	return Errorf("unknown comparison %q", op)
+}

@@ -1,0 +1,23 @@
+package classad
+
+import (
+	"fmt"
+	"strings"
+)
+
+// fmtSscan scans a full-string value; unlike fmt.Sscan it rejects trailing
+// garbage so int("12abc") is an error, not 12.
+func fmtSscan(s string, out any) (int, error) {
+	s = strings.TrimSpace(s)
+	var rest string
+	n, err := fmt.Sscanf(s, "%v%s", out, &rest)
+	if n >= 1 && rest == "" && err != nil {
+		// Sscanf reports an error when %s matches nothing; one converted
+		// value with no remainder is a complete parse.
+		return 1, nil
+	}
+	if err == nil && rest != "" {
+		return n, fmt.Errorf("trailing input %q", rest)
+	}
+	return n, err
+}

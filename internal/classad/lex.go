@@ -1,0 +1,195 @@
+package classad
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokInt
+	tokReal
+	tokString
+	tokIdent // identifiers and keyword literals (true/false/undefined/error)
+	tokOp    // operators and punctuation
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex splits src into tokens. It is strict: unknown characters are errors
+// so misquoted job requirements fail loudly at submit time, not at match
+// time.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "", l.pos)
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case c >= '0' && c <= '9', c == '.' && l.peekDigit():
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '"':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		default:
+			if err := l.lexOp(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(k tokKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: pos})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// Line comments: // to end of line (ClassAd files allow them).
+		if c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (l *lexer) peekDigit() bool {
+	return l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9'
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := l.src[start:l.pos]
+	if seenDot || seenExp {
+		l.emit(tokReal, text, start)
+	} else {
+		l.emit(tokInt, text, start)
+	}
+	return nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			l.emit(tokString, sb.String(), start)
+			return nil
+		case '\\':
+			l.pos++
+			if l.pos >= len(l.src) {
+				return fmt.Errorf("classad: unterminated escape at %d", start)
+			}
+			switch e := l.src[l.pos]; e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '"', '\\':
+				sb.WriteByte(e)
+			default:
+				return fmt.Errorf("classad: bad escape \\%c at %d", e, l.pos)
+			}
+			l.pos++
+		default:
+			sb.WriteByte(c)
+			l.pos++
+		}
+	}
+	return fmt.Errorf("classad: unterminated string at %d", start)
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.emit(tokIdent, l.src[start:l.pos], start)
+}
+
+var twoCharOps = []string{"==", "!=", "<=", ">=", "&&", "||"}
+
+func (l *lexer) lexOp() error {
+	start := l.pos
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		for _, op := range twoCharOps {
+			if two == op {
+				l.pos += 2
+				l.emit(tokOp, op, start)
+				return nil
+			}
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '+', '-', '*', '/', '%', '<', '>', '!', '(', ')', ',', '.', '{', '}', '?', ':':
+		l.pos++
+		l.emit(tokOp, string(c), start)
+		return nil
+	}
+	return fmt.Errorf("classad: unexpected character %q at %d", c, start)
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,144 @@
+// Package condor implements the execution service of the GAE
+// reproduction: a Condor-like batch system running on the simulated grid.
+//
+// The paper's Job Monitoring Service "operat[es] in close interaction with
+// an execution service (which can be based on any execution engine such as
+// Condor)", the Queue-Time Estimator consumes "Condor IDs and the elapsed
+// runtime of all tasks having a priority greater than the input task", and
+// Figure 7 relies on Condor's accumulated wall-clock accounting. This
+// package supplies all of those contracts:
+//
+//   - ClassAd-based job submission and job↔machine matchmaking
+//   - a priority queue with FIFO order within a priority level
+//   - job lifecycle: Idle → Running → (Suspended ↔ Running) →
+//     Completed / Failed / Removed
+//   - per-job accounting: wall-clock (execution time only), CPU seconds,
+//     queue position, submit/start/completion timestamps, I/O volumes
+//   - checkpointing (resume from accumulated CPU work after migration)
+//   - flocking (overflow submission to a peer pool)
+//   - failure injection, for exercising the Steering Service's Backup &
+//     Recovery module
+package condor
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/classad"
+	"repro/internal/simgrid"
+)
+
+// Status is a job's lifecycle state, mirroring Condor's JobStatus integers
+// where they exist.
+type Status int
+
+// Job states.
+const (
+	StatusIdle Status = iota + 1
+	StatusRunning
+	StatusSuspended
+	StatusCompleted
+	StatusFailed
+	StatusRemoved
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusIdle:
+		return "idle"
+	case StatusRunning:
+		return "running"
+	case StatusSuspended:
+		return "suspended"
+	case StatusCompleted:
+		return "completed"
+	case StatusFailed:
+		return "failed"
+	case StatusRemoved:
+		return "removed"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// Terminal reports whether the state is final.
+func (s Status) Terminal() bool {
+	return s == StatusCompleted || s == StatusFailed || s == StatusRemoved
+}
+
+// Well-known job ad attributes. Submitters set the Attr* inputs; the pool
+// maintains the rest.
+const (
+	AttrOwner        = "Owner"               // string: submitting user
+	AttrCmd          = "Cmd"                 // string: executable name (informational)
+	AttrPriority     = "JobPrio"             // int: larger runs first
+	AttrCpuSeconds   = "CpuSeconds"          // real: ground-truth work on a Mips-1 CPU
+	AttrEstimate     = "EstimatedRuntime"    // real: estimator's predicted runtime (s)
+	AttrInputMB      = "InputMB"             // real: input I/O volume
+	AttrOutputMB     = "OutputMB"            // real: output I/O volume
+	AttrOutputFile   = "OutputFile"          // string: file created in site storage on success
+	AttrEnv          = "Env"                 // string: environment variables ("K=V;K2=V2")
+	AttrRequirements = "Requirements"        // expr: machine constraints
+	AttrRank         = "Rank"                // expr: machine preference
+	AttrCheckpoint   = "Checkpointable"      // bool: job can resume from a checkpoint
+	AttrFailAfter    = "FailAfterCpuSeconds" // real: fault injection point
+)
+
+// Event records a job state transition; the Job Monitoring Service's
+// collector subscribes to these and forwards them to MonALISA.
+type Event struct {
+	Pool  string
+	JobID int
+	From  Status
+	To    Status
+	At    time.Time
+}
+
+// job is the pool-internal job record.
+type job struct {
+	id       int
+	ad       *classad.Ad
+	status   Status
+	priority int
+
+	submitTime     time.Time
+	startTime      time.Time
+	completionTime time.Time
+
+	node    *simgrid.Node
+	task    *simgrid.Task
+	cpuBase float64 // CPU-seconds carried over from a checkpoint
+	ckptCPU float64 // last checkpointed CPU-seconds
+}
+
+// JobInfo is an immutable snapshot of a job, carrying every field the
+// paper's Job Monitoring Service API exposes: "job status, remaining time,
+// elapsed time, estimated run time, queue position, priority, submission
+// time, execution time, completion time, CPU time used, amount of input IO
+// and output IO, owner name and environment variables".
+type JobInfo struct {
+	ID       int
+	Pool     string
+	Status   Status
+	Owner    string
+	Cmd      string
+	Priority int
+	Env      string
+
+	SubmitTime     time.Time
+	StartTime      time.Time // zero until first execution
+	CompletionTime time.Time // zero until terminal
+
+	QueuePosition int // 1-based among idle jobs; 0 when not queued
+
+	EstimatedRuntime  float64       // seconds, 0 when no estimate recorded
+	WallClock         time.Duration // accumulated execution time (Condor wall-clock)
+	Elapsed           time.Duration // now - submit
+	RemainingEstimate float64       // estimate - wallclock, floored at 0
+
+	CPUSeconds float64
+	Progress   float64 // CPU done / CPU needed, in [0,1]
+	InputMB    float64
+	OutputMB   float64
+
+	Node string // execution node name, "" when not placed
+}

@@ -1,0 +1,623 @@
+package condor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/classad"
+	"repro/internal/simgrid"
+)
+
+// ErrPoolDown is returned by every operation while the pool's execution
+// service is failed (see Fail), letting the Steering Service's Backup &
+// Recovery module observe a dead execution service exactly as it would a
+// crashed Condor schedd.
+var ErrPoolDown = fmt.Errorf("condor: execution service unavailable")
+
+// ErrNoSuchJob is returned for unknown job IDs.
+var ErrNoSuchJob = fmt.Errorf("condor: no such job")
+
+// Pool is one site's execution service: a schedd (queue) plus a negotiator
+// (matchmaker) over the site's machines. Register the pool as an engine
+// actor; each tick runs one negotiation cycle and harvests completions.
+type Pool struct {
+	Name string
+
+	grid *simgrid.Grid
+	site *simgrid.Site
+
+	mu        sync.Mutex
+	machines  []*machine
+	jobs      map[int]*job
+	order     []int // submission order, for FIFO within a priority
+	nextID    int
+	down      bool
+	flockPeer *Pool
+	listeners []func(Event)
+}
+
+type machine struct {
+	node *simgrid.Node
+	ad   *classad.Ad
+}
+
+// NewPool creates an execution service for site, registered with the
+// grid's engine.
+func NewPool(name string, grid *simgrid.Grid, site *simgrid.Site) *Pool {
+	p := &Pool{
+		Name: name,
+		grid: grid,
+		site: site,
+		jobs: make(map[int]*job),
+	}
+	grid.Engine.AddActor(p)
+	return p
+}
+
+// Site returns the site this pool executes on.
+func (p *Pool) Site() *simgrid.Site { return p.site }
+
+// AddMachine advertises a node to the negotiator. The machine ad is
+// augmented with standard attributes (Machine, Mips); a nil ad is allowed.
+func (p *Pool) AddMachine(node *simgrid.Node, ad *classad.Ad) {
+	if ad == nil {
+		ad = classad.New()
+	}
+	ad.Set("Machine", node.Name)
+	ad.Set("Mips", node.Mips)
+	if !ad.Has("Arch") {
+		ad.Set("Arch", "x86")
+	}
+	if !ad.Has("OpSys") {
+		ad.Set("OpSys", "LINUX")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.machines = append(p.machines, &machine{node: node, ad: ad})
+}
+
+// Machines returns the advertised machine count.
+func (p *Pool) Machines() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.machines)
+}
+
+// EnableFlocking lets idle jobs overflow to peer when no local machine
+// matches. Condor flocking submits to a remote pool while preserving the
+// job's identity; here the job simply also negotiates against the peer's
+// machines.
+func (p *Pool) EnableFlocking(peer *Pool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flockPeer = peer
+}
+
+// Subscribe registers a listener for job state transitions. Listeners run
+// synchronously on the simulation goroutine; they must not block.
+func (p *Pool) Subscribe(fn func(Event)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.listeners = append(p.listeners, fn)
+}
+
+// Fail marks the execution service down: all API calls error and running
+// tasks stop progressing (their nodes keep ticking, but harvest pauses).
+func (p *Pool) Fail() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.down = true
+	for _, j := range p.jobs {
+		if j.status == StatusRunning && j.task != nil {
+			j.task.Suspend()
+		}
+	}
+}
+
+// Recover brings a failed service back; suspended-by-failure jobs resume.
+func (p *Pool) Recover() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.down = false
+	for _, j := range p.jobs {
+		if j.status == StatusRunning && j.task != nil {
+			j.task.Resume()
+		}
+	}
+}
+
+// Healthy reports whether the execution service answers requests — the
+// probe the Backup & Recovery module polls.
+func (p *Pool) Healthy() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return !p.down
+}
+
+// Submit enqueues a job described by ad. The ad must carry AttrCpuSeconds
+// (the ground-truth work) and should carry AttrOwner. The returned ID is
+// the pool-local "Condor ID".
+func (p *Pool) Submit(ad *classad.Ad) (int, error) {
+	if ad == nil {
+		return 0, fmt.Errorf("condor: nil job ad")
+	}
+	need := ad.Float(AttrCpuSeconds, 0)
+	if need <= 0 {
+		return 0, fmt.Errorf("condor: job ad missing positive %s", AttrCpuSeconds)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.down {
+		return 0, ErrPoolDown
+	}
+	p.nextID++
+	id := p.nextID
+	j := &job{
+		id:         id,
+		ad:         ad.Clone(),
+		status:     StatusIdle,
+		priority:   int(ad.Int(AttrPriority, 0)),
+		submitTime: p.grid.Engine.Now(),
+	}
+	p.jobs[id] = j
+	p.order = append(p.order, id)
+	p.emitLocked(j, 0, StatusIdle)
+	return id, nil
+}
+
+// SubmitCheckpointed enqueues a job that already completed cpuDone seconds
+// of work elsewhere — the flocking/steering migration path for
+// checkpointable jobs.
+func (p *Pool) SubmitCheckpointed(ad *classad.Ad, cpuDone float64) (int, error) {
+	if cpuDone < 0 {
+		return 0, fmt.Errorf("condor: negative checkpoint %v", cpuDone)
+	}
+	id, err := p.Submit(ad)
+	if err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.jobs[id].ad.Bool(AttrCheckpoint, false) {
+		// Non-checkpointable jobs restart from zero.
+		return id, nil
+	}
+	p.jobs[id].cpuBase = cpuDone
+	return id, nil
+}
+
+// Job returns a snapshot of the identified job.
+func (p *Pool) Job(id int) (JobInfo, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.down {
+		return JobInfo{}, ErrPoolDown
+	}
+	j, ok := p.jobs[id]
+	if !ok {
+		return JobInfo{}, fmt.Errorf("%w: %d", ErrNoSuchJob, id)
+	}
+	return p.snapshotLocked(j), nil
+}
+
+// Jobs returns snapshots of every job, ordered by ID.
+func (p *Pool) Jobs() ([]JobInfo, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.down {
+		return nil, ErrPoolDown
+	}
+	ids := make([]int, 0, len(p.jobs))
+	for id := range p.jobs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]JobInfo, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, p.snapshotLocked(p.jobs[id]))
+	}
+	return out, nil
+}
+
+// QueueAbove returns the running and idle jobs whose priority is strictly
+// greater than that of job id — the queue-time estimator's step (a)/(b)
+// input.
+func (p *Pool) QueueAbove(id int) ([]JobInfo, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.down {
+		return nil, ErrPoolDown
+	}
+	j, ok := p.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchJob, id)
+	}
+	var out []JobInfo
+	for _, oid := range p.order {
+		o := p.jobs[oid]
+		if o.id == id || o.status.Terminal() {
+			continue
+		}
+		if o.priority > j.priority {
+			out = append(out, p.snapshotLocked(o))
+		}
+	}
+	return out, nil
+}
+
+// Suspend pauses a running job (paper: "pause").
+func (p *Pool) Suspend(id int) error {
+	return p.transition(id, func(j *job) error {
+		if j.status != StatusRunning {
+			return fmt.Errorf("condor: job %d is %v, cannot suspend", id, j.status)
+		}
+		j.task.Suspend()
+		p.setStatusLocked(j, StatusSuspended)
+		return nil
+	})
+}
+
+// Resume continues a suspended job.
+func (p *Pool) Resume(id int) error {
+	return p.transition(id, func(j *job) error {
+		if j.status != StatusSuspended {
+			return fmt.Errorf("condor: job %d is %v, cannot resume", id, j.status)
+		}
+		j.task.Resume()
+		p.setStatusLocked(j, StatusRunning)
+		return nil
+	})
+}
+
+// Remove kills a job (paper: "kill"); idle jobs leave the queue, running
+// jobs are torn down.
+func (p *Pool) Remove(id int) error {
+	return p.transition(id, func(j *job) error {
+		if j.status.Terminal() {
+			return fmt.Errorf("condor: job %d already %v", id, j.status)
+		}
+		p.detachLocked(j)
+		j.completionTime = p.grid.Engine.Now()
+		p.setStatusLocked(j, StatusRemoved)
+		return nil
+	})
+}
+
+// SetPriority changes a pending or running job's priority (paper: "change
+// priority of the job"). Queue order adjusts on the next negotiation.
+func (p *Pool) SetPriority(id, prio int) error {
+	return p.transition(id, func(j *job) error {
+		if j.status.Terminal() {
+			return fmt.Errorf("condor: job %d already %v", id, j.status)
+		}
+		j.priority = prio
+		j.ad.Set(AttrPriority, prio)
+		return nil
+	})
+}
+
+// Checkpoint records and returns the job's completed CPU-seconds; a
+// subsequent SubmitCheckpointed elsewhere resumes from this point.
+func (p *Pool) Checkpoint(id int) (float64, error) {
+	var cpu float64
+	err := p.transition(id, func(j *job) error {
+		cpu = p.cpuSecondsLocked(j)
+		j.ckptCPU = cpu
+		return nil
+	})
+	return cpu, err
+}
+
+// WallClock returns the job's accumulated execution time — Condor's
+// "wall-clock time the job has accumulated while running", the Figure 7
+// progress proxy.
+func (p *Pool) WallClock(id int) (time.Duration, error) {
+	info, err := p.Job(id)
+	if err != nil {
+		return 0, err
+	}
+	return info.WallClock, nil
+}
+
+// transition runs fn on the identified job under the pool lock.
+func (p *Pool) transition(id int, fn func(*job) error) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.down {
+		return ErrPoolDown
+	}
+	j, ok := p.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchJob, id)
+	}
+	return fn(j)
+}
+
+// OnTick runs one negotiation cycle and harvests task completions/faults.
+func (p *Pool) OnTick(now time.Time, dt time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.down {
+		return
+	}
+	p.harvestLocked(now)
+	p.negotiateLocked(now)
+}
+
+// harvestLocked promotes finished tasks to Completed and applies fault
+// injection.
+func (p *Pool) harvestLocked(now time.Time) {
+	for _, id := range p.order {
+		j := p.jobs[id]
+		if j.status != StatusRunning || j.task == nil {
+			continue
+		}
+		if fail := j.ad.Float(AttrFailAfter, 0); fail > 0 && p.cpuSecondsLocked(j) >= fail {
+			j.task.Kill()
+			p.detachLocked(j)
+			j.completionTime = now
+			p.setStatusLocked(j, StatusFailed)
+			continue
+		}
+		if j.task.State() == simgrid.TaskDone {
+			j.node.Remove(j.task)
+			j.completionTime = now
+			p.setStatusLocked(j, StatusCompleted)
+			p.produceOutputLocked(j)
+		}
+	}
+}
+
+// produceOutputLocked materializes the job's declared output file in the
+// site's storage element, so Backup & Recovery can fetch "local files that
+// were produced".
+func (p *Pool) produceOutputLocked(j *job) {
+	name := j.ad.Str(AttrOutputFile, "")
+	if name == "" {
+		return
+	}
+	size := j.ad.Float(AttrOutputMB, 1)
+	_ = p.site.Storage().Put(name, size)
+}
+
+// negotiateLocked matches idle jobs to free machines: priority descending,
+// FIFO within a level; each job picks its highest-Rank matching machine.
+func (p *Pool) negotiateLocked(now time.Time) {
+	idle := make([]*job, 0)
+	for _, id := range p.order {
+		j := p.jobs[id]
+		if j.status == StatusIdle {
+			idle = append(idle, j)
+		}
+	}
+	sort.SliceStable(idle, func(a, b int) bool {
+		if idle[a].priority != idle[b].priority {
+			return idle[a].priority > idle[b].priority
+		}
+		return idle[a].id < idle[b].id
+	})
+	if len(idle) == 0 {
+		return
+	}
+	free := p.freeMachinesLocked(now)
+	var peerFree []*machine
+	if p.flockPeer != nil {
+		peerFree = p.flockPeer.freeMachines(now)
+	}
+	for _, j := range idle {
+		m := pickMachine(j.ad, free, now)
+		if m == nil && len(peerFree) > 0 {
+			m = pickMachine(j.ad, peerFree, now)
+			peerFree = removeMachine(peerFree, m)
+		} else {
+			free = removeMachine(free, m)
+		}
+		if m == nil {
+			continue
+		}
+		p.startLocked(j, m, now)
+	}
+}
+
+// freeMachinesLocked lists machines with no running task.
+func (p *Pool) freeMachinesLocked(now time.Time) []*machine {
+	var out []*machine
+	for _, m := range p.machines {
+		if len(m.node.Tasks()) == 0 {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func (p *Pool) freeMachines(now time.Time) []*machine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.down {
+		return nil
+	}
+	return p.freeMachinesLocked(now)
+}
+
+// pickMachine returns the matching machine with the highest job Rank,
+// breaking ties by machine name for determinism.
+func pickMachine(jobAd *classad.Ad, machines []*machine, now time.Time) *machine {
+	var best *machine
+	bestRank := 0.0
+	for _, m := range machines {
+		ad := m.ad.Clone()
+		ad.Set("LoadAvg", m.node.LoadAt(now))
+		if !classad.Match(jobAd, ad) {
+			continue
+		}
+		r := classad.Rank(jobAd, ad)
+		if best == nil || r > bestRank || (r == bestRank && m.node.Name < best.node.Name) {
+			best, bestRank = m, r
+		}
+	}
+	return best
+}
+
+func removeMachine(ms []*machine, m *machine) []*machine {
+	if m == nil {
+		return ms
+	}
+	for i, x := range ms {
+		if x == m {
+			return append(ms[:i], ms[i+1:]...)
+		}
+	}
+	return ms
+}
+
+// startLocked launches job j on machine m.
+func (p *Pool) startLocked(j *job, m *machine, now time.Time) {
+	need := j.ad.Float(AttrCpuSeconds, 0) - j.cpuBase
+	if need <= 0 {
+		// Checkpoint covered all remaining work; complete immediately.
+		j.startTime = now
+		j.completionTime = now
+		p.setStatusLocked(j, StatusCompleted)
+		p.produceOutputLocked(j)
+		return
+	}
+	j.task = simgrid.NewTask(fmt.Sprintf("%s-%d", p.Name, j.id), need, nil)
+	j.node = m.node
+	m.node.Place(j.task)
+	if j.startTime.IsZero() {
+		j.startTime = now
+	}
+	p.setStatusLocked(j, StatusRunning)
+}
+
+// detachLocked removes the job's task from its node, if any.
+func (p *Pool) detachLocked(j *job) {
+	if j.task != nil {
+		j.task.Kill()
+		if j.node != nil {
+			j.node.Remove(j.task)
+		}
+	}
+}
+
+// cpuSecondsLocked returns checkpoint base plus live task CPU.
+func (p *Pool) cpuSecondsLocked(j *job) float64 {
+	cpu := j.cpuBase
+	if j.task != nil {
+		cpu += j.task.CPUSeconds()
+	}
+	return cpu
+}
+
+// setStatusLocked applies a state change and notifies listeners.
+func (p *Pool) setStatusLocked(j *job, to Status) {
+	from := j.status
+	j.status = to
+	p.emitLocked(j, from, to)
+}
+
+func (p *Pool) emitLocked(j *job, from, to Status) {
+	if len(p.listeners) == 0 {
+		return
+	}
+	ev := Event{Pool: p.Name, JobID: j.id, From: from, To: to, At: p.grid.Engine.Now()}
+	for _, fn := range p.listeners {
+		fn(ev)
+	}
+}
+
+// snapshotLocked builds the JobInfo view.
+func (p *Pool) snapshotLocked(j *job) JobInfo {
+	now := p.grid.Engine.Now()
+	info := JobInfo{
+		ID:               j.id,
+		Pool:             p.Name,
+		Status:           j.status,
+		Owner:            j.ad.Str(AttrOwner, ""),
+		Cmd:              j.ad.Str(AttrCmd, ""),
+		Priority:         j.priority,
+		Env:              j.ad.Str(AttrEnv, ""),
+		SubmitTime:       j.submitTime,
+		StartTime:        j.startTime,
+		CompletionTime:   j.completionTime,
+		EstimatedRuntime: j.ad.Float(AttrEstimate, 0),
+		InputMB:          j.ad.Float(AttrInputMB, 0),
+		OutputMB:         j.ad.Float(AttrOutputMB, 0),
+		CPUSeconds:       p.cpuSecondsLocked(j),
+	}
+	if j.node != nil {
+		info.Node = j.node.Name
+	}
+	need := j.ad.Float(AttrCpuSeconds, 0)
+	if need > 0 {
+		info.Progress = info.CPUSeconds / need
+		if info.Progress > 1 {
+			info.Progress = 1
+		}
+	}
+	if j.task != nil {
+		info.WallClock = j.task.WallClock()
+	}
+	if j.cpuBase > 0 {
+		// Wall-clock carried from before the checkpointed migration is the
+		// base CPU at Mips 1.
+		info.WallClock += time.Duration(j.cpuBase * float64(time.Second))
+	}
+	end := now
+	if !j.completionTime.IsZero() {
+		end = j.completionTime
+	}
+	info.Elapsed = end.Sub(j.submitTime)
+	if info.EstimatedRuntime > 0 {
+		rem := info.EstimatedRuntime - info.WallClock.Seconds()
+		if rem < 0 {
+			rem = 0
+		}
+		info.RemainingEstimate = rem
+	}
+	if j.status == StatusIdle {
+		info.QueuePosition = p.queuePositionLocked(j)
+	}
+	return info
+}
+
+// queuePositionLocked computes the job's 1-based place among idle jobs in
+// negotiation order.
+func (p *Pool) queuePositionLocked(target *job) int {
+	idle := make([]*job, 0)
+	for _, id := range p.order {
+		j := p.jobs[id]
+		if j.status == StatusIdle {
+			idle = append(idle, j)
+		}
+	}
+	sort.SliceStable(idle, func(a, b int) bool {
+		if idle[a].priority != idle[b].priority {
+			return idle[a].priority > idle[b].priority
+		}
+		return idle[a].id < idle[b].id
+	})
+	for i, j := range idle {
+		if j == target {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// ParseEnv splits the AttrEnv convention "K=V;K2=V2" into a map.
+func ParseEnv(env string) map[string]string {
+	out := make(map[string]string)
+	for _, kv := range strings.Split(env, ";") {
+		if kv == "" {
+			continue
+		}
+		if i := strings.IndexByte(kv, '='); i > 0 {
+			out[kv[:i]] = kv[i+1:]
+		}
+	}
+	return out
+}

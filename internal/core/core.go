@@ -1,0 +1,310 @@
+// Package core assembles the complete Grid Analysis Environment: the
+// simulated grid, one Condor-like execution service per site, the
+// MonALISA repository and farm monitors, the Sphinx-like scheduler, and
+// the paper's three resource management services (steering, job
+// monitoring, estimators) hosted together on a Clarens web-service host.
+//
+// This is the public façade of the reproduction: commands, examples and
+// experiments build a GAE from a Config and interact with it either
+// in-process (the Go API) or over XML-RPC (the Clarens endpoint), exactly
+// as Figure 1 of the paper draws the deployment.
+package core
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/clarens"
+	"repro/internal/condor"
+	"repro/internal/estimator"
+	"repro/internal/jobmon"
+	"repro/internal/monalisa"
+	"repro/internal/quota"
+	"repro/internal/replica"
+	"repro/internal/scheduler"
+	"repro/internal/simgrid"
+	"repro/internal/steering"
+)
+
+// SiteSpec describes one computing site of the deployment.
+type SiteSpec struct {
+	Name  string
+	Nodes int
+	// Mips scales node speed (default 1.0).
+	Mips float64
+	// Load is the background CPU load (default idle).
+	Load simgrid.LoadFn
+	// CostPerCPUSecond configures the Quota & Accounting rate.
+	CostPerCPUSecond float64
+}
+
+// LinkSpec describes a network link between two sites.
+type LinkSpec struct {
+	A, B      string
+	MBps      float64
+	LatencyMS int
+}
+
+// UserSpec declares a Clarens user.
+type UserSpec struct {
+	Name     string
+	Password string
+	Roles    []string
+	// Credits is the initial quota grant.
+	Credits float64
+	// Admin lets the user steer anyone's jobs.
+	Admin bool
+}
+
+// Config describes a GAE deployment.
+type Config struct {
+	Tick time.Duration // simulation step (default 1s)
+	Seed int64
+
+	Sites []SiteSpec
+	Links []LinkSpec
+	Users []UserSpec
+
+	// MonitorInterval is the MonALISA farm sampling period (default 5s).
+	MonitorInterval time.Duration
+	// HostName names the Clarens host (default "gae").
+	HostName string
+}
+
+// GAE is a fully wired Grid Analysis Environment.
+type GAE struct {
+	Grid      *simgrid.Grid
+	MonALISA  *monalisa.Repository
+	Scheduler *scheduler.Scheduler
+	JobMon    *jobmon.Service
+	Steering  *steering.Service
+	Quota     *quota.Service
+	Clarens   *clarens.Server
+	Transfer  *estimator.TransferEstimator
+	Replicas  *replica.Catalog
+	State     *clarens.StateStore
+
+	pools map[string]*condor.Pool
+
+	planMu sync.Mutex
+	plans  map[string]*scheduler.ConcretePlan
+}
+
+// New builds a deployment from cfg. It panics on structural errors
+// (duplicate sites, links to unknown sites) since a Config is
+// programmer-authored.
+func New(cfg Config) *GAE {
+	if len(cfg.Sites) == 0 {
+		panic("core: Config needs at least one site")
+	}
+	tick := cfg.Tick
+	if tick <= 0 {
+		tick = time.Second
+	}
+	grid := simgrid.NewGrid(tick, cfg.Seed)
+	repo := monalisa.NewRepository()
+	q := quota.NewService()
+	g := &GAE{
+		Grid:     grid,
+		MonALISA: repo,
+		Quota:    q,
+		pools:    make(map[string]*condor.Pool),
+		plans:    make(map[string]*scheduler.ConcretePlan),
+	}
+
+	// Sites, nodes, pools.
+	for _, spec := range cfg.Sites {
+		site := grid.AddSite(spec.Name)
+		pool := condor.NewPool(spec.Name, grid, site)
+		mips := spec.Mips
+		if mips <= 0 {
+			mips = 1
+		}
+		nodes := spec.Nodes
+		if nodes <= 0 {
+			nodes = 1
+		}
+		for i := 0; i < nodes; i++ {
+			n := site.AddNode(grid.Engine, fmt.Sprintf("%s-n%d", spec.Name, i), mips, spec.Load)
+			pool.AddMachine(n, nil)
+		}
+		g.pools[spec.Name] = pool
+		q.SetRate(spec.Name, quota.Rate{CPUSecond: spec.CostPerCPUSecond})
+	}
+
+	// Network.
+	for _, l := range cfg.Links {
+		grid.Network.Connect(l.A, l.B, simgrid.Link{
+			BandwidthMBps: l.MBps,
+			Latency:       time.Duration(l.LatencyMS) * time.Millisecond,
+		})
+	}
+
+	// Monitoring.
+	interval := cfg.MonitorInterval
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	monalisa.NewFarmMonitor(repo, grid, interval)
+	g.Transfer = &estimator.TransferEstimator{Network: grid.Network}
+	g.Replicas = replica.NewCatalog()
+
+	// Scheduler with per-site decentralized estimator histories.
+	g.Scheduler = scheduler.New(scheduler.Config{
+		Grid:     grid,
+		Monitor:  repo,
+		Quota:    q,
+		Transfer: g.Transfer,
+		Replicas: g.Replicas,
+	})
+	for name, pool := range g.pools {
+		g.Scheduler.RegisterSite(name, &scheduler.SiteServices{
+			Pool:    pool,
+			Runtime: estimator.NewRuntimeEstimator(estimator.NewHistory(0)),
+		})
+	}
+
+	// Job monitoring.
+	g.JobMon = jobmon.NewService(grid, repo)
+	for _, pool := range g.pools {
+		g.JobMon.Watch(pool)
+	}
+
+	// Steering.
+	g.Steering = steering.New(steering.Config{
+		Grid:      grid,
+		Scheduler: g.Scheduler,
+		Monitor:   g.JobMon,
+		MonaLisa:  repo,
+		Quota:     q,
+	})
+
+	// Clarens host with every service registered.
+	hostName := cfg.HostName
+	if hostName == "" {
+		hostName = "gae"
+	}
+	g.Clarens = clarens.NewServer(hostName, grid.Engine.Clock())
+	g.State = clarens.NewStateStore()
+	for _, u := range cfg.Users {
+		if err := g.Clarens.Users.Add(u.Name, u.Password, u.Roles...); err != nil {
+			panic(err)
+		}
+		if u.Credits > 0 {
+			q.Grant(u.Name, u.Credits)
+		}
+		if u.Admin {
+			g.Steering.Sessions.GrantAdmin(u.Name)
+		}
+	}
+	g.registerServices()
+	return g
+}
+
+// userOf resolves a request context to the Clarens session user.
+func (g *GAE) userOf(ctx context.Context) string {
+	sess, ok := g.Clarens.Sessions.Lookup(clarens.SessionToken(ctx))
+	if !ok {
+		return ""
+	}
+	return sess.User.Name
+}
+
+// registerServices hosts the GAE services on the Clarens server and
+// installs the paper's access policy: monitoring and estimates are
+// readable by any authenticated user; steering requires authentication
+// (per-job ownership is enforced by the Session Manager).
+func (g *GAE) registerServices() {
+	srv := g.Clarens
+	srv.RegisterService("jobmon", "Job Monitoring Service (JMExecutable)", g.JobMon.Methods())
+	srv.RegisterService("steering", "Steering Service", g.Steering.Methods(g.userOf))
+	srv.RegisterService("estimator", "Estimator Service (runtime, queue time, transfer time)", g.estimatorMethods())
+	srv.RegisterService("quota", "Quota and Accounting Service", g.quotaMethods())
+	srv.RegisterService("scheduler", "Sphinx-like scheduling middleware", g.schedulerMethods())
+	srv.RegisterService("replica", "Replica catalog (data location service)", g.replicaMethods())
+	srv.RegisterService("monitor", "MonALISA repository (Grid weather)", g.monitorMethods())
+	srv.RegisterService("state", "Analysis-session state store", g.stateMethods())
+	srv.ACL.Allow("authenticated", "jobmon.*")
+	srv.ACL.Allow("authenticated", "steering.*")
+	srv.ACL.Allow("authenticated", "estimator.*")
+	srv.ACL.Allow("authenticated", "quota.*")
+	srv.ACL.Allow("authenticated", "scheduler.*")
+	srv.ACL.Allow("authenticated", "replica.*")
+	srv.ACL.Allow("authenticated", "monitor.*")
+	srv.ACL.Allow("authenticated", "state.*")
+}
+
+// PutDataset stores a dataset at a site's storage element and registers
+// it in the replica catalog, making it stageable by name from any task.
+func (g *GAE) PutDataset(site, name string, sizeMB float64) error {
+	s := g.Grid.Site(site)
+	if s == nil {
+		return fmt.Errorf("core: unknown site %q", site)
+	}
+	if err := s.Storage().Put(name, sizeMB); err != nil {
+		return err
+	}
+	return g.Replicas.Register(name, site, sizeMB)
+}
+
+// Pool returns a site's execution service.
+func (g *GAE) Pool(site string) (*condor.Pool, bool) {
+	p, ok := g.pools[site]
+	return p, ok
+}
+
+// Sites returns the deployment's site names, sorted.
+func (g *GAE) Sites() []string { return g.Grid.SiteNames() }
+
+// Start serves the Clarens host on addr (":0" for an ephemeral port) and
+// returns its base URL.
+func (g *GAE) Start(addr string) (string, error) { return g.Clarens.Start(addr) }
+
+// Stop shuts the Clarens host down.
+func (g *GAE) Stop() error { return g.Clarens.Stop() }
+
+// Handler exposes the Clarens host for in-process HTTP testing.
+func (g *GAE) Handler() http.Handler { return g.Clarens }
+
+// SubmitPlan validates and schedules an abstract job plan, registering
+// the concrete plan under the plan's name for later lookup (including by
+// the scheduler's XML-RPC facade).
+func (g *GAE) SubmitPlan(plan *scheduler.JobPlan) (*scheduler.ConcretePlan, error) {
+	g.planMu.Lock()
+	if _, dup := g.plans[plan.Name]; dup {
+		g.planMu.Unlock()
+		return nil, fmt.Errorf("core: plan %q already submitted", plan.Name)
+	}
+	g.planMu.Unlock()
+	cp, err := g.Scheduler.Submit(plan)
+	if err != nil {
+		return nil, err
+	}
+	g.planMu.Lock()
+	g.plans[plan.Name] = cp
+	g.planMu.Unlock()
+	return cp, nil
+}
+
+// Plan returns a previously submitted plan by name.
+func (g *GAE) Plan(name string) (*scheduler.ConcretePlan, bool) {
+	g.planMu.Lock()
+	defer g.planMu.Unlock()
+	cp, ok := g.plans[name]
+	return cp, ok
+}
+
+// RunUntilDone advances simulated time until the plan reaches a terminal
+// state or max simulated time passes.
+func (g *GAE) RunUntilDone(cp *scheduler.ConcretePlan, max time.Duration) error {
+	return g.Grid.Engine.RunUntil(func() bool { d, _ := cp.Done(); return d }, max)
+}
+
+// Run advances simulated time by d.
+func (g *GAE) Run(d time.Duration) { g.Grid.Engine.RunFor(d) }
+
+// Now returns the current simulated time.
+func (g *GAE) Now() time.Time { return g.Grid.Engine.Now() }

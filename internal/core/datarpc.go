@@ -1,0 +1,249 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/xmlrpc"
+)
+
+// replicaMethods exposes the replica catalog (the data location service):
+//
+//	replica.datasets()                  → array of dataset names
+//	replica.locations(dataset)          → array of {site, size_mb}
+//	replica.register(dataset, site, mb) → true
+//	replica.best(dataset, dstSite)      → struct{site, size_mb, transfer_s}
+func (g *GAE) replicaMethods() map[string]xmlrpc.Handler {
+	appErr := func(err error) error {
+		return xmlrpc.NewFault(xmlrpc.FaultApplication, "%v", err)
+	}
+	return map[string]xmlrpc.Handler{
+		"datasets": func(context.Context, []any) (any, error) {
+			names := g.Replicas.Datasets()
+			out := make([]any, len(names))
+			for i, n := range names {
+				out[i] = n
+			}
+			return out, nil
+		},
+		"locations": func(_ context.Context, args []any) (any, error) {
+			p := xmlrpc.Params(args)
+			name, err := p.String(0)
+			if err != nil {
+				return nil, err
+			}
+			locs := g.Replicas.Locations(name)
+			out := make([]any, len(locs))
+			for i, l := range locs {
+				out[i] = map[string]any{"site": l.Site, "size_mb": l.SizeMB}
+			}
+			return out, nil
+		},
+		"register": func(_ context.Context, args []any) (any, error) {
+			p := xmlrpc.Params(args)
+			if err := p.Want(3); err != nil {
+				return nil, err
+			}
+			name, err := p.String(0)
+			if err != nil {
+				return nil, err
+			}
+			site, err := p.String(1)
+			if err != nil {
+				return nil, err
+			}
+			size, err := p.Float(2)
+			if err != nil {
+				return nil, err
+			}
+			if err := g.Replicas.Register(name, site, size); err != nil {
+				return nil, appErr(err)
+			}
+			return true, nil
+		},
+		"best": func(_ context.Context, args []any) (any, error) {
+			p := xmlrpc.Params(args)
+			if err := p.Want(2); err != nil {
+				return nil, err
+			}
+			name, err := p.String(0)
+			if err != nil {
+				return nil, err
+			}
+			dst, err := p.String(1)
+			if err != nil {
+				return nil, err
+			}
+			loc, sec, err := g.Replicas.Best(g.Transfer, name, dst)
+			if err != nil {
+				return nil, appErr(err)
+			}
+			return map[string]any{
+				"site": loc.Site, "size_mb": loc.SizeMB, "transfer_s": sec,
+			}, nil
+		},
+	}
+}
+
+// monitorMethods exposes the MonALISA repository — the "Grid weather"
+// reads the paper promises users:
+//
+//	monitor.latest(source, name)          → double
+//	monitor.series(source, name, sinceS)  → array of {t, value}
+//	monitor.metrics()                     → array of "source/name"
+//	monitor.events(source, sinceS)        → array of {t, kind, detail}
+//	monitor.sites()                       → array of {site, load, running, free}
+func (g *GAE) monitorMethods() map[string]xmlrpc.Handler {
+	return map[string]xmlrpc.Handler{
+		"latest": func(_ context.Context, args []any) (any, error) {
+			p := xmlrpc.Params(args)
+			if err := p.Want(2); err != nil {
+				return nil, err
+			}
+			source, err := p.String(0)
+			if err != nil {
+				return nil, err
+			}
+			name, err := p.String(1)
+			if err != nil {
+				return nil, err
+			}
+			pt, ok := g.MonALISA.Latest(source, name)
+			if !ok {
+				return nil, xmlrpc.NewFault(xmlrpc.FaultApplication, "no metric %s/%s", source, name)
+			}
+			return pt.Value, nil
+		},
+		"series": func(_ context.Context, args []any) (any, error) {
+			p := xmlrpc.Params(args)
+			if err := p.Want(3); err != nil {
+				return nil, err
+			}
+			source, err := p.String(0)
+			if err != nil {
+				return nil, err
+			}
+			name, err := p.String(1)
+			if err != nil {
+				return nil, err
+			}
+			since, err := p.Float(2)
+			if err != nil {
+				return nil, err
+			}
+			now := g.Now()
+			from := now.Add(-time.Duration(since * float64(time.Second)))
+			pts := g.MonALISA.Series(source, name, from, now)
+			out := make([]any, len(pts))
+			for i, pt := range pts {
+				out[i] = map[string]any{"t": pt.Time, "value": pt.Value}
+			}
+			return out, nil
+		},
+		"metrics": func(context.Context, []any) (any, error) {
+			ms := g.MonALISA.Metrics()
+			out := make([]any, len(ms))
+			for i, m := range ms {
+				out[i] = m.String()
+			}
+			return out, nil
+		},
+		"events": func(_ context.Context, args []any) (any, error) {
+			p := xmlrpc.Params(args)
+			if err := p.Want(2); err != nil {
+				return nil, err
+			}
+			source, err := p.String(0)
+			if err != nil {
+				return nil, err
+			}
+			since, err := p.Float(1)
+			if err != nil {
+				return nil, err
+			}
+			from := g.Now().Add(-time.Duration(since * float64(time.Second)))
+			evs := g.MonALISA.Events(from, source)
+			out := make([]any, len(evs))
+			for i, e := range evs {
+				out[i] = map[string]any{"t": e.Time, "kind": e.Kind, "detail": e.Detail}
+			}
+			return out, nil
+		},
+		"sites": func(context.Context, []any) (any, error) {
+			var out []any
+			for _, site := range g.Grid.Sites() {
+				out = append(out, map[string]any{
+					"site":    site.Name,
+					"load":    g.MonALISA.LatestValue(site.Name, "LoadAvg", 0),
+					"running": g.MonALISA.LatestValue(site.Name, "RunningJobs", 0),
+					"free":    g.MonALISA.LatestValue(site.Name, "FreeNodes", 0),
+				})
+			}
+			return out, nil
+		},
+	}
+}
+
+// stateMethods exposes the per-user analysis-session state store. Keys
+// are private to the session user:
+//
+//	state.set(key, value) → true
+//	state.get(key)        → string
+//	state.keys()          → array of strings
+//	state.delete(key)     → boolean (existed)
+func (g *GAE) stateMethods() map[string]xmlrpc.Handler {
+	withUser := func(fn func(user string, p xmlrpc.Params) (any, error)) xmlrpc.Handler {
+		return func(ctx context.Context, args []any) (any, error) {
+			user := g.userOf(ctx)
+			if user == "" {
+				return nil, xmlrpc.NewFault(xmlrpc.FaultAuth, "no session")
+			}
+			return fn(user, xmlrpc.Params(args))
+		}
+	}
+	return map[string]xmlrpc.Handler{
+		"set": withUser(func(user string, p xmlrpc.Params) (any, error) {
+			if err := p.Want(2); err != nil {
+				return nil, err
+			}
+			key, err := p.String(0)
+			if err != nil {
+				return nil, err
+			}
+			value, err := p.String(1)
+			if err != nil {
+				return nil, err
+			}
+			if err := g.State.Set(user, key, value); err != nil {
+				return nil, xmlrpc.NewFault(xmlrpc.FaultApplication, "%v", err)
+			}
+			return true, nil
+		}),
+		"get": withUser(func(user string, p xmlrpc.Params) (any, error) {
+			key, err := p.String(0)
+			if err != nil {
+				return nil, err
+			}
+			v, ok := g.State.Get(user, key)
+			if !ok {
+				return nil, xmlrpc.NewFault(xmlrpc.FaultApplication, "no state key %q", key)
+			}
+			return v, nil
+		}),
+		"keys": withUser(func(user string, p xmlrpc.Params) (any, error) {
+			keys := g.State.Keys(user)
+			out := make([]any, len(keys))
+			for i, k := range keys {
+				out[i] = k
+			}
+			return out, nil
+		}),
+		"delete": withUser(func(user string, p xmlrpc.Params) (any, error) {
+			key, err := p.String(0)
+			if err != nil {
+				return nil, err
+			}
+			return g.State.Delete(user, key), nil
+		}),
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/estimator"
+	"repro/internal/xmlrpc"
+)
+
+// estimatorMethods exposes the Estimator Service over XML-RPC:
+//
+//	estimator.runtime(site, taskStruct)         → struct{seconds, similar, statistic}
+//	estimator.queuetime(site, condorID)         → struct{seconds, tasks_ahead}
+//	estimator.transfer(srcSite, dstSite, sizeMB) → struct{seconds, bandwidth_mbps}
+func (g *GAE) estimatorMethods() map[string]xmlrpc.Handler {
+	appErr := func(err error) error {
+		return xmlrpc.NewFault(xmlrpc.FaultApplication, "%v", err)
+	}
+	return map[string]xmlrpc.Handler{
+		"runtime": func(_ context.Context, args []any) (any, error) {
+			p := xmlrpc.Params(args)
+			if err := p.Want(2); err != nil {
+				return nil, err
+			}
+			site, err := p.String(0)
+			if err != nil {
+				return nil, err
+			}
+			spec, err := p.Struct(1)
+			if err != nil {
+				return nil, err
+			}
+			svc, ok := g.Scheduler.SiteServicesFor(site)
+			if !ok {
+				return nil, xmlrpc.NewFault(xmlrpc.FaultApplication, "unknown site %q", site)
+			}
+			rec := taskRecordFromStruct(spec)
+			est, err := svc.Runtime.Estimate(rec)
+			if err != nil {
+				return nil, appErr(err)
+			}
+			return map[string]any{
+				"seconds":   est.Seconds,
+				"similar":   est.Similar,
+				"statistic": est.Statistic.String(),
+			}, nil
+		},
+		"queuetime": func(_ context.Context, args []any) (any, error) {
+			p := xmlrpc.Params(args)
+			if err := p.Want(2); err != nil {
+				return nil, err
+			}
+			site, err := p.String(0)
+			if err != nil {
+				return nil, err
+			}
+			id, err := p.Int(1)
+			if err != nil {
+				return nil, err
+			}
+			pool, ok := g.Pool(site)
+			if !ok {
+				return nil, xmlrpc.NewFault(xmlrpc.FaultApplication, "unknown site %q", site)
+			}
+			qt := &estimator.QueueTimeEstimator{Pool: pool, DB: g.Scheduler.EstimateDB()}
+			est, err := qt.Estimate(id)
+			if err != nil {
+				return nil, appErr(err)
+			}
+			return map[string]any{
+				"seconds":     est.Seconds,
+				"tasks_ahead": est.TasksAhead,
+			}, nil
+		},
+		"transfer": func(_ context.Context, args []any) (any, error) {
+			p := xmlrpc.Params(args)
+			if err := p.Want(3); err != nil {
+				return nil, err
+			}
+			src, err := p.String(0)
+			if err != nil {
+				return nil, err
+			}
+			dst, err := p.String(1)
+			if err != nil {
+				return nil, err
+			}
+			size, err := p.Float(2)
+			if err != nil {
+				return nil, err
+			}
+			est, err := g.Transfer.Estimate(src, dst, size)
+			if err != nil {
+				return nil, appErr(err)
+			}
+			return map[string]any{
+				"seconds":        est.Seconds,
+				"bandwidth_mbps": est.BandwidthMBps,
+			}, nil
+		},
+	}
+}
+
+// taskRecordFromStruct builds an estimator covariate record from an
+// XML-RPC struct with optional keys queue, partition, nodes, job_type,
+// req_cpu_hours.
+func taskRecordFromStruct(m map[string]any) estimator.TaskRecord {
+	rec := estimator.TaskRecord{}
+	if s, ok := m["queue"].(string); ok {
+		rec.Queue = s
+	}
+	if s, ok := m["partition"].(string); ok {
+		rec.Partition = s
+	}
+	if n, ok := m["nodes"].(int); ok {
+		rec.Nodes = n
+	}
+	if s, ok := m["job_type"].(string); ok {
+		rec.JobType = s
+	}
+	switch v := m["req_cpu_hours"].(type) {
+	case float64:
+		rec.ReqHours = v
+	case int:
+		rec.ReqHours = float64(v)
+	}
+	return rec
+}
+
+// quotaMethods exposes the Quota and Accounting Service:
+//
+//	quota.balance()                      → double (caller's credits)
+//	quota.cost(site, cpuSeconds, mb)     → double
+//	quota.cheapest(sites, cpuSeconds, mb) → struct{site, cost}
+func (g *GAE) quotaMethods() map[string]xmlrpc.Handler {
+	appErr := func(err error) error {
+		return xmlrpc.NewFault(xmlrpc.FaultApplication, "%v", err)
+	}
+	return map[string]xmlrpc.Handler{
+		"balance": func(ctx context.Context, _ []any) (any, error) {
+			user := g.userOf(ctx)
+			if user == "" {
+				return nil, xmlrpc.NewFault(xmlrpc.FaultAuth, "no session")
+			}
+			b, err := g.Quota.Balance(user)
+			if err != nil {
+				return nil, appErr(err)
+			}
+			return b, nil
+		},
+		"cost": func(_ context.Context, args []any) (any, error) {
+			p := xmlrpc.Params(args)
+			if err := p.Want(3); err != nil {
+				return nil, err
+			}
+			site, err := p.String(0)
+			if err != nil {
+				return nil, err
+			}
+			cpu, err := p.Float(1)
+			if err != nil {
+				return nil, err
+			}
+			mb, err := p.Float(2)
+			if err != nil {
+				return nil, err
+			}
+			c, err := g.Quota.Cost(site, cpu, mb)
+			if err != nil {
+				return nil, appErr(err)
+			}
+			return c, nil
+		},
+		"cheapest": func(_ context.Context, args []any) (any, error) {
+			p := xmlrpc.Params(args)
+			if err := p.Want(3); err != nil {
+				return nil, err
+			}
+			sites, err := p.StringsArray(0)
+			if err != nil {
+				return nil, err
+			}
+			cpu, err := p.Float(1)
+			if err != nil {
+				return nil, err
+			}
+			mb, err := p.Float(2)
+			if err != nil {
+				return nil, err
+			}
+			site, cost, err := g.Quota.CheapestSite(sites, cpu, mb)
+			if err != nil {
+				return nil, appErr(err)
+			}
+			return map[string]any{"site": site, "cost": cost}, nil
+		},
+	}
+}

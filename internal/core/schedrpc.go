@@ -1,0 +1,162 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/scheduler"
+	"repro/internal/xmlrpc"
+)
+
+// schedulerMethods exposes plan submission and tracking over XML-RPC, so
+// command-line clients (gae-submit) can drive the scheduler remotely:
+//
+//	scheduler.submit(planStruct)  → plan name
+//	scheduler.plan(name)          → struct{name, owner, done, succeeded, tasks[]}
+//	scheduler.sites()             → array of site names
+//
+// A plan struct is {"name": ..., "tasks": [taskStruct...]}; a task struct
+// has id, cpu_seconds, and optionally queue, partition, nodes, job_type,
+// req_cpu_hours, priority, depends_on (array), output_file, output_mb,
+// checkpointable, requirements. The plan owner is always the session
+// user; clients cannot submit on someone else's account.
+func (g *GAE) schedulerMethods() map[string]xmlrpc.Handler {
+	appErr := func(err error) error {
+		return xmlrpc.NewFault(xmlrpc.FaultApplication, "%v", err)
+	}
+	return map[string]xmlrpc.Handler{
+		"submit": func(ctx context.Context, args []any) (any, error) {
+			user := g.userOf(ctx)
+			if user == "" {
+				return nil, xmlrpc.NewFault(xmlrpc.FaultAuth, "no session")
+			}
+			p := xmlrpc.Params(args)
+			spec, err := p.Struct(0)
+			if err != nil {
+				return nil, err
+			}
+			plan, err := planFromStruct(spec, user)
+			if err != nil {
+				return nil, appErr(err)
+			}
+			if _, err := g.SubmitPlan(plan); err != nil {
+				return nil, appErr(err)
+			}
+			return plan.Name, nil
+		},
+		"plan": func(_ context.Context, args []any) (any, error) {
+			p := xmlrpc.Params(args)
+			name, err := p.String(0)
+			if err != nil {
+				return nil, err
+			}
+			cp, ok := g.Plan(name)
+			if !ok {
+				return nil, xmlrpc.NewFault(xmlrpc.FaultApplication, "no plan %q", name)
+			}
+			done, succeeded := cp.Done()
+			tasks := make([]any, 0, len(cp.Plan.Tasks))
+			for _, a := range cp.Assignments() {
+				tasks = append(tasks, map[string]any{
+					"task":     a.TaskID,
+					"site":     a.Site,
+					"condorid": a.CondorID,
+					"state":    a.State.String(),
+					"attempts": a.Attempts,
+				})
+			}
+			return map[string]any{
+				"name":      cp.Plan.Name,
+				"owner":     cp.Plan.Owner,
+				"done":      done,
+				"succeeded": succeeded,
+				"tasks":     tasks,
+			}, nil
+		},
+		"sites": func(context.Context, []any) (any, error) {
+			names := g.Scheduler.Sites()
+			out := make([]any, len(names))
+			for i, n := range names {
+				out[i] = n
+			}
+			return out, nil
+		},
+	}
+}
+
+// planFromStruct decodes an XML-RPC plan struct.
+func planFromStruct(m map[string]any, owner string) (*scheduler.JobPlan, error) {
+	plan := &scheduler.JobPlan{Owner: owner}
+	plan.Name, _ = m["name"].(string)
+	rawTasks, _ := m["tasks"].([]any)
+	for _, rt := range rawTasks {
+		tm, ok := rt.(map[string]any)
+		if !ok {
+			continue
+		}
+		t := scheduler.TaskPlan{}
+		t.ID, _ = tm["id"].(string)
+		t.CPUSeconds = floatField(tm, "cpu_seconds")
+		t.Queue, _ = tm["queue"].(string)
+		t.Partition, _ = tm["partition"].(string)
+		t.Nodes = int(floatField(tm, "nodes"))
+		t.JobType, _ = tm["job_type"].(string)
+		t.ReqHours = floatField(tm, "req_cpu_hours")
+		t.Priority = int(floatField(tm, "priority"))
+		if deps, ok := tm["depends_on"].([]any); ok {
+			for _, d := range deps {
+				if s, ok := d.(string); ok {
+					t.DependsOn = append(t.DependsOn, s)
+				}
+			}
+		}
+		t.OutputFile, _ = tm["output_file"].(string)
+		t.OutputMB = floatField(tm, "output_mb")
+		if b, ok := tm["checkpointable"].(bool); ok {
+			t.Checkpointable = b
+		}
+		t.Requirements, _ = tm["requirements"].(string)
+		plan.Tasks = append(plan.Tasks, t)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+func floatField(m map[string]any, key string) float64 {
+	switch v := m[key].(type) {
+	case float64:
+		return v
+	case int:
+		return float64(v)
+	}
+	return 0
+}
+
+// PlanToStruct encodes a JobPlan in the XML-RPC shape scheduler.submit
+// accepts — the inverse of planFromStruct, used by remote submit clients.
+func PlanToStruct(plan *scheduler.JobPlan) map[string]any {
+	tasks := make([]any, len(plan.Tasks))
+	for i, t := range plan.Tasks {
+		deps := make([]any, len(t.DependsOn))
+		for j, d := range t.DependsOn {
+			deps[j] = d
+		}
+		tasks[i] = map[string]any{
+			"id":             t.ID,
+			"cpu_seconds":    t.CPUSeconds,
+			"queue":          t.Queue,
+			"partition":      t.Partition,
+			"nodes":          t.Nodes,
+			"job_type":       t.JobType,
+			"req_cpu_hours":  t.ReqHours,
+			"priority":       t.Priority,
+			"depends_on":     deps,
+			"output_file":    t.OutputFile,
+			"output_mb":      t.OutputMB,
+			"checkpointable": t.Checkpointable,
+			"requirements":   t.Requirements,
+		}
+	}
+	return map[string]any{"name": plan.Name, "tasks": tasks}
+}

@@ -1,0 +1,650 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/classad"
+	"repro/internal/condor"
+	"repro/internal/simgrid"
+)
+
+func rec(queue, partition string, nodes int, reqHours, runtime float64) TaskRecord {
+	return TaskRecord{
+		Queue:          queue,
+		Partition:      partition,
+		Nodes:          nodes,
+		JobType:        "batch",
+		Succeeded:      true,
+		ReqHours:       reqHours,
+		RuntimeSeconds: runtime,
+	}
+}
+
+func TestHistoryAddLenAll(t *testing.T) {
+	h := NewHistory(0)
+	for i := 0; i < 5; i++ {
+		if err := h.Add(rec("q", "p", 4, 1, float64(100+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Len() != 5 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	all := h.All()
+	if len(all) != 5 || all[4].RuntimeSeconds != 104 {
+		t.Fatalf("All = %+v", all)
+	}
+	// All returns a copy.
+	all[0].RuntimeSeconds = -999
+	if h.All()[0].RuntimeSeconds == -999 {
+		t.Fatal("All exposed internal slice")
+	}
+}
+
+func TestHistoryValidation(t *testing.T) {
+	h := NewHistory(0)
+	for _, bad := range []TaskRecord{
+		{RuntimeSeconds: -1},
+		{Nodes: -1},
+		{ReqHours: -0.5},
+	} {
+		if err := h.Add(bad); err == nil {
+			t.Errorf("invalid record %+v accepted", bad)
+		}
+	}
+}
+
+func TestHistoryCapEvictsOldest(t *testing.T) {
+	h := NewHistory(3)
+	for i := 0; i < 10; i++ {
+		h.Add(rec("q", "p", 1, 1, float64(i)))
+	}
+	all := h.All()
+	if len(all) != 3 || all[0].RuntimeSeconds != 7 {
+		t.Fatalf("capped history = %+v", all)
+	}
+}
+
+func TestHistorySaveLoad(t *testing.T) {
+	h := NewHistory(0)
+	r := rec("q32l", "paragon", 16, 2.5, 1234)
+	r.Submitted = time.Date(1995, 3, 1, 12, 0, 0, 0, time.UTC)
+	h.Add(r)
+	path := filepath.Join(t.TempDir(), "hist.json")
+	if err := h.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	h2 := NewHistory(0)
+	if err := h2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	got := h2.All()
+	if len(got) != 1 || got[0] != r {
+		t.Fatalf("round trip = %+v, want %+v", got, r)
+	}
+	if err := h2.Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("loading missing file succeeded")
+	}
+}
+
+func TestStatsMeanMedianStdDev(t *testing.T) {
+	if _, err := Mean(nil); err == nil {
+		t.Error("Mean(nil) succeeded")
+	}
+	if m, _ := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean = %v", m)
+	}
+	if m, _ := Median([]float64{5, 1, 3}); m != 3 {
+		t.Errorf("Median odd = %v", m)
+	}
+	if m, _ := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("Median even = %v", m)
+	}
+	if _, err := Median(nil); err == nil {
+		t.Error("Median(nil) succeeded")
+	}
+	if _, err := StdDev([]float64{1}); err == nil {
+		t.Error("StdDev(1 sample) succeeded")
+	}
+	sd, _ := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(sd-2.138) > 0.01 {
+		t.Errorf("StdDev = %v", sd)
+	}
+}
+
+func TestLinearRegressionExactFit(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	reg, err := LinearRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(reg.Slope-2) > 1e-12 || math.Abs(reg.Intercept-1) > 1e-12 {
+		t.Fatalf("fit = %+v", reg)
+	}
+	if math.Abs(reg.R2-1) > 1e-12 {
+		t.Fatalf("R2 = %v", reg.R2)
+	}
+	if got := reg.Predict(10); math.Abs(got-21) > 1e-12 {
+		t.Fatalf("Predict(10) = %v", got)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	if _, err := LinearRegression([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := LinearRegression([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := LinearRegression([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero-variance covariate accepted")
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	got, err := MeanAbsolutePercentageError([]float64{100, 200}, []float64{90, 220})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-9 { // |10%| and |−10%| average to 10%
+		t.Fatalf("MAPE = %v", got)
+	}
+	if _, err := MeanAbsolutePercentageError([]float64{0}, []float64{1}); err == nil {
+		t.Error("zero actual accepted")
+	}
+	if _, err := MeanAbsolutePercentageError(nil, nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := MeanAbsolutePercentageError([]float64{1}, nil); err == nil {
+		t.Error("mismatch accepted")
+	}
+}
+
+func TestRuntimeEstimatorMeanOfSimilar(t *testing.T) {
+	h := NewHistory(0)
+	// Three similar tasks in queue q1/partition p/4 nodes.
+	for _, rt := range []float64{100, 110, 120} {
+		h.Add(rec("q1", "p", 4, 1, rt))
+	}
+	// Noise in another queue.
+	h.Add(rec("q2", "p", 4, 1, 99999))
+	e := NewRuntimeEstimator(h)
+	e.Statistic = StatMean
+	got, err := e.Estimate(rec("q1", "p", 4, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Seconds-110) > 1e-9 {
+		t.Fatalf("estimate = %+v", got)
+	}
+	if got.Similar != 3 || got.Statistic != StatMean {
+		t.Fatalf("provenance = %+v", got)
+	}
+}
+
+func TestRuntimeEstimatorTemplateFallback(t *testing.T) {
+	h := NewHistory(0)
+	// Only one task matches the full template, but five match queue-only;
+	// with MinSimilar=3 the estimator must fall through to queue-only.
+	h.Add(rec("q1", "p1", 4, 1, 100))
+	for _, rt := range []float64{200, 210, 220, 230} {
+		h.Add(rec("q1", "px", 8, 1, rt))
+	}
+	e := NewRuntimeEstimator(h)
+	e.Statistic = StatMean
+	got, err := e.Estimate(rec("q1", "p1", 4, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Similar < 3 {
+		t.Fatalf("did not fall through: %+v", got)
+	}
+}
+
+func TestRuntimeEstimatorUsesSparseMatchWhenNothingBetter(t *testing.T) {
+	h := NewHistory(0)
+	h.Add(rec("q9", "p", 4, 1, 555))
+	e := NewRuntimeEstimator(h)
+	e.Statistic = StatMean
+	e.Templates = []Template{{AttrQueue}}
+	got, err := e.Estimate(rec("q9", "p", 4, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seconds != 555 || got.Similar != 1 {
+		t.Fatalf("sparse estimate = %+v", got)
+	}
+}
+
+func TestRuntimeEstimatorIgnoresFailedRuns(t *testing.T) {
+	h := NewHistory(0)
+	bad := rec("q", "p", 1, 1, 5)
+	bad.Succeeded = false
+	h.Add(bad)
+	e := NewRuntimeEstimator(h)
+	if _, err := e.Estimate(rec("q", "p", 1, 1, 0)); err == nil {
+		t.Fatal("estimate from failed-only history succeeded")
+	}
+}
+
+func TestRuntimeEstimatorRegression(t *testing.T) {
+	h := NewHistory(0)
+	// Runtime = 3600 × requested hours, exactly.
+	for _, hours := range []float64{1, 2, 3, 4} {
+		h.Add(rec("q", "p", 4, hours, 3600*hours))
+	}
+	e := NewRuntimeEstimator(h)
+	e.Statistic = StatRegression
+	got, err := e.Estimate(rec("q", "p", 4, 2.5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Seconds-9000) > 1e-6 {
+		t.Fatalf("regression estimate = %+v", got)
+	}
+	if got.Regression == nil || got.Regression.R2 < 0.999 {
+		t.Fatalf("regression detail = %+v", got.Regression)
+	}
+}
+
+func TestRuntimeEstimatorAutoPrefersGoodRegression(t *testing.T) {
+	h := NewHistory(0)
+	for _, hours := range []float64{1, 2, 3, 4} {
+		h.Add(rec("q", "p", 4, hours, 3600*hours))
+	}
+	e := NewRuntimeEstimator(h) // StatAuto
+	got, err := e.Estimate(rec("q", "p", 4, 3.5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Statistic != StatRegression {
+		t.Fatalf("auto chose %v", got.Statistic)
+	}
+	if math.Abs(got.Seconds-12600) > 1e-6 {
+		t.Fatalf("auto estimate = %v", got.Seconds)
+	}
+}
+
+func TestRuntimeEstimatorAutoFallsBackToMean(t *testing.T) {
+	h := NewHistory(0)
+	// Identical requested hours: regression has zero-variance covariate.
+	for _, rt := range []float64{100, 120, 140} {
+		h.Add(rec("q", "p", 4, 2, rt))
+	}
+	e := NewRuntimeEstimator(h)
+	got, err := e.Estimate(rec("q", "p", 4, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Statistic != StatMean || math.Abs(got.Seconds-120) > 1e-9 {
+		t.Fatalf("auto fallback = %+v", got)
+	}
+}
+
+func TestRuntimeEstimatorOtherStatistics(t *testing.T) {
+	h := NewHistory(0)
+	for _, rt := range []float64{100, 300, 200} {
+		h.Add(rec("q", "p", 4, 1, rt))
+	}
+	e := NewRuntimeEstimator(h)
+	e.Statistic = StatLast
+	got, _ := e.Estimate(rec("q", "p", 4, 1, 0))
+	if got.Seconds != 200 {
+		t.Fatalf("last = %v", got.Seconds)
+	}
+	e.Statistic = StatMedian
+	got, _ = e.Estimate(rec("q", "p", 4, 1, 0))
+	if got.Seconds != 200 {
+		t.Fatalf("median = %v", got.Seconds)
+	}
+	e.Statistic = Statistic(99)
+	if _, err := e.Estimate(rec("q", "p", 4, 1, 0)); err == nil {
+		t.Fatal("unknown statistic accepted")
+	}
+}
+
+func TestRuntimeEstimatorEmptyHistory(t *testing.T) {
+	e := NewRuntimeEstimator(NewHistory(0))
+	if _, err := e.Estimate(rec("q", "p", 1, 1, 0)); err == nil {
+		t.Fatal("empty history estimate succeeded")
+	}
+}
+
+func TestStatisticStrings(t *testing.T) {
+	for s, want := range map[Statistic]string{
+		StatAuto: "auto", StatMean: "mean", StatRegression: "regression",
+		StatLast: "last", StatMedian: "median",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestEstimateDB(t *testing.T) {
+	db := NewEstimateDB()
+	db.Record("poolA", 1, 100)
+	db.Record("poolA", 2, 200)
+	db.Record("poolB", 1, 300)
+	if v, ok := db.Lookup("poolA", 1); !ok || v != 100 {
+		t.Fatalf("Lookup = %v, %v", v, ok)
+	}
+	if v, ok := db.Lookup("poolB", 1); !ok || v != 300 {
+		t.Fatalf("cross-pool Lookup = %v, %v", v, ok)
+	}
+	if _, ok := db.Lookup("poolC", 1); ok {
+		t.Fatal("phantom estimate")
+	}
+	if db.Len() != 3 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+}
+
+// queueFixture builds a pool with one busy machine, a running high-prio
+// job, a queued high-prio job, and the queued probe job.
+func queueFixture(t *testing.T) (*simgrid.Grid, *condor.Pool, *EstimateDB, int) {
+	t.Helper()
+	g := simgrid.NewGrid(time.Second, 1)
+	site := g.AddSite("s")
+	p := condor.NewPool("pool", g, site)
+	p.AddMachine(site.AddNode(g.Engine, "n1", 1, simgrid.IdleLoad()), nil)
+	db := NewEstimateDB()
+
+	submit := func(cpu float64, prio int, est float64) int {
+		ad := classad.New().
+			Set(condor.AttrOwner, "u").
+			Set(condor.AttrCpuSeconds, cpu).
+			Set(condor.AttrPriority, prio)
+		id, err := p.Submit(ad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.Record("pool", id, est)
+		return id
+	}
+	submit(100, 10, 100) // will run first
+	submit(50, 5, 50)    // queued ahead of probe
+	probe := submit(10, 1, 10)
+	g.Engine.RunFor(20 * time.Second) // first job now has ~19s wallclock
+	return g, p, db, probe
+}
+
+func TestQueueTimeEstimator(t *testing.T) {
+	_, p, db, probe := queueFixture(t)
+	q := &QueueTimeEstimator{Pool: p, DB: db}
+	got, err := q.Estimate(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Running job: 100 est − ~19-20 elapsed ≈ 80-81 remaining.
+	// Queued job: 50 est − 0 = 50. Total ≈ 130.
+	if got.TasksAhead != 2 {
+		t.Fatalf("TasksAhead = %d", got.TasksAhead)
+	}
+	if got.Seconds < 125 || got.Seconds > 135 {
+		t.Fatalf("queue estimate = %v, want ≈130", got.Seconds)
+	}
+}
+
+func TestQueueTimeEstimatorClampsOverruns(t *testing.T) {
+	g, p, db, probe := queueFixture(t)
+	// Re-record the running job's estimate as far too small; remaining
+	// must clamp at zero, not go negative.
+	db.Record("pool", 1, 5)
+	g.Engine.RunFor(10 * time.Second)
+	q := &QueueTimeEstimator{Pool: p, DB: db}
+	got, err := q.Estimate(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seconds < 49 || got.Seconds > 51 {
+		t.Fatalf("clamped estimate = %v, want ≈50", got.Seconds)
+	}
+}
+
+func TestQueueTimeEstimatorMissingDB(t *testing.T) {
+	_, p, _, probe := queueFixture(t)
+	q := &QueueTimeEstimator{Pool: p, DB: NewEstimateDB(), DefaultEstimate: 60}
+	got, err := q.Estimate(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both ahead jobs default to 60: running one has ~20 elapsed → ~40;
+	// queued one → 60. Total ≈ 100.
+	if got.Seconds < 95 || got.Seconds > 105 {
+		t.Fatalf("default-estimate total = %v", got.Seconds)
+	}
+	// Without defaults, unknown jobs are skipped entirely.
+	q2 := &QueueTimeEstimator{Pool: p, DB: NewEstimateDB()}
+	got2, err := q2.Estimate(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Seconds != 0 || got2.TasksAhead != 0 {
+		t.Fatalf("skip-unknown = %+v", got2)
+	}
+}
+
+func TestQueueTimeEstimatorErrors(t *testing.T) {
+	q := &QueueTimeEstimator{}
+	if _, err := q.Estimate(1); err == nil {
+		t.Fatal("no-pool estimate succeeded")
+	}
+	_, p, db, _ := queueFixture(t)
+	q = &QueueTimeEstimator{Pool: p, DB: db}
+	if _, err := q.Estimate(12345); err == nil {
+		t.Fatal("unknown job estimate succeeded")
+	}
+}
+
+func TestTransferEstimator(t *testing.T) {
+	g := simgrid.NewGrid(time.Second, 1)
+	g.Network.Connect("a", "b", simgrid.Link{BandwidthMBps: 10})
+	te := &TransferEstimator{Network: g.Network}
+	got, err := te.Estimate("a", "b", 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Seconds-25) > 0.1 {
+		t.Fatalf("transfer estimate = %+v", got)
+	}
+	if math.Abs(got.BandwidthMBps-10) > 0.1 {
+		t.Fatalf("measured bandwidth = %v", got.BandwidthMBps)
+	}
+	// Background utilization raises the estimate.
+	g.Network.SetUtilization("a", "b", 0.5)
+	loaded, err := te.Estimate("a", "b", 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Seconds <= got.Seconds {
+		t.Fatalf("utilized estimate %v <= idle %v", loaded.Seconds, got.Seconds)
+	}
+	if _, err := te.Estimate("a", "nowhere", 1); err == nil {
+		t.Fatal("estimate over missing link succeeded")
+	}
+	if _, err := te.Estimate("a", "b", -1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	if _, err := (&TransferEstimator{}).Estimate("a", "b", 1); err == nil {
+		t.Fatal("no-network estimate succeeded")
+	}
+}
+
+// Property: the mean estimator's prediction lies within [min, max] of the
+// similar runtimes.
+func TestQuickMeanWithinBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistory(0)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range raw {
+			rt := float64(v%10000) + 1
+			if rt < lo {
+				lo = rt
+			}
+			if rt > hi {
+				hi = rt
+			}
+			h.Add(rec("q", "p", 1, 1, rt))
+		}
+		e := NewRuntimeEstimator(h)
+		e.Statistic = StatMean
+		got, err := e.Estimate(rec("q", "p", 1, 1, 0))
+		if err != nil {
+			return false
+		}
+		return got.Seconds >= lo-1e-9 && got.Seconds <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: regression on a perfectly linear history recovers the line.
+func TestQuickRegressionRecoversLine(t *testing.T) {
+	f := func(slope8, intercept8 int8) bool {
+		slope := float64(slope8%50) + 60 // keep runtimes positive
+		intercept := float64(intercept8)
+		h := NewHistory(0)
+		for _, x := range []float64{1, 2, 3, 5, 8} {
+			h.Add(rec("q", "p", 1, x, intercept+slope*x+1000))
+		}
+		e := NewRuntimeEstimator(h)
+		e.Statistic = StatRegression
+		got, err := e.Estimate(rec("q", "p", 1, 4, 0))
+		if err != nil {
+			return false
+		}
+		want := intercept + slope*4 + 1000
+		return math.Abs(got.Seconds-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchTemplatesRanksInformativeTemplateFirst(t *testing.T) {
+	// Runtime is fully determined by queue; partition is noise. The
+	// queue template must beat the universal template.
+	h := NewHistory(0)
+	queues := map[string]float64{"qa": 100, "qb": 1000, "qc": 10000}
+	parts := []string{"p1", "p2", "p3"}
+	i := 0
+	for q, rt := range queues {
+		for _, p := range parts {
+			for k := 0; k < 4; k++ {
+				h.Add(rec(q, p, 1, 1, rt))
+				i++
+			}
+		}
+	}
+	scores, err := SearchTemplates(h, []Template{
+		{AttrQueue},
+		{},
+	}, StatMean, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 2 {
+		t.Fatalf("scores = %+v", scores)
+	}
+	if len(scores[0].Template) != 1 || scores[0].Template[0] != AttrQueue {
+		t.Fatalf("best template = %+v", scores[0])
+	}
+	if scores[0].MAPE >= scores[1].MAPE {
+		t.Fatalf("queue template %v not better than universal %v", scores[0].MAPE, scores[1].MAPE)
+	}
+	if scores[0].Coverage <= 0.9 {
+		t.Fatalf("coverage = %v", scores[0].Coverage)
+	}
+}
+
+func TestSearchTemplatesErrors(t *testing.T) {
+	if _, err := SearchTemplates(NewHistory(0), nil, StatMean, 0); err == nil {
+		t.Error("empty history accepted")
+	}
+	h := NewHistory(0)
+	h.Add(rec("q", "p", 1, 1, 100))
+	if _, err := SearchTemplates(h, nil, StatMean, 0); err == nil {
+		t.Error("single-record history accepted")
+	}
+}
+
+func TestSearchTemplatesUnpredictableTemplateRanksLast(t *testing.T) {
+	h := NewHistory(0)
+	// Every record has a distinct account, so the account template never
+	// finds a similar held-out task.
+	for i := 0; i < 6; i++ {
+		r := rec("q", "p", 1, 1, 100)
+		r.Account = fmt.Sprintf("acct%d", i)
+		h.Add(r)
+	}
+	scores, err := SearchTemplates(h, []Template{{AttrAccount}, {AttrQueue}}, StatMean, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[len(scores)-1].Template[0] != AttrAccount {
+		t.Fatalf("unpredictable template not last: %+v", scores)
+	}
+	if scores[len(scores)-1].Evaluated != 0 {
+		t.Fatalf("account template evaluated %d", scores[len(scores)-1].Evaluated)
+	}
+}
+
+func TestAutoConfigureInstallsWinningOrder(t *testing.T) {
+	h := NewHistory(0)
+	for i := 0; i < 8; i++ {
+		h.Add(rec("qa", "p", 1, 1, 100))
+		h.Add(rec("qb", "p", 1, 1, 5000))
+	}
+	e := NewRuntimeEstimator(h)
+	e.Statistic = StatMean
+	scores, err := e.AutoConfigure([]Template{{AttrQueue}, {}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 2 {
+		t.Fatalf("scores = %+v", scores)
+	}
+	// The installed order must start with the winner and end with the
+	// universal fallback.
+	if len(e.Templates) != 2 || len(e.Templates[0]) != 1 {
+		t.Fatalf("installed templates = %+v", e.Templates)
+	}
+	got, err := e.Estimate(rec("qa", "p", 1, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Seconds-100) > 1e-9 {
+		t.Fatalf("estimate after auto-configure = %v", got.Seconds)
+	}
+}
+
+func TestAutoConfigureAppendsUniversalFallback(t *testing.T) {
+	h := NewHistory(0)
+	for i := 0; i < 4; i++ {
+		h.Add(rec("qa", "p", 1, 1, 100))
+	}
+	e := NewRuntimeEstimator(h)
+	e.Statistic = StatMean
+	if _, err := e.AutoConfigure([]Template{{AttrQueue}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	last := e.Templates[len(e.Templates)-1]
+	if len(last) != 0 {
+		t.Fatalf("no universal fallback appended: %+v", e.Templates)
+	}
+	// A task from an unseen queue still gets an estimate via the fallback.
+	if _, err := e.Estimate(rec("unseen", "p", 1, 1, 0)); err != nil {
+		t.Fatalf("fallback estimate failed: %v", err)
+	}
+}

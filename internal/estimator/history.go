@@ -1,0 +1,155 @@
+// Package estimator implements the paper's Estimator Service: the runtime
+// estimator (history-based statistical prediction), the queue-time
+// estimator (remaining work of higher-priority tasks), and the
+// file-transfer-time estimator (measured bandwidth × size).
+//
+// Runtime prediction follows the paper's §6.1: "History based runtime
+// prediction algorithms operate on the idea that tasks with similar
+// characteristics generally have similar runtimes. We maintain a history
+// of tasks that have executed along with their respective runtimes. To
+// estimate the runtime, we identify similar tasks in the history and then
+// compute a statistical estimate (the mean and linear regression) of
+// their runtimes." Similarity is defined by attribute templates in the
+// style of Smith, Taylor and Foster [25], the technique the paper cites
+// for the approach.
+//
+// History maintenance is decentralized, as in the paper: each execution
+// site owns a History, and the scheduler fans out estimate requests to
+// every site.
+package estimator
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// TaskRecord is one completed task in the history. The fields mirror the
+// SDSC Paragon accounting data the paper evaluates on: "account name;
+// login name; partition...; the number of nodes...; the job type (batch or
+// interactive); the job status...; the number of requested CPU hours; the
+// name of the queue...; the rate of charge...; and the task's duration".
+type TaskRecord struct {
+	Account   string  `json:"account"`
+	Login     string  `json:"login"`
+	Partition string  `json:"partition"`
+	Nodes     int     `json:"nodes"`
+	JobType   string  `json:"job_type"` // "batch" or "interactive"
+	Succeeded bool    `json:"succeeded"`
+	ReqHours  float64 `json:"req_cpu_hours"` // requested CPU hours
+	Queue     string  `json:"queue"`
+	CPURate   float64 `json:"cpu_rate"`  // charge rate for CPU hours
+	IdleRate  float64 `json:"idle_rate"` // charge rate for idle hours
+
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started"`
+	Completed time.Time `json:"completed"`
+
+	RuntimeSeconds float64 `json:"runtime_seconds"` // actual execution time
+}
+
+// Validate reports structural problems with a record.
+func (r TaskRecord) Validate() error {
+	switch {
+	case r.RuntimeSeconds < 0:
+		return fmt.Errorf("estimator: negative runtime %v", r.RuntimeSeconds)
+	case r.Nodes < 0:
+		return fmt.Errorf("estimator: negative node count %d", r.Nodes)
+	case r.ReqHours < 0:
+		return fmt.Errorf("estimator: negative requested hours %v", r.ReqHours)
+	}
+	return nil
+}
+
+// History is a bounded, concurrency-safe store of completed-task records.
+type History struct {
+	mu      sync.RWMutex
+	records []TaskRecord
+	cap     int
+}
+
+// NewHistory creates a history retaining at most cap records (FIFO
+// eviction); cap <= 0 means unbounded.
+func NewHistory(cap int) *History {
+	return &History{cap: cap}
+}
+
+// Add appends a record, evicting the oldest when over capacity.
+func (h *History) Add(r TaskRecord) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.records = append(h.records, r)
+	if h.cap > 0 && len(h.records) > h.cap {
+		h.records = h.records[len(h.records)-h.cap:]
+	}
+	return nil
+}
+
+// Len returns the record count.
+func (h *History) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.records)
+}
+
+// All returns a copy of the records in insertion order.
+func (h *History) All() []TaskRecord {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]TaskRecord, len(h.records))
+	copy(out, h.records)
+	return out
+}
+
+// Select returns records matching pred, in insertion order.
+func (h *History) Select(pred func(TaskRecord) bool) []TaskRecord {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var out []TaskRecord
+	for _, r := range h.records {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Save writes the history as JSON to path.
+func (h *History) Save(path string) error {
+	h.mu.RLock()
+	data, err := json.MarshalIndent(h.records, "", "  ")
+	h.mu.RUnlock()
+	if err != nil {
+		return fmt.Errorf("estimator: encoding history: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load replaces the history contents from a JSON file written by Save.
+func (h *History) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("estimator: reading history: %w", err)
+	}
+	var records []TaskRecord
+	if err := json.Unmarshal(data, &records); err != nil {
+		return fmt.Errorf("estimator: decoding history: %w", err)
+	}
+	for _, r := range records {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.records = records
+	if h.cap > 0 && len(h.records) > h.cap {
+		h.records = h.records[len(h.records)-h.cap:]
+	}
+	return nil
+}

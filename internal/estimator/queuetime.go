@@ -1,0 +1,104 @@
+package estimator
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/condor"
+)
+
+// EstimateDB is the paper's "separate database" of per-job runtime
+// estimates recorded at submission time: "The run time of each task is
+// estimated at the time of task submission and is stored in a separate
+// database."
+type EstimateDB struct {
+	mu        sync.RWMutex
+	estimates map[string]float64 // key: pool/jobID
+}
+
+// NewEstimateDB creates an empty estimate database.
+func NewEstimateDB() *EstimateDB {
+	return &EstimateDB{estimates: make(map[string]float64)}
+}
+
+func dbKey(pool string, id int) string { return fmt.Sprintf("%s/%d", pool, id) }
+
+// Record stores the submission-time estimate for a job.
+func (db *EstimateDB) Record(pool string, id int, seconds float64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.estimates[dbKey(pool, id)] = seconds
+}
+
+// Lookup fetches a job's recorded estimate.
+func (db *EstimateDB) Lookup(pool string, id int) (float64, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	v, ok := db.estimates[dbKey(pool, id)]
+	return v, ok
+}
+
+// Len returns the number of recorded estimates.
+func (db *EstimateDB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.estimates)
+}
+
+// QueueTimeEstimator implements the paper's §6.2 algorithm:
+//
+//	(a) take the Condor ID of the input task;
+//	(b) fetch from the execution service the IDs and elapsed runtimes of
+//	    all tasks with priority greater than the input task;
+//	(c) fetch those tasks' submission-time runtime estimates from the
+//	    estimate database;
+//	(d) remaining = estimate − elapsed for each, and the queue time is
+//	    the sum of the remainders.
+type QueueTimeEstimator struct {
+	Pool *condor.Pool
+	DB   *EstimateDB
+	// DefaultEstimate substitutes for jobs missing from the database
+	// (e.g. submitted outside the GAE path); 0 skips them.
+	DefaultEstimate float64
+}
+
+// QueueEstimate carries the prediction and its inputs for transparency.
+type QueueEstimate struct {
+	Seconds    float64
+	TasksAhead int
+}
+
+// Estimate predicts how long job id will wait before starting.
+func (q *QueueTimeEstimator) Estimate(id int) (QueueEstimate, error) {
+	if q.Pool == nil {
+		return QueueEstimate{}, fmt.Errorf("estimator: queue estimator has no execution service")
+	}
+	ahead, err := q.Pool.QueueAbove(id)
+	if err != nil {
+		return QueueEstimate{}, fmt.Errorf("estimator: querying execution service: %w", err)
+	}
+	total := 0.0
+	counted := 0
+	for _, info := range ahead {
+		est, ok := 0.0, false
+		if q.DB != nil {
+			est, ok = q.DB.Lookup(info.Pool, info.ID)
+		}
+		if !ok {
+			if info.EstimatedRuntime > 0 {
+				est = info.EstimatedRuntime
+			} else if q.DefaultEstimate > 0 {
+				est = q.DefaultEstimate
+			} else {
+				continue
+			}
+		}
+		remaining := est - info.WallClock.Seconds()
+		if remaining < 0 {
+			remaining = 0
+		}
+		total += remaining
+		counted++
+	}
+	return QueueEstimate{Seconds: total, TasksAhead: counted}, nil
+}

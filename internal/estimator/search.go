@@ -1,0 +1,118 @@
+package estimator
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TemplateScore is a template's cross-validated accuracy over a history.
+type TemplateScore struct {
+	Template  Template
+	MAPE      float64 // mean |percentage error| over evaluated records
+	Evaluated int     // records the template could predict
+	Coverage  float64 // Evaluated / eligible records
+}
+
+// SearchTemplates evaluates candidate similarity templates by
+// leave-one-out cross-validation over the history and returns them sorted
+// by accuracy (lowest mean error first). This is the search step of
+// Smith, Taylor and Foster's template-based prediction, which the paper
+// cites as the source of its estimation technique: rather than fixing the
+// attributes that define "similar tasks", the estimator can learn which
+// template predicts best on the site's own workload.
+//
+// Records a template cannot predict (no similar tasks remain once the
+// record itself is held out) are skipped; Coverage reports the fraction
+// predicted. Templates that predict nothing are ranked last with an
+// infinite-equivalent error.
+//
+// maxRecords bounds the O(n²) evaluation; 0 means at most 200.
+func SearchTemplates(h *History, candidates []Template, stat Statistic, maxRecords int) ([]TemplateScore, error) {
+	if h == nil || h.Len() == 0 {
+		return nil, fmt.Errorf("estimator: template search over empty history")
+	}
+	if len(candidates) == 0 {
+		candidates = DefaultTemplates
+	}
+	if maxRecords <= 0 {
+		maxRecords = 200
+	}
+	all := h.All()
+	var eligible []TaskRecord
+	for _, r := range all {
+		if r.Succeeded && r.RuntimeSeconds > 0 {
+			eligible = append(eligible, r)
+		}
+	}
+	if len(eligible) < 2 {
+		return nil, fmt.Errorf("estimator: template search needs >=2 successful records, got %d", len(eligible))
+	}
+	if len(eligible) > maxRecords {
+		eligible = eligible[len(eligible)-maxRecords:]
+	}
+
+	scores := make([]TemplateScore, 0, len(candidates))
+	for _, tpl := range candidates {
+		score := TemplateScore{Template: tpl}
+		var sumErr float64
+		for i, target := range eligible {
+			// Hold target out; predict from the rest through this single
+			// template.
+			holdout := NewHistory(0)
+			for j, r := range eligible {
+				if j != i {
+					_ = holdout.Add(r)
+				}
+			}
+			e := &RuntimeEstimator{
+				History:    holdout,
+				Templates:  []Template{tpl},
+				Statistic:  stat,
+				MinSimilar: 1,
+			}
+			est, err := e.Estimate(target)
+			if err != nil || est.Seconds <= 0 {
+				continue
+			}
+			pct := (target.RuntimeSeconds - est.Seconds) / target.RuntimeSeconds * 100
+			if pct < 0 {
+				pct = -pct
+			}
+			sumErr += pct
+			score.Evaluated++
+		}
+		if score.Evaluated > 0 {
+			score.MAPE = sumErr / float64(score.Evaluated)
+		} else {
+			score.MAPE = 1e18 // effectively worst
+		}
+		score.Coverage = float64(score.Evaluated) / float64(len(eligible))
+		scores = append(scores, score)
+	}
+	sort.SliceStable(scores, func(a, b int) bool { return scores[a].MAPE < scores[b].MAPE })
+	return scores, nil
+}
+
+// AutoConfigure runs SearchTemplates and installs the winning template
+// order (best first, then the remaining candidates in score order, with
+// the universal template appended as a final fallback) on the estimator.
+// It returns the scores for inspection.
+func (e *RuntimeEstimator) AutoConfigure(candidates []Template, maxRecords int) ([]TemplateScore, error) {
+	scores, err := SearchTemplates(e.History, candidates, e.Statistic, maxRecords)
+	if err != nil {
+		return nil, err
+	}
+	templates := make([]Template, 0, len(scores)+1)
+	haveUniversal := false
+	for _, s := range scores {
+		templates = append(templates, s.Template)
+		if len(s.Template) == 0 {
+			haveUniversal = true
+		}
+	}
+	if !haveUniversal {
+		templates = append(templates, Template{})
+	}
+	e.Templates = templates
+	return scores, nil
+}

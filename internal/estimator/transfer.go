@@ -1,0 +1,44 @@
+package estimator
+
+import (
+	"fmt"
+
+	"repro/internal/simgrid"
+)
+
+// TransferEstimator implements the paper's §6.3 file-transfer-time
+// estimator: "we first determine the bandwidth between the client and the
+// Clarens server using iperf, and then using this bandwidth and the file
+// size, we calculate the transfer time."
+type TransferEstimator struct {
+	Network *simgrid.Network
+	// ProbeMB is the iperf probe payload (default 8 MB).
+	ProbeMB float64
+}
+
+// TransferEstimate is a prediction with the measured bandwidth that
+// produced it.
+type TransferEstimate struct {
+	Seconds       float64
+	BandwidthMBps float64
+}
+
+// Estimate predicts how long sizeMB takes from src to dst. The bandwidth
+// is measured at call time (an iperf run), so background utilization on
+// the link is reflected in the estimate.
+func (t *TransferEstimator) Estimate(src, dst string, sizeMB float64) (TransferEstimate, error) {
+	if t.Network == nil {
+		return TransferEstimate{}, fmt.Errorf("estimator: transfer estimator has no network")
+	}
+	if sizeMB < 0 {
+		return TransferEstimate{}, fmt.Errorf("estimator: negative file size %v", sizeMB)
+	}
+	bw, err := t.Network.MeasureBandwidth(src, dst, t.ProbeMB)
+	if err != nil {
+		return TransferEstimate{}, fmt.Errorf("estimator: bandwidth probe: %w", err)
+	}
+	if bw <= 0 {
+		return TransferEstimate{}, fmt.Errorf("estimator: measured non-positive bandwidth %v", bw)
+	}
+	return TransferEstimate{Seconds: sizeMB / bw, BandwidthMBps: bw}, nil
+}

@@ -1,0 +1,114 @@
+// Package experiments regenerates every measured artifact of the paper's
+// evaluation (§7): Figure 5 (runtime-estimator accuracy on a Paragon-like
+// accounting trace), Figure 6 (Job Monitoring Service response time under
+// parallel clients), and Figure 7 (job completion at a loaded site versus
+// the steering-service rescue). Each harness returns structured rows so
+// the bench harness, the gae-bench command, and the tests all share one
+// implementation, and each can render itself as CSV and as an ASCII
+// chart.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a generic experiment result: named columns and float rows,
+// rendered as CSV or an ASCII chart.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]float64
+	// Notes carries headline scalars ("mean error = 13.5%").
+	Notes []string
+}
+
+// CSV renders the table with a header row.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "# %s\n", n)
+	}
+	sb.WriteString(strings.Join(t.Columns, ","))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, v := range row {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%g", v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Chart renders series columns (everything after the first column, which
+// is the x axis) as a rough ASCII line chart, one glyph per series.
+func (t *Table) Chart(width, height int) string {
+	if len(t.Rows) == 0 || len(t.Columns) < 2 {
+		return "(no data)"
+	}
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+	minX, maxX := t.Rows[0][0], t.Rows[0][0]
+	minY, maxY := 0.0, 0.0
+	for _, row := range t.Rows {
+		if row[0] < minX {
+			minX = row[0]
+		}
+		if row[0] > maxX {
+			maxX = row[0]
+		}
+		for _, v := range row[1:] {
+			if v > maxY {
+				maxY = v
+			}
+			if v < minY {
+				minY = v
+			}
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, row := range t.Rows {
+		x := int(float64(width-1) * (row[0] - minX) / (maxX - minX))
+		for s, v := range row[1:] {
+			y := int(float64(height-1) * (v - minY) / (maxY - minY))
+			r := height - 1 - y
+			grid[r][x] = glyphs[s%len(glyphs)]
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", t.Title)
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "  %s\n", n)
+	}
+	fmt.Fprintf(&sb, "  y: %.4g .. %.4g\n", minY, maxY)
+	for _, line := range grid {
+		sb.WriteString("  |")
+		sb.Write(line)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("  +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&sb, "   x: %s, %.4g .. %.4g\n", t.Columns[0], minX, maxX)
+	legend := make([]string, 0, len(t.Columns)-1)
+	for i, c := range t.Columns[1:] {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[i%len(glyphs)], c))
+	}
+	fmt.Fprintf(&sb, "   %s\n", strings.Join(legend, "  "))
+	return sb.String()
+}

@@ -1,0 +1,305 @@
+// Package jobmon implements the paper's Job Monitoring Service (§5): the
+// service that "provides the facility of monitoring jobs that have been
+// submitted for execution, and provides the job monitoring information to
+// the Steering Service".
+//
+// The paper's four components map directly onto this package:
+//
+//   - Job Information Collector (Collector): watches execution services,
+//     forwards terminal-state snapshots to the DBManager, and answers
+//     live queries for running jobs;
+//   - DBManager: the per-instance repository of finished-job records,
+//     which "publishes the job monitoring information to MonALISA";
+//   - JMManager (Manager): routes queries — database first, live
+//     collector second — exactly the paper's flow ("It first queries the
+//     DBManager and if the information is not found in its repository,
+//     the request is forwarded to the Job Information Collector");
+//   - JMExecutable (Methods): the XML-RPC facade hosted on Clarens that
+//     the Steering Service and clients call.
+//
+// The exposed per-job fields are the paper's list: job status, remaining
+// time, elapsed time, estimated run time, queue position, priority,
+// submission time, execution time, completion time, CPU time used, input
+// and output I/O, owner name and environment variables.
+package jobmon
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/condor"
+	"repro/internal/monalisa"
+	"repro/internal/simgrid"
+)
+
+// DBManager stores finished-job records and publishes updates to
+// MonALISA.
+type DBManager struct {
+	repo *monalisa.Repository // optional
+
+	mu      sync.RWMutex
+	records map[string]condor.JobInfo
+}
+
+// NewDBManager creates a DBManager publishing to repo (nil disables
+// publication).
+func NewDBManager(repo *monalisa.Repository) *DBManager {
+	return &DBManager{repo: repo, records: make(map[string]condor.JobInfo)}
+}
+
+func recordKey(pool string, id int) string { return fmt.Sprintf("%s/%d", pool, id) }
+
+// Store saves a job's (usually terminal) snapshot and publishes the
+// update to MonALISA.
+func (db *DBManager) Store(info condor.JobInfo) {
+	db.mu.Lock()
+	db.records[recordKey(info.Pool, info.ID)] = info
+	db.mu.Unlock()
+	if db.repo != nil {
+		src := monalisa.FormatJobSource(info.Pool, info.ID)
+		db.repo.PublishEvent(info.CompletionTime, src, "status", info.Status.String())
+		db.repo.Publish(src, monalisa.MetricJobProgress, info.CompletionTime, info.Progress)
+	}
+}
+
+// Lookup fetches a stored record.
+func (db *DBManager) Lookup(pool string, id int) (condor.JobInfo, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	info, ok := db.records[recordKey(pool, id)]
+	return info, ok
+}
+
+// Len returns the stored record count.
+func (db *DBManager) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.records)
+}
+
+// Save persists the repository to a JSON file — each Job Monitoring
+// Service instance owns "a database repository" in the paper; this is its
+// durability path.
+func (db *DBManager) Save(path string) error {
+	db.mu.RLock()
+	data, err := json.MarshalIndent(db.records, "", "  ")
+	db.mu.RUnlock()
+	if err != nil {
+		return fmt.Errorf("jobmon: encoding repository: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load replaces the repository contents from a file written by Save.
+func (db *DBManager) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("jobmon: reading repository: %w", err)
+	}
+	records := make(map[string]condor.JobInfo)
+	if err := json.Unmarshal(data, &records); err != nil {
+		return fmt.Errorf("jobmon: decoding repository: %w", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.records = records
+	return nil
+}
+
+// Collector is the Job Information Collector: it subscribes to execution
+// services, harvests terminal snapshots into the DBManager, publishes
+// state transitions to MonALISA, and serves live job queries.
+type Collector struct {
+	db   *DBManager
+	repo *monalisa.Repository // optional
+
+	mu     sync.Mutex
+	pools  map[string]*condor.Pool
+	events []condor.Event
+}
+
+// NewCollector creates a collector backed by db.
+func NewCollector(db *DBManager, repo *monalisa.Repository) *Collector {
+	return &Collector{db: db, repo: repo, pools: make(map[string]*condor.Pool)}
+}
+
+// Watch subscribes the collector to an execution service's events.
+func (c *Collector) Watch(pool *condor.Pool) {
+	c.mu.Lock()
+	c.pools[pool.Name] = pool
+	c.mu.Unlock()
+	pool.Subscribe(func(e condor.Event) {
+		c.mu.Lock()
+		c.events = append(c.events, e)
+		c.mu.Unlock()
+	})
+}
+
+// Pools returns the watched execution service names, sorted.
+func (c *Collector) Pools() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.pools))
+	for name := range c.pools {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Pool returns a watched pool by name.
+func (c *Collector) Pool(name string) (*condor.Pool, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.pools[name]
+	return p, ok
+}
+
+// OnTick drains queued execution-service events: every transition is
+// published to MonALISA ("sends an update to MonALISA whenever the state
+// of a job changes"), and terminal transitions store the job's final
+// snapshot in the DBManager.
+func (c *Collector) OnTick(now time.Time, dt time.Duration) {
+	c.mu.Lock()
+	events := c.events
+	c.events = nil
+	pools := make(map[string]*condor.Pool, len(c.pools))
+	for k, v := range c.pools {
+		pools[k] = v
+	}
+	c.mu.Unlock()
+
+	for _, e := range events {
+		if c.repo != nil {
+			src := monalisa.FormatJobSource(e.Pool, e.JobID)
+			c.repo.PublishEvent(e.At, src, "status", fmt.Sprintf("%v->%v", e.From, e.To))
+		}
+		if !e.To.Terminal() {
+			continue
+		}
+		pool := pools[e.Pool]
+		if pool == nil {
+			continue
+		}
+		info, err := pool.Job(e.JobID)
+		if err != nil {
+			continue // service down; the record stays live-only
+		}
+		c.db.Store(info)
+	}
+}
+
+// Live fetches the current snapshot straight from the execution service.
+func (c *Collector) Live(pool string, id int) (condor.JobInfo, error) {
+	p, ok := c.Pool(pool)
+	if !ok {
+		return condor.JobInfo{}, fmt.Errorf("jobmon: unknown execution service %q", pool)
+	}
+	return p.Job(id)
+}
+
+// Manager is the JMManager: it serves queries from the DBManager first and
+// falls back to the live collector.
+type Manager struct {
+	DB        *DBManager
+	Collector *Collector
+}
+
+// NewManager wires the manager's two sources.
+func NewManager(db *DBManager, col *Collector) *Manager {
+	return &Manager{DB: db, Collector: col}
+}
+
+// Get resolves a job's monitoring information: stored record first, then
+// live query.
+func (m *Manager) Get(pool string, id int) (condor.JobInfo, error) {
+	if info, ok := m.DB.Lookup(pool, id); ok {
+		return info, nil
+	}
+	return m.Collector.Live(pool, id)
+}
+
+// List returns every known job at a pool (live list merged over stored
+// terminal records, keyed by ID).
+func (m *Manager) List(pool string) ([]condor.JobInfo, error) {
+	p, ok := m.Collector.Pool(pool)
+	if !ok {
+		return nil, fmt.Errorf("jobmon: unknown execution service %q", pool)
+	}
+	live, err := p.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	return live, nil
+}
+
+// Service is the complete Job Monitoring Service instance.
+type Service struct {
+	DB        *DBManager
+	Collector *Collector
+	Manager   *Manager
+	// PollInterval controls how often running-job progress is published
+	// to MonALISA.
+	PollInterval time.Duration
+
+	repo    *monalisa.Repository
+	elapsed time.Duration
+}
+
+// NewService assembles a Job Monitoring Service and registers it with the
+// grid engine so its collector drains events each tick.
+func NewService(grid *simgrid.Grid, repo *monalisa.Repository) *Service {
+	db := NewDBManager(repo)
+	col := NewCollector(db, repo)
+	s := &Service{
+		DB:           db,
+		Collector:    col,
+		Manager:      NewManager(db, col),
+		PollInterval: 5 * time.Second,
+		repo:         repo,
+	}
+	grid.Engine.AddActor(s)
+	return s
+}
+
+// Watch attaches an execution service.
+func (s *Service) Watch(pool *condor.Pool) { s.Collector.Watch(pool) }
+
+// OnTick drains collector events and periodically publishes running-job
+// progress.
+func (s *Service) OnTick(now time.Time, dt time.Duration) {
+	s.Collector.OnTick(now, dt)
+	if s.repo == nil {
+		return
+	}
+	s.elapsed += dt
+	if s.elapsed < s.PollInterval {
+		return
+	}
+	s.elapsed = 0
+	for _, name := range s.Collector.Pools() {
+		pool, ok := s.Collector.Pool(name)
+		if !ok {
+			continue
+		}
+		jobs, err := pool.Jobs()
+		if err != nil {
+			continue
+		}
+		queued := 0
+		for _, j := range jobs {
+			switch j.Status {
+			case condor.StatusRunning:
+				src := monalisa.FormatJobSource(j.Pool, j.ID)
+				s.repo.Publish(src, monalisa.MetricJobProgress, now, j.Progress)
+			case condor.StatusIdle:
+				queued++
+			}
+		}
+		s.repo.Publish(name, monalisa.MetricQueuedJobs, now, float64(queued))
+	}
+}

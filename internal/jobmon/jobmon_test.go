@@ -1,0 +1,344 @@
+package jobmon
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clarens"
+	"repro/internal/classad"
+	"repro/internal/condor"
+	"repro/internal/monalisa"
+	"repro/internal/simgrid"
+	"repro/internal/xmlrpc"
+)
+
+// fixture: one-site grid with a pool and a jobmon service.
+func newFixture(t *testing.T) (*simgrid.Grid, *condor.Pool, *monalisa.Repository, *Service) {
+	t.Helper()
+	g := simgrid.NewGrid(time.Second, 1)
+	site := g.AddSite("siteA")
+	pool := condor.NewPool("poolA", g, site)
+	pool.AddMachine(site.AddNode(g.Engine, "n1", 1, simgrid.IdleLoad()), nil)
+	repo := monalisa.NewRepository()
+	svc := NewService(g, repo)
+	svc.Watch(pool)
+	return g, pool, repo, svc
+}
+
+func submit(t *testing.T, pool *condor.Pool, cpu float64, prio int) int {
+	t.Helper()
+	ad := classad.New().
+		Set(condor.AttrOwner, "alice").
+		Set(condor.AttrCmd, "analysis").
+		Set(condor.AttrCpuSeconds, cpu).
+		Set(condor.AttrPriority, prio).
+		Set(condor.AttrEstimate, cpu).
+		Set(condor.AttrEnv, "MODE=test")
+	id, err := pool.Submit(ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestManagerLiveLookup(t *testing.T) {
+	g, pool, _, svc := newFixture(t)
+	id := submit(t, pool, 100, 0)
+	g.Engine.RunFor(10 * time.Second)
+	info, err := svc.Manager.Get("poolA", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != condor.StatusRunning || info.Owner != "alice" {
+		t.Fatalf("live info = %+v", info)
+	}
+	// Live lookups do not come from the DB.
+	if svc.DB.Len() != 0 {
+		t.Fatalf("DB has %d records for a running job", svc.DB.Len())
+	}
+}
+
+func TestTerminalJobStoredInDB(t *testing.T) {
+	g, pool, _, svc := newFixture(t)
+	id := submit(t, pool, 10, 0)
+	g.Engine.RunFor(15 * time.Second)
+	if svc.DB.Len() != 1 {
+		t.Fatalf("DB records = %d, want 1", svc.DB.Len())
+	}
+	stored, ok := svc.DB.Lookup("poolA", id)
+	if !ok || stored.Status != condor.StatusCompleted {
+		t.Fatalf("stored = %+v, %v", stored, ok)
+	}
+	// Manager now answers from the DB even if the pool dies.
+	pool.Fail()
+	info, err := svc.Manager.Get("poolA", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != condor.StatusCompleted {
+		t.Fatalf("post-failure info = %+v", info)
+	}
+}
+
+func TestManagerFallsBackToLiveOnMiss(t *testing.T) {
+	g, pool, _, svc := newFixture(t)
+	id := submit(t, pool, 100, 0)
+	g.Engine.RunFor(5 * time.Second)
+	if _, ok := svc.DB.Lookup("poolA", id); ok {
+		t.Fatal("running job unexpectedly in DB")
+	}
+	if _, err := svc.Manager.Get("poolA", id); err != nil {
+		t.Fatalf("fallback failed: %v", err)
+	}
+	if _, err := svc.Manager.Get("ghostpool", 1); err == nil {
+		t.Fatal("unknown pool lookup succeeded")
+	}
+	if _, err := svc.Manager.Get("poolA", 999); err == nil {
+		t.Fatal("unknown job lookup succeeded")
+	}
+}
+
+func TestStatusChangePublishedToMonALISA(t *testing.T) {
+	g, pool, repo, _ := newFixture(t)
+	id := submit(t, pool, 10, 0)
+	g.Engine.RunFor(15 * time.Second)
+	src := monalisa.FormatJobSource("poolA", id)
+	events := repo.Events(time.Time{}, src)
+	if len(events) < 3 { // idle, idle->running, running->completed
+		t.Fatalf("MonALISA events = %+v", events)
+	}
+	last := events[len(events)-1]
+	if !strings.Contains(last.Detail, "completed") {
+		t.Fatalf("last event = %+v", last)
+	}
+}
+
+func TestRunningProgressPublished(t *testing.T) {
+	g, pool, repo, _ := newFixture(t)
+	id := submit(t, pool, 120, 0)
+	g.Engine.RunFor(60 * time.Second)
+	src := monalisa.FormatJobSource("poolA", id)
+	pts := repo.Series(src, monalisa.MetricJobProgress, time.Time{}, g.Engine.Now())
+	if len(pts) < 5 {
+		t.Fatalf("progress series = %d points", len(pts))
+	}
+	lastVal := pts[len(pts)-1].Value
+	if lastVal < 0.4 || lastVal > 0.6 {
+		t.Fatalf("progress at 60s = %v, want ≈0.5", lastVal)
+	}
+	// Monotone non-decreasing.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value < pts[i-1].Value {
+			t.Fatalf("progress not monotone: %v", pts)
+		}
+	}
+}
+
+func TestQueuedJobsMetric(t *testing.T) {
+	g, pool, repo, _ := newFixture(t)
+	submit(t, pool, 1000, 5) // occupies the only machine
+	submit(t, pool, 10, 0)   // queued
+	submit(t, pool, 10, 0)   // queued
+	g.Engine.RunFor(10 * time.Second)
+	if got := repo.LatestValue("poolA", monalisa.MetricQueuedJobs, -1); got != 2 {
+		t.Fatalf("queued jobs metric = %v", got)
+	}
+}
+
+func TestManagerList(t *testing.T) {
+	g, pool, _, svc := newFixture(t)
+	submit(t, pool, 10, 0)
+	submit(t, pool, 20, 0)
+	g.Engine.Step()
+	jobs, err := svc.Manager.List("poolA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("List = %d jobs", len(jobs))
+	}
+	if _, err := svc.Manager.List("ghost"); err == nil {
+		t.Fatal("List of unknown pool succeeded")
+	}
+}
+
+func TestInfoToStructFields(t *testing.T) {
+	g, pool, _, svc := newFixture(t)
+	id := submit(t, pool, 100, 3)
+	g.Engine.RunFor(10 * time.Second)
+	info, err := svc.Manager.Get("poolA", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := InfoToStruct(info)
+	// Every paper-mandated field must be present.
+	for _, key := range []string{
+		"status", "remaining_estimate", "elapsed_seconds", "estimated_runtime",
+		"queue_position", "priority", "submit_time", "start_time",
+		"cpu_seconds", "input_mb", "output_mb", "owner", "env",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("InfoToStruct missing %q", key)
+		}
+	}
+	if m["owner"] != "alice" || m["priority"] != 3 || m["env"] != "MODE=test" {
+		t.Fatalf("struct = %v", m)
+	}
+	if _, ok := m["completion_time"]; ok {
+		t.Error("running job has completion_time")
+	}
+	// The struct must be XML-RPC encodable as-is.
+	if _, err := xmlrpc.EncodeResponse(m); err != nil {
+		t.Fatalf("struct not encodable: %v", err)
+	}
+}
+
+// rpcFixture hosts the jobmon service on a Clarens server over HTTP.
+func rpcFixture(t *testing.T) (*simgrid.Grid, *condor.Pool, *clarens.Client) {
+	t.Helper()
+	g, pool, _, svc := newFixture(t)
+	srv := clarens.NewServer("host", nil)
+	srv.RegisterService("jobmon", "job monitoring service", svc.Methods())
+	srv.ACL.Allow("*", "jobmon.*") // monitoring data is world-readable
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	srv.SetBaseURL(hs.URL)
+	return g, pool, clarens.NewClient(hs.URL)
+}
+
+func TestRPCStatusAndInfo(t *testing.T) {
+	g, pool, c := rpcFixture(t)
+	id := submit(t, pool, 100, 0)
+	g.Engine.RunFor(10 * time.Second)
+	ctx := context.Background()
+	status, err := c.CallString(ctx, "jobmon.status", "poolA", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != "running" {
+		t.Fatalf("status = %q", status)
+	}
+	info, err := c.CallStruct(ctx, "jobmon.info", "poolA", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info["owner"] != "alice" {
+		t.Fatalf("info = %v", info)
+	}
+	wall, err := c.CallFloat(ctx, "jobmon.wallclock", "poolA", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wall < 8 || wall > 11 {
+		t.Fatalf("wallclock = %v", wall)
+	}
+	prog, err := c.CallFloat(ctx, "jobmon.progress", "poolA", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog < 0.08 || prog > 0.12 {
+		t.Fatalf("progress = %v", prog)
+	}
+}
+
+func TestRPCListAndPools(t *testing.T) {
+	g, pool, c := rpcFixture(t)
+	submit(t, pool, 10, 0)
+	submit(t, pool, 20, 0)
+	g.Engine.Step()
+	ctx := context.Background()
+	jobs, err := c.CallArray(ctx, "jobmon.list", "poolA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("list = %d", len(jobs))
+	}
+	pools, err := c.CallArray(ctx, "jobmon.pools")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pools) != 1 || pools[0] != "poolA" {
+		t.Fatalf("pools = %v", pools)
+	}
+}
+
+func TestRPCErrors(t *testing.T) {
+	_, _, c := rpcFixture(t)
+	ctx := context.Background()
+	if _, err := c.Call(ctx, "jobmon.status", "poolA"); !xmlrpc.IsFault(err, xmlrpc.FaultInvalidParams) {
+		t.Fatalf("short args error = %v", err)
+	}
+	if _, err := c.Call(ctx, "jobmon.status", "poolA", 999); !xmlrpc.IsFault(err, xmlrpc.FaultApplication) {
+		t.Fatalf("missing job error = %v", err)
+	}
+	if _, err := c.Call(ctx, "jobmon.list", "ghost"); !xmlrpc.IsFault(err, xmlrpc.FaultApplication) {
+		t.Fatalf("ghost pool error = %v", err)
+	}
+	if _, err := c.Call(ctx, "jobmon.status", 5, "x"); !xmlrpc.IsFault(err, xmlrpc.FaultInvalidParams) {
+		t.Fatalf("type error = %v", err)
+	}
+}
+
+func TestRemainingAndQueuePositionRPC(t *testing.T) {
+	g, pool, c := rpcFixture(t)
+	submit(t, pool, 1000, 9)      // hogs the machine
+	id := submit(t, pool, 100, 0) // queued
+	g.Engine.RunFor(5 * time.Second)
+	ctx := context.Background()
+	qp, err := c.CallInt(ctx, "jobmon.queueposition", "poolA", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qp != 1 {
+		t.Fatalf("queue position = %d", qp)
+	}
+	rem, err := c.CallFloat(ctx, "jobmon.remaining", "poolA", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rem != 100 { // estimate 100, no wallclock yet
+		t.Fatalf("remaining = %v", rem)
+	}
+	el, err := c.CallFloat(ctx, "jobmon.elapsed", "poolA", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el < 4 || el > 6 {
+		t.Fatalf("elapsed = %v", el)
+	}
+}
+
+func TestDBManagerSaveLoad(t *testing.T) {
+	g, pool, _, svc := newFixture(t)
+	id := submit(t, pool, 10, 0)
+	g.Engine.RunFor(15 * time.Second)
+	if svc.DB.Len() != 1 {
+		t.Fatalf("records = %d", svc.DB.Len())
+	}
+	path := filepath.Join(t.TempDir(), "jobdb.json")
+	if err := svc.DB.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewDBManager(nil)
+	if err := fresh.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := fresh.Lookup("poolA", id)
+	if !ok {
+		t.Fatal("record lost in round trip")
+	}
+	if got.Status != condor.StatusCompleted || got.Owner != "alice" {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got.WallClock.Seconds() < 9 || got.WallClock.Seconds() > 11 {
+		t.Fatalf("wallclock round trip = %v", got.WallClock)
+	}
+	if err := fresh.Load(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("loading missing file succeeded")
+	}
+}

@@ -1,0 +1,151 @@
+package jobmon
+
+import (
+	"context"
+
+	"repro/internal/condor"
+	"repro/internal/xmlrpc"
+)
+
+// InfoToStruct converts a job snapshot to an XML-RPC struct exposing the
+// paper's monitoring fields.
+func InfoToStruct(info condor.JobInfo) map[string]any {
+	out := map[string]any{
+		"id":                 info.ID,
+		"pool":               info.Pool,
+		"status":             info.Status.String(),
+		"owner":              info.Owner,
+		"cmd":                info.Cmd,
+		"priority":           info.Priority,
+		"env":                info.Env,
+		"queue_position":     info.QueuePosition,
+		"estimated_runtime":  info.EstimatedRuntime,
+		"remaining_estimate": info.RemainingEstimate,
+		"wallclock_seconds":  info.WallClock.Seconds(),
+		"elapsed_seconds":    info.Elapsed.Seconds(),
+		"cpu_seconds":        info.CPUSeconds,
+		"progress":           info.Progress,
+		"input_mb":           info.InputMB,
+		"output_mb":          info.OutputMB,
+		"node":               info.Node,
+	}
+	if !info.SubmitTime.IsZero() {
+		out["submit_time"] = info.SubmitTime
+	}
+	if !info.StartTime.IsZero() {
+		out["start_time"] = info.StartTime
+	}
+	if !info.CompletionTime.IsZero() {
+		out["completion_time"] = info.CompletionTime
+	}
+	return out
+}
+
+// Methods returns the JMExecutable: the XML-RPC method set hosted on a
+// Clarens server under the "jobmon" service name.
+func (s *Service) Methods() map[string]xmlrpc.Handler {
+	getInfo := func(args []any) (condor.JobInfo, error) {
+		p := xmlrpc.Params(args)
+		if err := p.Want(2); err != nil {
+			return condor.JobInfo{}, err
+		}
+		pool, err := p.String(0)
+		if err != nil {
+			return condor.JobInfo{}, err
+		}
+		id, err := p.Int(1)
+		if err != nil {
+			return condor.JobInfo{}, err
+		}
+		info, err := s.Manager.Get(pool, id)
+		if err != nil {
+			return condor.JobInfo{}, xmlrpc.NewFault(xmlrpc.FaultApplication, "%v", err)
+		}
+		return info, nil
+	}
+	return map[string]xmlrpc.Handler{
+		// info returns the full monitoring struct.
+		"info": func(_ context.Context, args []any) (any, error) {
+			info, err := getInfo(args)
+			if err != nil {
+				return nil, err
+			}
+			return InfoToStruct(info), nil
+		},
+		// status returns just the job status string.
+		"status": func(_ context.Context, args []any) (any, error) {
+			info, err := getInfo(args)
+			if err != nil {
+				return nil, err
+			}
+			return info.Status.String(), nil
+		},
+		// progress returns completion fraction in [0,1].
+		"progress": func(_ context.Context, args []any) (any, error) {
+			info, err := getInfo(args)
+			if err != nil {
+				return nil, err
+			}
+			return info.Progress, nil
+		},
+		// wallclock returns accumulated execution seconds (Condor
+		// wall-clock), the Figure 7 progress proxy.
+		"wallclock": func(_ context.Context, args []any) (any, error) {
+			info, err := getInfo(args)
+			if err != nil {
+				return nil, err
+			}
+			return info.WallClock.Seconds(), nil
+		},
+		// elapsed returns seconds since submission.
+		"elapsed": func(_ context.Context, args []any) (any, error) {
+			info, err := getInfo(args)
+			if err != nil {
+				return nil, err
+			}
+			return info.Elapsed.Seconds(), nil
+		},
+		// remaining returns the estimated seconds left.
+		"remaining": func(_ context.Context, args []any) (any, error) {
+			info, err := getInfo(args)
+			if err != nil {
+				return nil, err
+			}
+			return info.RemainingEstimate, nil
+		},
+		// queueposition returns the 1-based queue slot (0 = not queued).
+		"queueposition": func(_ context.Context, args []any) (any, error) {
+			info, err := getInfo(args)
+			if err != nil {
+				return nil, err
+			}
+			return info.QueuePosition, nil
+		},
+		// list returns every job at an execution service.
+		"list": func(_ context.Context, args []any) (any, error) {
+			p := xmlrpc.Params(args)
+			pool, err := p.String(0)
+			if err != nil {
+				return nil, err
+			}
+			jobs, err := s.Manager.List(pool)
+			if err != nil {
+				return nil, xmlrpc.NewFault(xmlrpc.FaultApplication, "%v", err)
+			}
+			out := make([]any, len(jobs))
+			for i, j := range jobs {
+				out[i] = InfoToStruct(j)
+			}
+			return out, nil
+		},
+		// pools lists the watched execution services.
+		"pools": func(context.Context, []any) (any, error) {
+			names := s.Collector.Pools()
+			out := make([]any, len(names))
+			for i, n := range names {
+				out[i] = n
+			}
+			return out, nil
+		},
+	}
+}

@@ -1,0 +1,56 @@
+package monalisa
+
+import (
+	"time"
+
+	"repro/internal/simgrid"
+)
+
+// FarmMonitor samples every site of a simulated grid on a fixed interval
+// and publishes LoadAvg, RunningJobs and FreeNodes series — the "Grid
+// weather" the paper's scheduler and optimizer consult. It plays the role
+// of the MonALISA agents that run on each farm.
+type FarmMonitor struct {
+	repo     *Repository
+	grid     *simgrid.Grid
+	interval time.Duration
+	elapsed  time.Duration
+}
+
+// NewFarmMonitor registers a monitor with the grid's engine; samples are
+// published every interval of simulated time (minimum: one engine tick).
+func NewFarmMonitor(repo *Repository, grid *simgrid.Grid, interval time.Duration) *FarmMonitor {
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	m := &FarmMonitor{repo: repo, grid: grid, interval: interval}
+	grid.Engine.AddActor(m)
+	// Publish an initial sample so consumers never observe an empty
+	// repository at simulation start.
+	m.sample(grid.Engine.Now())
+	return m
+}
+
+// OnTick implements simgrid.Actor.
+func (m *FarmMonitor) OnTick(now time.Time, dt time.Duration) {
+	m.elapsed += dt
+	if m.elapsed < m.interval {
+		return
+	}
+	m.elapsed = 0
+	m.sample(now)
+}
+
+func (m *FarmMonitor) sample(now time.Time) {
+	for _, site := range m.grid.Sites() {
+		m.repo.Publish(site.Name, MetricLoadAvg, now, site.AvgLoad(now))
+		m.repo.Publish(site.Name, MetricRunningJobs, now, float64(site.RunningTasks()))
+		free := 0
+		for _, n := range site.Nodes() {
+			if len(n.Tasks()) == 0 {
+				free++
+			}
+		}
+		m.repo.Publish(site.Name, MetricFreeNodes, now, float64(free))
+	}
+}

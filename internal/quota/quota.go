@@ -1,0 +1,185 @@
+// Package quota implements the Quota and Accounting Service. The paper
+// describes it as "currently, just a trivial prototype" that the Steering
+// Service's Optimizer contacts "to find the cheapest site for job
+// execution"; this implementation keeps that query while adding the
+// bookkeeping a production deployment needs: per-site charge rates,
+// per-user credit balances, charge records, and quota enforcement.
+package quota
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrInsufficientCredit is returned when a charge would overdraw a user.
+var ErrInsufficientCredit = fmt.Errorf("quota: insufficient credit")
+
+// ErrUnknownSite is returned for sites without a configured rate.
+var ErrUnknownSite = fmt.Errorf("quota: unknown site")
+
+// ErrUnknownUser is returned for users without an account.
+var ErrUnknownUser = fmt.Errorf("quota: unknown user")
+
+// Rate is a site's pricing: credits per CPU-second and per transferred MB.
+type Rate struct {
+	CPUSecond  float64
+	TransferMB float64
+}
+
+// Charge is one accounting ledger entry.
+type Charge struct {
+	Time       time.Time
+	User       string
+	Site       string
+	CPUSeconds float64
+	MB         float64
+	Credits    float64
+	Note       string
+}
+
+// Service is the quota and accounting service.
+type Service struct {
+	mu       sync.Mutex
+	rates    map[string]Rate
+	balances map[string]float64
+	ledger   []Charge
+}
+
+// NewService creates an empty service.
+func NewService() *Service {
+	return &Service{
+		rates:    make(map[string]Rate),
+		balances: make(map[string]float64),
+	}
+}
+
+// SetRate configures a site's pricing.
+func (s *Service) SetRate(site string, r Rate) {
+	if r.CPUSecond < 0 || r.TransferMB < 0 {
+		panic("quota: negative rate")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rates[site] = r
+}
+
+// Rate returns a site's pricing.
+func (s *Service) Rate(site string) (Rate, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.rates[site]
+	if !ok {
+		return Rate{}, fmt.Errorf("%w: %s", ErrUnknownSite, site)
+	}
+	return r, nil
+}
+
+// Grant creates the user account if needed and adds credits.
+func (s *Service) Grant(user string, credits float64) {
+	if credits < 0 {
+		panic("quota: negative grant")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.balances[user] += credits
+}
+
+// Balance returns the user's remaining credits.
+func (s *Service) Balance(user string) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.balances[user]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownUser, user)
+	}
+	return b, nil
+}
+
+// Cost quotes the credits a job of cpuSeconds plus mb of transfer would
+// cost at site, without charging.
+func (s *Service) Cost(site string, cpuSeconds, mb float64) (float64, error) {
+	r, err := s.Rate(site)
+	if err != nil {
+		return 0, err
+	}
+	if cpuSeconds < 0 || mb < 0 {
+		return 0, fmt.Errorf("quota: negative usage")
+	}
+	return cpuSeconds*r.CPUSecond + mb*r.TransferMB, nil
+}
+
+// CheapestSite returns the site from candidates with the lowest quoted
+// cost for the given usage — the Optimizer's "cheap execution" query.
+// Ties break by site name for determinism.
+func (s *Service) CheapestSite(candidates []string, cpuSeconds, mb float64) (string, float64, error) {
+	if len(candidates) == 0 {
+		return "", 0, fmt.Errorf("quota: no candidate sites")
+	}
+	sorted := append([]string(nil), candidates...)
+	sort.Strings(sorted)
+	bestSite, bestCost := "", 0.0
+	for _, site := range sorted {
+		c, err := s.Cost(site, cpuSeconds, mb)
+		if err != nil {
+			continue // unknown sites are not candidates
+		}
+		if bestSite == "" || c < bestCost {
+			bestSite, bestCost = site, c
+		}
+	}
+	if bestSite == "" {
+		return "", 0, fmt.Errorf("%w: none of %v", ErrUnknownSite, candidates)
+	}
+	return bestSite, bestCost, nil
+}
+
+// Charge debits the user for usage at site and records a ledger entry.
+func (s *Service) Charge(user, site string, cpuSeconds, mb float64, at time.Time, note string) (float64, error) {
+	cost, err := s.Cost(site, cpuSeconds, mb)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bal, ok := s.balances[user]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownUser, user)
+	}
+	if bal < cost {
+		return 0, fmt.Errorf("%w: user %s has %.2f, needs %.2f", ErrInsufficientCredit, user, bal, cost)
+	}
+	s.balances[user] = bal - cost
+	s.ledger = append(s.ledger, Charge{
+		Time: at, User: user, Site: site,
+		CPUSeconds: cpuSeconds, MB: mb, Credits: cost, Note: note,
+	})
+	return cost, nil
+}
+
+// Ledger returns a copy of the charge history, optionally filtered by
+// user ("" matches all).
+func (s *Service) Ledger(user string) []Charge {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Charge
+	for _, c := range s.ledger {
+		if user == "" || c.User == user {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Sites lists the sites with configured rates, sorted.
+func (s *Service) Sites() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.rates))
+	for site := range s.rates {
+		out = append(out, site)
+	}
+	sort.Strings(out)
+	return out
+}

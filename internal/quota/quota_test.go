@@ -1,0 +1,157 @@
+package quota
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestRatesAndCost(t *testing.T) {
+	s := NewService()
+	s.SetRate("caltech", Rate{CPUSecond: 0.01, TransferMB: 0.001})
+	r, err := s.Rate("caltech")
+	if err != nil || r.CPUSecond != 0.01 {
+		t.Fatalf("Rate = %+v, %v", r, err)
+	}
+	if _, err := s.Rate("nowhere"); !errors.Is(err, ErrUnknownSite) {
+		t.Fatalf("unknown site error = %v", err)
+	}
+	c, err := s.Cost("caltech", 1000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-10.5) > 1e-9 {
+		t.Fatalf("Cost = %v", c)
+	}
+	if _, err := s.Cost("caltech", -1, 0); err == nil {
+		t.Fatal("negative usage accepted")
+	}
+}
+
+func TestSetRateNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative rate accepted")
+		}
+	}()
+	NewService().SetRate("x", Rate{CPUSecond: -1})
+}
+
+func TestGrantBalanceCharge(t *testing.T) {
+	s := NewService()
+	s.SetRate("nust", Rate{CPUSecond: 0.02})
+	s.Grant("alice", 100)
+	if b, _ := s.Balance("alice"); b != 100 {
+		t.Fatalf("balance = %v", b)
+	}
+	if _, err := s.Balance("ghost"); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("unknown user error = %v", err)
+	}
+	cost, err := s.Charge("alice", "nust", 1000, 0, t0, "job 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cost-20) > 1e-9 {
+		t.Fatalf("charge = %v", cost)
+	}
+	if b, _ := s.Balance("alice"); math.Abs(b-80) > 1e-9 {
+		t.Fatalf("post-charge balance = %v", b)
+	}
+	// Overdraw.
+	if _, err := s.Charge("alice", "nust", 1e6, 0, t0, "huge"); !errors.Is(err, ErrInsufficientCredit) {
+		t.Fatalf("overdraw error = %v", err)
+	}
+	if b, _ := s.Balance("alice"); math.Abs(b-80) > 1e-9 {
+		t.Fatalf("failed charge mutated balance: %v", b)
+	}
+	// Unknown user / site.
+	if _, err := s.Charge("ghost", "nust", 1, 0, t0, ""); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("ghost charge error = %v", err)
+	}
+	if _, err := s.Charge("alice", "mars", 1, 0, t0, ""); !errors.Is(err, ErrUnknownSite) {
+		t.Fatalf("mars charge error = %v", err)
+	}
+}
+
+func TestGrantNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative grant accepted")
+		}
+	}()
+	NewService().Grant("x", -5)
+}
+
+func TestCheapestSite(t *testing.T) {
+	s := NewService()
+	s.SetRate("expensive", Rate{CPUSecond: 0.10})
+	s.SetRate("cheap", Rate{CPUSecond: 0.01})
+	s.SetRate("transferheavy", Rate{CPUSecond: 0.01, TransferMB: 10})
+	site, cost, err := s.CheapestSite([]string{"expensive", "cheap", "transferheavy"}, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if site != "cheap" || math.Abs(cost-1) > 1e-9 {
+		t.Fatalf("cheapest = %s @ %v", site, cost)
+	}
+	// Transfer volume can flip the answer.
+	site, _, err = s.CheapestSite([]string{"cheap", "expensive"}, 1, 0)
+	if err != nil || site != "cheap" {
+		t.Fatalf("cpu-only cheapest = %s, %v", site, err)
+	}
+	// Unknown candidates are skipped; all-unknown errors.
+	site, _, err = s.CheapestSite([]string{"mars", "cheap"}, 10, 0)
+	if err != nil || site != "cheap" {
+		t.Fatalf("partial-unknown = %s, %v", site, err)
+	}
+	if _, _, err := s.CheapestSite([]string{"mars"}, 10, 0); !errors.Is(err, ErrUnknownSite) {
+		t.Fatalf("all-unknown error = %v", err)
+	}
+	if _, _, err := s.CheapestSite(nil, 10, 0); err == nil {
+		t.Fatal("empty candidates accepted")
+	}
+}
+
+func TestCheapestSiteTieBreaksByName(t *testing.T) {
+	s := NewService()
+	s.SetRate("zeta", Rate{CPUSecond: 0.01})
+	s.SetRate("alpha", Rate{CPUSecond: 0.01})
+	site, _, err := s.CheapestSite([]string{"zeta", "alpha"}, 100, 0)
+	if err != nil || site != "alpha" {
+		t.Fatalf("tie break = %s, %v", site, err)
+	}
+}
+
+func TestLedger(t *testing.T) {
+	s := NewService()
+	s.SetRate("s", Rate{CPUSecond: 1})
+	s.Grant("alice", 100)
+	s.Grant("bob", 100)
+	s.Charge("alice", "s", 10, 0, t0, "a1")
+	s.Charge("bob", "s", 20, 0, t0.Add(time.Minute), "b1")
+	s.Charge("alice", "s", 5, 0, t0.Add(2*time.Minute), "a2")
+	all := s.Ledger("")
+	if len(all) != 3 {
+		t.Fatalf("ledger = %d entries", len(all))
+	}
+	alice := s.Ledger("alice")
+	if len(alice) != 2 || alice[0].Note != "a1" || alice[1].Note != "a2" {
+		t.Fatalf("alice ledger = %+v", alice)
+	}
+	if alice[0].Credits != 10 {
+		t.Fatalf("charge credits = %v", alice[0].Credits)
+	}
+}
+
+func TestSitesSorted(t *testing.T) {
+	s := NewService()
+	s.SetRate("z", Rate{})
+	s.SetRate("a", Rate{})
+	got := s.Sites()
+	if len(got) != 2 || got[0] != "a" || got[1] != "z" {
+		t.Fatalf("Sites = %v", got)
+	}
+}

@@ -1,0 +1,152 @@
+// Package scheduler implements a Sphinx-like scheduling middleware: the
+// component the paper's services submit job plans to, receive "concrete
+// job plans" from, and call back into for job redirection.
+//
+// The paper's workflow (§4.2.1, §6.1) is reproduced faithfully:
+//
+//   - users submit an abstract job plan — a DAG of tasks;
+//   - for each task, the scheduler "contacts the available execution
+//     sites" and asks each site's runtime estimator for a prediction
+//     (history maintenance is decentralized, one history per site);
+//   - it then "contact[s] the MonALISA repository to get the status of
+//     load at execution sites";
+//   - it "select[s] a site that has the least estimated run time and
+//     where the queue time for the task is a minimum", also accounting
+//     for input-file transfer time;
+//   - the resulting concrete job plan (tasks bound to sites) is sent to
+//     the Steering Service, which subscribes to plan announcements;
+//   - the Steering Service sends "requests for job redirection ... to the
+//     scheduler", handled here by Reschedule.
+package scheduler
+
+import (
+	"fmt"
+)
+
+// FileRef names an input dataset and the site currently holding it.
+type FileRef struct {
+	Name   string
+	Site   string
+	SizeMB float64
+}
+
+// TaskPlan is one node of an abstract job plan: the work description plus
+// the estimator covariates (queue, partition, nodes, job type, requested
+// hours — the SDSC accounting attributes the runtime estimator matches
+// on).
+type TaskPlan struct {
+	ID string
+
+	// Simulation ground truth: CPU-seconds on a reference processor.
+	CPUSeconds float64
+
+	// Estimator covariates.
+	Queue     string
+	Partition string
+	Nodes     int
+	JobType   string
+	ReqHours  float64
+
+	Priority       int
+	DependsOn      []string
+	Inputs         []FileRef
+	OutputFile     string
+	OutputMB       float64
+	Checkpointable bool
+	// Requirements is an optional ClassAd constraint on machines.
+	Requirements string
+	// FailAfterCPU injects a fault: the task fails once it has consumed
+	// this many CPU-seconds. Zero disables injection. Used by failure
+	//-recovery tests and the steering ablation benches.
+	FailAfterCPU float64
+}
+
+// JobPlan is an abstract job: a named DAG of tasks owned by a user.
+type JobPlan struct {
+	Name  string
+	Owner string
+	Tasks []TaskPlan
+}
+
+// Validate checks IDs, dependency references, and acyclicity.
+func (p *JobPlan) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("scheduler: plan without name")
+	}
+	if len(p.Tasks) == 0 {
+		return fmt.Errorf("scheduler: plan %q has no tasks", p.Name)
+	}
+	seen := make(map[string]bool, len(p.Tasks))
+	for _, t := range p.Tasks {
+		if t.ID == "" {
+			return fmt.Errorf("scheduler: plan %q has a task without ID", p.Name)
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("scheduler: plan %q has duplicate task %q", p.Name, t.ID)
+		}
+		if t.CPUSeconds <= 0 {
+			return fmt.Errorf("scheduler: task %q needs positive CPUSeconds", t.ID)
+		}
+		seen[t.ID] = true
+	}
+	for _, t := range p.Tasks {
+		for _, dep := range t.DependsOn {
+			if !seen[dep] {
+				return fmt.Errorf("scheduler: task %q depends on unknown task %q", t.ID, dep)
+			}
+			if dep == t.ID {
+				return fmt.Errorf("scheduler: task %q depends on itself", t.ID)
+			}
+		}
+	}
+	if _, err := p.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoOrder returns the task IDs in a dependency-respecting order
+// (Kahn's algorithm, FIFO among ready tasks so order is deterministic).
+func (p *JobPlan) TopoOrder() ([]string, error) {
+	indeg := make(map[string]int, len(p.Tasks))
+	dependents := make(map[string][]string)
+	for _, t := range p.Tasks {
+		indeg[t.ID] += 0
+		for _, dep := range t.DependsOn {
+			indeg[t.ID]++
+			dependents[dep] = append(dependents[dep], t.ID)
+		}
+	}
+	var ready []string
+	for _, t := range p.Tasks { // plan order, not map order
+		if indeg[t.ID] == 0 {
+			ready = append(ready, t.ID)
+		}
+	}
+	var order []string
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, id)
+		for _, d := range dependents[id] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				ready = append(ready, d)
+			}
+		}
+	}
+	if len(order) != len(p.Tasks) {
+		return nil, fmt.Errorf("scheduler: plan %q has a dependency cycle", p.Name)
+	}
+	return order, nil
+}
+
+// Task returns the named task plan.
+func (p *JobPlan) Task(id string) (TaskPlan, bool) {
+	for _, t := range p.Tasks {
+		if t.ID == id {
+			return t, true
+		}
+	}
+	return TaskPlan{}, false
+}

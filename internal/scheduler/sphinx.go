@@ -1,0 +1,681 @@
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/classad"
+	"repro/internal/condor"
+	"repro/internal/estimator"
+	"repro/internal/monalisa"
+	"repro/internal/quota"
+	"repro/internal/replica"
+	"repro/internal/simgrid"
+)
+
+// SiteServices bundles what the scheduler needs per execution site: the
+// site's execution service (Condor pool) and its decentralized runtime
+// estimator.
+type SiteServices struct {
+	Pool    *condor.Pool
+	Runtime *estimator.RuntimeEstimator
+}
+
+// Scheduler is the Sphinx-like middleware.
+type Scheduler struct {
+	grid     *simgrid.Grid
+	repo     *monalisa.Repository
+	estDB    *estimator.EstimateDB
+	transfer *estimator.TransferEstimator
+	quota    *quota.Service   // optional
+	replicas *replica.Catalog // optional
+
+	// LoadWeight scales how strongly MonALISA's observed site load
+	// penalizes a site's score (default 1: a fully loaded site doubles
+	// its effective runtime).
+	LoadWeight float64
+	// DefaultEstimate substitutes when a site has no usable history.
+	DefaultEstimate float64
+	// AutoResubmit makes the scheduler retry failed tasks on the
+	// next-best site by itself. The paper routes this decision through
+	// the Steering Service's Backup & Recovery module, so it defaults to
+	// false.
+	AutoResubmit bool
+	// MaxAttempts bounds per-task submissions when AutoResubmit is on.
+	MaxAttempts int
+	// Learn feeds completed tasks back into the executing site's history.
+	Learn bool
+
+	mu       sync.Mutex
+	sites    map[string]*SiteServices
+	plans    []*ConcretePlan
+	planSubs []func(*ConcretePlan)
+	jobIndex map[jobKey]planTask
+	events   []condor.Event
+}
+
+type jobKey struct {
+	pool string
+	id   int
+}
+
+type planTask struct {
+	cp     *ConcretePlan
+	taskID string
+}
+
+// Config carries the scheduler's collaborators.
+type Config struct {
+	Grid     *simgrid.Grid
+	Monitor  *monalisa.Repository
+	EstDB    *estimator.EstimateDB
+	Transfer *estimator.TransferEstimator
+	Quota    *quota.Service
+	// Replicas, when set, lets task inputs name a dataset without a
+	// fixed source (FileRef.Site == ""): the scheduler resolves the
+	// closest replica and registers new copies it creates.
+	Replicas *replica.Catalog
+}
+
+// New creates a scheduler and registers it with the grid engine.
+func New(cfg Config) *Scheduler {
+	if cfg.Grid == nil {
+		panic("scheduler: Config.Grid is required")
+	}
+	if cfg.EstDB == nil {
+		cfg.EstDB = estimator.NewEstimateDB()
+	}
+	if cfg.Transfer == nil {
+		cfg.Transfer = &estimator.TransferEstimator{Network: cfg.Grid.Network}
+	}
+	s := &Scheduler{
+		grid:            cfg.Grid,
+		repo:            cfg.Monitor,
+		estDB:           cfg.EstDB,
+		transfer:        cfg.Transfer,
+		quota:           cfg.Quota,
+		replicas:        cfg.Replicas,
+		LoadWeight:      1.0,
+		DefaultEstimate: 300,
+		MaxAttempts:     3,
+		Learn:           true,
+		sites:           make(map[string]*SiteServices),
+		jobIndex:        make(map[jobKey]planTask),
+	}
+	cfg.Grid.Engine.AddActor(s)
+	return s
+}
+
+// EstimateDB exposes the submission-time estimate database (shared with
+// the queue-time estimator).
+func (s *Scheduler) EstimateDB() *estimator.EstimateDB { return s.estDB }
+
+// RegisterSite makes an execution site schedulable.
+func (s *Scheduler) RegisterSite(site string, svc *SiteServices) {
+	if svc == nil || svc.Pool == nil {
+		panic("scheduler: RegisterSite needs a pool")
+	}
+	if svc.Runtime == nil {
+		svc.Runtime = estimator.NewRuntimeEstimator(estimator.NewHistory(0))
+	}
+	s.mu.Lock()
+	s.sites[site] = svc
+	s.mu.Unlock()
+	// Queue pool events; they are processed on the next tick to avoid
+	// re-entering the pool from inside its own lock.
+	svc.Pool.Subscribe(func(e condor.Event) {
+		s.mu.Lock()
+		s.events = append(s.events, e)
+		s.mu.Unlock()
+	})
+}
+
+// Sites returns registered site names, sorted.
+func (s *Scheduler) Sites() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.sites))
+	for name := range s.sites {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SiteServicesFor returns the registered services for a site.
+func (s *Scheduler) SiteServicesFor(site string) (*SiteServices, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	svc, ok := s.sites[site]
+	return svc, ok
+}
+
+// SubscribePlans registers a callback invoked with every new concrete
+// plan — how the Steering Service's Subscriber receives plans.
+func (s *Scheduler) SubscribePlans(fn func(*ConcretePlan)) {
+	if fn == nil {
+		panic("scheduler: SubscribePlans with nil callback")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.planSubs = append(s.planSubs, fn)
+}
+
+// Submit validates an abstract plan, creates its concrete plan, announces
+// it to subscribers, and begins scheduling ready tasks.
+func (s *Scheduler) Submit(plan *JobPlan) (*ConcretePlan, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if len(s.sites) == 0 {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("scheduler: no registered sites")
+	}
+	cp := newConcretePlan(plan)
+	s.plans = append(s.plans, cp)
+	subs := make([]func(*ConcretePlan), len(s.planSubs))
+	copy(subs, s.planSubs)
+	s.mu.Unlock()
+	for _, fn := range subs {
+		fn(cp)
+	}
+	s.pump()
+	return cp, nil
+}
+
+// OnTick processes queued execution-service events, then launches any
+// newly unblocked tasks.
+func (s *Scheduler) OnTick(now time.Time, dt time.Duration) {
+	s.drainEvents()
+	s.pump()
+}
+
+// drainEvents applies completion/failure events to assignments.
+func (s *Scheduler) drainEvents() {
+	s.mu.Lock()
+	events := s.events
+	s.events = nil
+	s.mu.Unlock()
+	for _, e := range events {
+		s.mu.Lock()
+		pt, ok := s.jobIndex[jobKey{pool: e.Pool, id: e.JobID}]
+		s.mu.Unlock()
+		if !ok {
+			continue
+		}
+		switch e.To {
+		case condor.StatusCompleted:
+			pt.cp.update(pt.taskID, func(a *Assignment) { a.State = TaskCompleted })
+			s.learnFrom(pt, e)
+			s.registerOutput(pt)
+		case condor.StatusFailed:
+			pt.cp.update(pt.taskID, func(a *Assignment) { a.State = TaskFailed })
+			if s.AutoResubmit {
+				if a, ok := pt.cp.Assignment(pt.taskID); ok && a.Attempts < s.MaxAttempts {
+					_, _ = s.Resubmit(pt.cp, pt.taskID)
+				}
+			}
+		}
+	}
+}
+
+// learnFrom closes the estimator's feedback loop: the actual runtime of a
+// completed task becomes a history record at its execution site.
+func (s *Scheduler) learnFrom(pt planTask, e condor.Event) {
+	if !s.Learn {
+		return
+	}
+	a, ok := pt.cp.Assignment(pt.taskID)
+	if !ok {
+		return
+	}
+	task, ok := pt.cp.Plan.Task(pt.taskID)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	svc := s.sites[a.Site]
+	s.mu.Unlock()
+	if svc == nil || svc.Runtime == nil || svc.Runtime.History == nil {
+		return
+	}
+	info, err := svc.Pool.Job(a.CondorID)
+	if err != nil {
+		return
+	}
+	_ = svc.Runtime.History.Add(estimator.TaskRecord{
+		Account:        pt.cp.Plan.Owner,
+		Login:          pt.cp.Plan.Owner,
+		Partition:      task.Partition,
+		Nodes:          task.Nodes,
+		JobType:        task.JobType,
+		Succeeded:      true,
+		ReqHours:       task.ReqHours,
+		Queue:          task.Queue,
+		Submitted:      info.SubmitTime,
+		Started:        info.StartTime,
+		Completed:      info.CompletionTime,
+		RuntimeSeconds: info.WallClock.Seconds(),
+	})
+}
+
+// registerOutput catalogues a completed task's output file, so downstream
+// tasks (and future plans) can stage it from wherever it was produced.
+func (s *Scheduler) registerOutput(pt planTask) {
+	if s.replicas == nil {
+		return
+	}
+	task, ok := pt.cp.Plan.Task(pt.taskID)
+	if !ok || task.OutputFile == "" {
+		return
+	}
+	a, ok := pt.cp.Assignment(pt.taskID)
+	if !ok || a.Site == "" {
+		return
+	}
+	size := task.OutputMB
+	if site := s.grid.Site(a.Site); site != nil {
+		if f, ok := site.Storage().Get(task.OutputFile); ok {
+			size = f.SizeMB
+		}
+	}
+	_ = s.replicas.Register(task.OutputFile, a.Site, size)
+}
+
+// pump launches every pending task whose dependencies completed.
+func (s *Scheduler) pump() {
+	s.mu.Lock()
+	plans := make([]*ConcretePlan, len(s.plans))
+	copy(plans, s.plans)
+	s.mu.Unlock()
+	for _, cp := range plans {
+		for _, t := range cp.Plan.Tasks {
+			a, ok := cp.Assignment(t.ID)
+			if !ok || a.State != TaskPending {
+				continue
+			}
+			if !s.depsDone(cp, t) {
+				continue
+			}
+			if err := s.launch(cp, t, nil, 0); err != nil {
+				cp.update(t.ID, func(a *Assignment) { a.State = TaskFailed })
+			}
+		}
+	}
+}
+
+func (s *Scheduler) depsDone(cp *ConcretePlan, t TaskPlan) bool {
+	for _, dep := range t.DependsOn {
+		a, ok := cp.Assignment(dep)
+		if !ok || a.State != TaskCompleted {
+			return false
+		}
+	}
+	return true
+}
+
+// launch selects a site, stages inputs, and submits the task. cpuDone
+// carries checkpointed progress on migration.
+func (s *Scheduler) launch(cp *ConcretePlan, t TaskPlan, exclude map[string]bool, cpuDone float64) error {
+	best, considered, err := s.SelectSite(t, exclude)
+	if err != nil {
+		return err
+	}
+	cp.update(t.ID, func(a *Assignment) {
+		a.Site = best.Site
+		a.State = TaskStaging
+		a.Estimates = best
+		a.Considered = considered
+		a.Attempts++
+	})
+	return s.stageAndSubmit(cp, t, best, cpuDone)
+}
+
+// SelectSite performs the paper's steps (a)–(e): per-site runtime
+// estimates, queue-time estimates, MonALISA load, transfer time, and (when
+// a quota service is configured) monetary cost. The returned slice holds
+// every candidate for explainability.
+func (s *Scheduler) SelectSite(t TaskPlan, exclude map[string]bool) (SiteEstimate, []SiteEstimate, error) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.sites))
+	for name := range s.sites {
+		if !exclude[name] {
+			names = append(names, name)
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	if len(names) == 0 {
+		return SiteEstimate{}, nil, fmt.Errorf("scheduler: no eligible sites for task %q", t.ID)
+	}
+	now := s.grid.Engine.Now()
+	var all []SiteEstimate
+	for _, site := range names {
+		s.mu.Lock()
+		svc := s.sites[site]
+		s.mu.Unlock()
+		est := SiteEstimate{Site: site}
+		est.RuntimeSeconds = s.runtimeEstimate(svc, t)
+		est.QueueSeconds = s.backlogSeconds(svc)
+		est.TransferSeconds = s.transferSeconds(t, site)
+		if s.repo != nil {
+			est.Load = s.repo.LatestValue(site, monalisa.MetricLoadAvg, 0)
+		}
+		if s.quota != nil {
+			if c, err := s.quota.Cost(site, est.RuntimeSeconds, inputMB(t)); err == nil {
+				est.CostCredits = c
+			}
+		}
+		est.Score = est.RuntimeSeconds*(1+s.LoadWeight*est.Load) + est.QueueSeconds + est.TransferSeconds
+		all = append(all, est)
+		_ = now
+	}
+	best := all[0]
+	for _, e := range all[1:] {
+		if e.Score < best.Score {
+			best = e
+		}
+	}
+	return best, all, nil
+}
+
+// runtimeEstimate queries a site's decentralized estimator, falling back
+// to the requested-hours hint and then the scheduler default.
+func (s *Scheduler) runtimeEstimate(svc *SiteServices, t TaskPlan) float64 {
+	if svc.Runtime != nil {
+		est, err := svc.Runtime.Estimate(taskRecordOf(t))
+		if err == nil && est.Seconds > 0 {
+			return est.Seconds
+		}
+	}
+	if t.ReqHours > 0 {
+		return t.ReqHours * 3600
+	}
+	return s.DefaultEstimate
+}
+
+// backlogSeconds approximates a site's queue wait: the summed remaining
+// estimates of every non-terminal job, divided by machine count.
+func (s *Scheduler) backlogSeconds(svc *SiteServices) float64 {
+	jobs, err := svc.Pool.Jobs()
+	if err != nil {
+		return 0
+	}
+	total := 0.0
+	for _, j := range jobs {
+		if j.Status.Terminal() {
+			continue
+		}
+		est := j.EstimatedRuntime
+		if v, ok := s.estDB.Lookup(j.Pool, j.ID); ok {
+			est = v
+		}
+		if est <= 0 {
+			est = s.DefaultEstimate
+		}
+		rem := est - j.WallClock.Seconds()
+		if rem > 0 {
+			total += rem
+		}
+	}
+	m := svc.Pool.Machines()
+	if m < 1 {
+		m = 1
+	}
+	return total / float64(m)
+}
+
+// resolveInput determines where an input file should be fetched from for
+// execution at site. Inputs with an explicit Site use it; otherwise the
+// replica catalog picks the closest replica. The returned source equals
+// site when no transfer is needed.
+func (s *Scheduler) resolveInput(f FileRef, site string) (src string, sizeMB float64, err error) {
+	if f.Site != "" {
+		return f.Site, f.SizeMB, nil
+	}
+	if s.replicas == nil {
+		return "", 0, fmt.Errorf("scheduler: input %q names no site and no replica catalog is configured", f.Name)
+	}
+	loc, _, err := s.replicas.Best(s.transfer, f.Name, site)
+	if err != nil {
+		return "", 0, err
+	}
+	return loc.Site, loc.SizeMB, nil
+}
+
+// transferSeconds sums predicted input-staging time for files not already
+// resident at the site.
+func (s *Scheduler) transferSeconds(t TaskPlan, site string) float64 {
+	total := 0.0
+	for _, f := range t.Inputs {
+		if dst := s.grid.Site(site); dst != nil {
+			if _, ok := dst.Storage().Get(f.Name); ok {
+				continue // replica already present
+			}
+		}
+		src, size, err := s.resolveInput(f, site)
+		if err != nil {
+			// No replica reachable: heavy penalty rather than failure, so
+			// another site can win.
+			total += 1e6
+			continue
+		}
+		if src == site {
+			continue
+		}
+		te, err := s.transfer.Estimate(src, site, size)
+		if err != nil {
+			total += 1e6
+			continue
+		}
+		total += te.Seconds
+	}
+	return total
+}
+
+func inputMB(t TaskPlan) float64 {
+	total := 0.0
+	for _, f := range t.Inputs {
+		total += f.SizeMB
+	}
+	return total
+}
+
+// stageAndSubmit replicates missing inputs to the chosen site and submits
+// the job once every transfer lands.
+func (s *Scheduler) stageAndSubmit(cp *ConcretePlan, t TaskPlan, est SiteEstimate, cpuDone float64) error {
+	site := est.Site
+	dst := s.grid.Site(site)
+	pending := 0
+	var mu sync.Mutex
+	submit := func() {
+		if err := s.submitTask(cp, t, est, cpuDone); err != nil {
+			cp.update(t.ID, func(a *Assignment) { a.State = TaskFailed })
+		}
+	}
+	done := func() {
+		mu.Lock()
+		pending--
+		ready := pending == 0
+		mu.Unlock()
+		if ready {
+			submit()
+		}
+	}
+	for _, f := range t.Inputs {
+		if dst != nil {
+			if _, ok := dst.Storage().Get(f.Name); ok {
+				continue
+			}
+		}
+		srcSite, size, err := s.resolveInput(f, site)
+		if err != nil {
+			return fmt.Errorf("scheduler: staging %q to %s: %w", f.Name, site, err)
+		}
+		if srcSite == site {
+			continue
+		}
+		if src := s.grid.Site(srcSite); src != nil {
+			if fl, ok := src.Storage().Get(f.Name); ok {
+				size = fl.SizeMB
+			}
+		}
+		fName, fSize := f.Name, size
+		mu.Lock()
+		pending++
+		mu.Unlock()
+		if _, err := s.grid.Network.StartTransfer(srcSite, site, size, func(time.Duration) {
+			if dst != nil {
+				_ = dst.Storage().Put(fName, fSize)
+			}
+			if s.replicas != nil {
+				_ = s.replicas.Register(fName, site, fSize)
+			}
+			done()
+		}); err != nil {
+			return fmt.Errorf("scheduler: staging %q to %s: %w", f.Name, site, err)
+		}
+	}
+	mu.Lock()
+	none := pending == 0
+	mu.Unlock()
+	if none {
+		submit()
+	}
+	return nil
+}
+
+// submitTask hands the task to the chosen site's execution service.
+func (s *Scheduler) submitTask(cp *ConcretePlan, t TaskPlan, est SiteEstimate, cpuDone float64) error {
+	s.mu.Lock()
+	svc := s.sites[est.Site]
+	s.mu.Unlock()
+	if svc == nil {
+		return fmt.Errorf("scheduler: site %q vanished", est.Site)
+	}
+	ad := classad.New().
+		Set(condor.AttrOwner, cp.Plan.Owner).
+		Set(condor.AttrCmd, t.ID).
+		Set(condor.AttrCpuSeconds, t.CPUSeconds).
+		Set(condor.AttrPriority, t.Priority).
+		Set(condor.AttrEstimate, est.RuntimeSeconds).
+		Set(condor.AttrInputMB, inputMB(t)).
+		Set(condor.AttrOutputMB, t.OutputMB).
+		Set(condor.AttrCheckpoint, t.Checkpointable)
+	if t.OutputFile != "" {
+		ad.Set(condor.AttrOutputFile, t.OutputFile)
+	}
+	if t.FailAfterCPU > 0 {
+		ad.Set(condor.AttrFailAfter, t.FailAfterCPU)
+	}
+	if t.Requirements != "" {
+		if err := ad.SetExpr(condor.AttrRequirements, t.Requirements); err != nil {
+			return err
+		}
+	}
+	var id int
+	var err error
+	if cpuDone > 0 {
+		id, err = svc.Pool.SubmitCheckpointed(ad, cpuDone)
+	} else {
+		id, err = svc.Pool.Submit(ad)
+	}
+	if err != nil {
+		return fmt.Errorf("scheduler: submitting %q to %s: %w", t.ID, est.Site, err)
+	}
+	s.estDB.Record(svc.Pool.Name, id, est.RuntimeSeconds)
+	s.mu.Lock()
+	s.jobIndex[jobKey{pool: svc.Pool.Name, id: id}] = planTask{cp: cp, taskID: t.ID}
+	s.mu.Unlock()
+	cp.update(t.ID, func(a *Assignment) {
+		a.CondorID = id
+		a.State = TaskSubmitted
+		a.SubmittedAt = s.grid.Engine.Now()
+	})
+	return nil
+}
+
+// Reschedule moves a submitted task to a different site — the paper's
+// "job redirection" request from the Steering Service. Checkpointable
+// jobs carry their completed CPU-seconds; others restart. The old job is
+// removed from its original site.
+func (s *Scheduler) Reschedule(cp *ConcretePlan, taskID string, exclude []string) (Assignment, error) {
+	a, ok := cp.Assignment(taskID)
+	if !ok {
+		return Assignment{}, fmt.Errorf("scheduler: plan has no task %q", taskID)
+	}
+	t, ok := cp.Plan.Task(taskID)
+	if !ok {
+		return Assignment{}, fmt.Errorf("scheduler: plan definition lost task %q", taskID)
+	}
+	excl := map[string]bool{}
+	for _, e := range exclude {
+		excl[e] = true
+	}
+	if a.Site != "" {
+		excl[a.Site] = true
+	}
+	cpuDone := 0.0
+	if a.State == TaskSubmitted {
+		s.mu.Lock()
+		svc := s.sites[a.Site]
+		s.mu.Unlock()
+		if svc != nil {
+			if t.Checkpointable {
+				if cpu, err := svc.Pool.Checkpoint(a.CondorID); err == nil {
+					cpuDone = cpu
+				}
+			}
+			_ = svc.Pool.Remove(a.CondorID)
+			s.mu.Lock()
+			delete(s.jobIndex, jobKey{pool: svc.Pool.Name, id: a.CondorID})
+			s.mu.Unlock()
+		}
+	}
+	if err := s.launch(cp, t, excl, cpuDone); err != nil {
+		return Assignment{}, err
+	}
+	na, _ := cp.Assignment(taskID)
+	return na, nil
+}
+
+// Resubmit relaunches a failed task on a site other than the one that
+// failed it — invoked by the Steering Service's Backup & Recovery module
+// ("the Backup and Recovery module contacts Sphinx to allocate a new
+// execution service; the scheduler will then resubmit the job").
+func (s *Scheduler) Resubmit(cp *ConcretePlan, taskID string) (Assignment, error) {
+	a, ok := cp.Assignment(taskID)
+	if !ok {
+		return Assignment{}, fmt.Errorf("scheduler: plan has no task %q", taskID)
+	}
+	t, ok := cp.Plan.Task(taskID)
+	if !ok {
+		return Assignment{}, fmt.Errorf("scheduler: plan definition lost task %q", taskID)
+	}
+	excl := map[string]bool{}
+	if a.Site != "" {
+		excl[a.Site] = true
+	}
+	if err := s.launch(cp, t, excl, 0); err != nil {
+		// Fall back to any site (including the failed one) rather than
+		// abandoning the task when the grid has a single site.
+		if err2 := s.launch(cp, t, nil, 0); err2 != nil {
+			return Assignment{}, err
+		}
+	}
+	na, _ := cp.Assignment(taskID)
+	return na, nil
+}
+
+func taskRecordOf(t TaskPlan) estimator.TaskRecord {
+	return estimator.TaskRecord{
+		Queue:     t.Queue,
+		Partition: t.Partition,
+		Nodes:     t.Nodes,
+		JobType:   t.JobType,
+		ReqHours:  t.ReqHours,
+	}
+}

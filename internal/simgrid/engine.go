@@ -1,0 +1,197 @@
+// Package simgrid is a deterministic discrete-event grid simulator: the
+// hardware substrate of the GAE reproduction.
+//
+// The paper ran its experiments on physical Condor pools at Caltech and
+// NUST; we replace the physical layer with simulated sites, each holding
+// CPU nodes whose availability varies under a configurable background
+// load, connected by network links with finite bandwidth and latency, and
+// hosting storage elements with named files. Everything above this package
+// (the Condor-like execution service, the estimators, the steering
+// service) interacts with the grid only through these types, so swapping
+// in real hardware would be a matter of reimplementing these interfaces.
+//
+// Time is driven by a vtime.SimClock advanced in fixed ticks; all
+// randomness flows from a single seeded source, making every experiment
+// reproducible bit for bit.
+package simgrid
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+// Actor is a component that evolves with simulated time. OnTick is called
+// once per engine step with the post-advance time and the tick duration.
+type Actor interface {
+	OnTick(now time.Time, dt time.Duration)
+}
+
+// ActorFunc adapts a function to the Actor interface.
+type ActorFunc func(now time.Time, dt time.Duration)
+
+// OnTick implements Actor.
+func (f ActorFunc) OnTick(now time.Time, dt time.Duration) { f(now, dt) }
+
+// Engine owns the simulated clock, the registered actors, and a timer
+// queue. A default tick of one second matches the resolution of the
+// paper's figures (seconds on every axis).
+type Engine struct {
+	mu     sync.Mutex
+	clock  *vtime.SimClock
+	tick   time.Duration
+	rng    *rand.Rand
+	actors []Actor
+	timers []*timer
+	seq    int64 // tiebreak for deterministic timer ordering
+	ticks  int64
+}
+
+type timer struct {
+	at  time.Time
+	seq int64
+	fn  func(now time.Time)
+}
+
+// NewEngine creates an engine with the given tick and RNG seed. A zero or
+// negative tick defaults to one second.
+func NewEngine(tick time.Duration, seed int64) *Engine {
+	if tick <= 0 {
+		tick = time.Second
+	}
+	return &Engine{
+		clock: vtime.NewSimClock(time.Time{}),
+		tick:  tick,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Clock exposes the engine's simulated clock for services that need a
+// vtime.Clock.
+func (e *Engine) Clock() *vtime.SimClock { return e.clock }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() time.Time { return e.clock.Now() }
+
+// Tick returns the engine step size.
+func (e *Engine) Tick() time.Duration { return e.tick }
+
+// Rand returns the engine's deterministic random source. Callers must use
+// it only from the simulation goroutine.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Ticks returns the number of steps executed so far.
+func (e *Engine) Ticks() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ticks
+}
+
+// AddActor registers an actor. Actors are invoked in registration order,
+// which is part of the deterministic contract.
+func (e *Engine) AddActor(a Actor) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.actors = append(e.actors, a)
+}
+
+// RemoveActor unregisters a previously added actor. Pointer actors compare
+// by identity; ActorFunc values compare by code pointer.
+func (e *Engine) RemoveActor(a Actor) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, x := range e.actors {
+		if sameActor(x, a) {
+			e.actors = append(e.actors[:i], e.actors[i+1:]...)
+			return
+		}
+	}
+}
+
+func sameActor(a, b Actor) bool {
+	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
+	if va.Kind() == reflect.Func || vb.Kind() == reflect.Func {
+		return va.Kind() == vb.Kind() && va.Pointer() == vb.Pointer()
+	}
+	if va.Type() != vb.Type() {
+		return false
+	}
+	if !va.Comparable() {
+		return false
+	}
+	return a == b
+}
+
+// Schedule runs fn once the simulated clock has advanced by delay.
+// Non-positive delays fire on the next step. Timers with equal deadlines
+// fire in scheduling order.
+func (e *Engine) Schedule(delay time.Duration, fn func(now time.Time)) {
+	if fn == nil {
+		panic("simgrid: Schedule with nil function")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.seq++
+	e.timers = append(e.timers, &timer{at: e.clock.Now().Add(delay), seq: e.seq, fn: fn})
+}
+
+// Step advances the simulation by one tick: the clock moves, due timers
+// fire (in deadline, then scheduling order), then actors tick.
+func (e *Engine) Step() {
+	e.mu.Lock()
+	e.ticks++
+	e.clock.Advance(e.tick)
+	now := e.clock.Now()
+	var due []*timer
+	kept := e.timers[:0]
+	for _, t := range e.timers {
+		if !t.at.After(now) {
+			due = append(due, t)
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	e.timers = kept
+	actors := make([]Actor, len(e.actors))
+	copy(actors, e.actors)
+	e.mu.Unlock()
+
+	sort.Slice(due, func(i, j int) bool {
+		if !due[i].at.Equal(due[j].at) {
+			return due[i].at.Before(due[j].at)
+		}
+		return due[i].seq < due[j].seq
+	})
+	for _, t := range due {
+		t.fn(now)
+	}
+	for _, a := range actors {
+		a.OnTick(now, e.tick)
+	}
+}
+
+// RunFor advances the simulation by d (rounded up to whole ticks).
+func (e *Engine) RunFor(d time.Duration) {
+	steps := int64((d + e.tick - 1) / e.tick)
+	for i := int64(0); i < steps; i++ {
+		e.Step()
+	}
+}
+
+// RunUntil steps the simulation until pred returns true, or fails after
+// max simulated time has elapsed.
+func (e *Engine) RunUntil(pred func() bool, max time.Duration) error {
+	deadline := e.clock.Now().Add(max)
+	for !pred() {
+		if e.clock.Now().After(deadline) {
+			return fmt.Errorf("simgrid: condition not reached within %v (now %v)", max, e.clock.Now())
+		}
+		e.Step()
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package simgrid
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// LoadFn models background CPU load on a node as a function of simulated
+// time, returning a value in [0, 1]: the fraction of the CPU consumed by
+// non-Grid work (interactive users, system daemons, higher-priority
+// owners). A Condor job on the node makes progress at rate 1-load.
+type LoadFn func(t time.Time) float64
+
+// ConstantLoad returns a load fixed at x (clamped to [0, 1]).
+func ConstantLoad(x float64) LoadFn {
+	x = clamp01(x)
+	return func(time.Time) float64 { return x }
+}
+
+// IdleLoad is a node with no background activity.
+func IdleLoad() LoadFn { return ConstantLoad(0) }
+
+// DiurnalLoad models a daily usage cycle: base load plus a sinusoid
+// peaking at peakHour with the given amplitude.
+func DiurnalLoad(base, amplitude float64, peakHour int) LoadFn {
+	return func(t time.Time) float64 {
+		hour := float64(t.Hour()) + float64(t.Minute())/60
+		phase := 2 * math.Pi * (hour - float64(peakHour)) / 24
+		return clamp01(base + amplitude*math.Cos(phase))
+	}
+}
+
+// StepLoad switches between levels at fixed boundaries. Boundaries are
+// offsets from epoch; levels[i] applies before boundaries[i], and the last
+// level applies afterwards. len(levels) must be len(boundaries)+1.
+func StepLoad(epoch time.Time, boundaries []time.Duration, levels []float64) LoadFn {
+	if len(levels) != len(boundaries)+1 {
+		panic("simgrid: StepLoad needs len(levels) == len(boundaries)+1")
+	}
+	return func(t time.Time) float64 {
+		d := t.Sub(epoch)
+		for i, b := range boundaries {
+			if d < b {
+				return clamp01(levels[i])
+			}
+		}
+		return clamp01(levels[len(levels)-1])
+	}
+}
+
+// NoisyLoad wraps a base load with seeded, time-hashed noise of the given
+// amplitude. The same (seed, time) pair always yields the same value, so
+// simulations remain reproducible regardless of call order.
+func NoisyLoad(base LoadFn, amplitude float64, seed int64) LoadFn {
+	return func(t time.Time) float64 {
+		h := seed ^ t.Unix()
+		h ^= h << 13
+		h ^= h >> 7
+		h ^= h << 17
+		r := rand.New(rand.NewSource(h))
+		return clamp01(base(t) + amplitude*(2*r.Float64()-1))
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

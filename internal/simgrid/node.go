@@ -1,0 +1,264 @@
+package simgrid
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TaskState is the execution state of a task placed on a node.
+type TaskState int
+
+// Task states.
+const (
+	TaskRunning TaskState = iota
+	TaskSuspended
+	TaskDone
+	TaskKilled
+)
+
+func (s TaskState) String() string {
+	switch s {
+	case TaskRunning:
+		return "running"
+	case TaskSuspended:
+		return "suspended"
+	case TaskDone:
+		return "done"
+	case TaskKilled:
+		return "killed"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Task is a unit of CPU work placed on a Node. Work is measured in
+// CPU-seconds on a reference (Mips=1.0) processor. WallClock accumulates
+// only while the task actually occupies the CPU — exactly Condor's
+// "accumulated wall-clock time" that the paper uses as its job-progress
+// proxy in Figure 7.
+type Task struct {
+	ID   string
+	Need float64 // total CPU-seconds required on a Mips=1.0 node
+
+	mu     sync.Mutex
+	state  TaskState
+	done   float64 // CPU-seconds completed
+	wall   float64 // seconds the task was actually executing
+	onDone func(*Task)
+}
+
+// NewTask creates a task requiring need CPU-seconds; onDone (optional)
+// fires when the work completes.
+func NewTask(id string, need float64, onDone func(*Task)) *Task {
+	if need <= 0 {
+		panic("simgrid: task needs positive work")
+	}
+	return &Task{ID: id, Need: need, onDone: onDone}
+}
+
+// State returns the task state.
+func (t *Task) State() TaskState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+// Progress returns completed work as a fraction in [0, 1].
+func (t *Task) Progress() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.done / t.Need
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// WallClock returns the accumulated execution time (Condor wall-clock).
+func (t *Task) WallClock() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return time.Duration(t.wall * float64(time.Second))
+}
+
+// CPUSeconds returns the completed CPU-seconds.
+func (t *Task) CPUSeconds() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.done
+}
+
+// Suspend pauses execution; progress and wall-clock stop accruing.
+func (t *Task) Suspend() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state == TaskRunning {
+		t.state = TaskSuspended
+	}
+}
+
+// Resume continues a suspended task.
+func (t *Task) Resume() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state == TaskSuspended {
+		t.state = TaskRunning
+	}
+}
+
+// Kill terminates the task; it will never complete.
+func (t *Task) Kill() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state == TaskRunning || t.state == TaskSuspended {
+		t.state = TaskKilled
+	}
+}
+
+// advance gives the task share×dt seconds of CPU and runFrac×dt seconds of
+// wall-clock; it reports whether the task just completed.
+func (t *Task) advance(dt time.Duration, share, runFrac float64) bool {
+	t.mu.Lock()
+	if t.state != TaskRunning {
+		t.mu.Unlock()
+		return false
+	}
+	sec := dt.Seconds()
+	t.done += sec * share
+	t.wall += sec * runFrac
+	completed := t.done >= t.Need
+	if completed {
+		t.done = t.Need
+		t.state = TaskDone
+	}
+	cb := t.onDone
+	t.mu.Unlock()
+	if completed && cb != nil {
+		cb(t)
+	}
+	return completed
+}
+
+// Node is a single CPU execution slot within a site. Mips scales its speed
+// relative to the reference processor; Load supplies the background
+// (non-Grid) utilization. Multiple tasks on one node share the remaining
+// capacity equally — Condor would normally run one job per slot, but the
+// fair-share model also covers oversubscription experiments.
+type Node struct {
+	Name string
+	Site string
+	Mips float64
+
+	mu    sync.Mutex
+	load  LoadFn
+	tasks []*Task
+}
+
+// NewNode creates a node. A nil load means idle; mips<=0 defaults to 1.
+func NewNode(name, site string, mips float64, load LoadFn) *Node {
+	if mips <= 0 {
+		mips = 1
+	}
+	if load == nil {
+		load = IdleLoad()
+	}
+	return &Node{Name: name, Site: site, Mips: mips, load: load}
+}
+
+// SetLoad replaces the node's background load function.
+func (n *Node) SetLoad(load LoadFn) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if load == nil {
+		load = IdleLoad()
+	}
+	n.load = load
+}
+
+// LoadAt reports the background load at time t.
+func (n *Node) LoadAt(t time.Time) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return clamp01(n.load(t))
+}
+
+// Place starts a task on this node.
+func (n *Node) Place(t *Task) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tasks = append(n.tasks, t)
+}
+
+// Remove detaches a task (completed, killed, or migrating) from the node.
+func (n *Node) Remove(t *Task) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, x := range n.tasks {
+		if x == t {
+			n.tasks = append(n.tasks[:i], n.tasks[i+1:]...)
+			return
+		}
+	}
+}
+
+// Tasks returns a snapshot of the tasks currently placed on the node.
+func (n *Node) Tasks() []*Task {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*Task, len(n.tasks))
+	copy(out, n.tasks)
+	return out
+}
+
+// RunningCount returns the number of tasks in the running state.
+func (n *Node) RunningCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c := 0
+	for _, t := range n.tasks {
+		if t.State() == TaskRunning {
+			c++
+		}
+	}
+	return c
+}
+
+// OnTick advances every running task by one tick. The free capacity
+// (1-load)×Mips is divided equally among running tasks; each task's
+// wall-clock accrues at the fraction of the tick it actually executed.
+func (n *Node) OnTick(now time.Time, dt time.Duration) {
+	n.mu.Lock()
+	load := clamp01(n.load(now))
+	running := make([]*Task, 0, len(n.tasks))
+	for _, t := range n.tasks {
+		if t.State() == TaskRunning {
+			running = append(running, t)
+		}
+	}
+	n.mu.Unlock()
+
+	if len(running) == 0 {
+		return
+	}
+	free := (1 - load) * n.Mips
+	share := free / float64(len(running))
+	runFrac := (1 - load) / float64(len(running))
+	var finished []*Task
+	for _, t := range running {
+		if t.advance(dt, share, runFrac) {
+			finished = append(finished, t)
+		}
+	}
+	if len(finished) > 0 {
+		n.mu.Lock()
+		for _, f := range finished {
+			for i, x := range n.tasks {
+				if x == f {
+					n.tasks = append(n.tasks[:i], n.tasks[i+1:]...)
+					break
+				}
+			}
+		}
+		n.mu.Unlock()
+	}
+}

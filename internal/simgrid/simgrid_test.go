@@ -1,0 +1,603 @@
+package simgrid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineStepAdvancesClock(t *testing.T) {
+	e := NewEngine(time.Second, 1)
+	start := e.Now()
+	e.Step()
+	if got := e.Now().Sub(start); got != time.Second {
+		t.Fatalf("one step advanced %v, want 1s", got)
+	}
+	if e.Ticks() != 1 {
+		t.Fatalf("Ticks = %d, want 1", e.Ticks())
+	}
+}
+
+func TestEngineDefaultTick(t *testing.T) {
+	if e := NewEngine(0, 1); e.Tick() != time.Second {
+		t.Fatalf("default tick = %v", e.Tick())
+	}
+}
+
+func TestEngineRunFor(t *testing.T) {
+	e := NewEngine(time.Second, 1)
+	start := e.Now()
+	e.RunFor(90 * time.Second)
+	if got := e.Now().Sub(start); got != 90*time.Second {
+		t.Fatalf("RunFor advanced %v", got)
+	}
+	// Fractional durations round up to whole ticks.
+	e.RunFor(1500 * time.Millisecond)
+	if got := e.Now().Sub(start); got != 92*time.Second {
+		t.Fatalf("fractional RunFor advanced to %v", got)
+	}
+}
+
+func TestEngineActorsTickInOrder(t *testing.T) {
+	e := NewEngine(time.Second, 1)
+	var order []string
+	e.AddActor(ActorFunc(func(time.Time, time.Duration) { order = append(order, "a") }))
+	e.AddActor(ActorFunc(func(time.Time, time.Duration) { order = append(order, "b") }))
+	e.Step()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("actor order = %v", order)
+	}
+}
+
+func TestEngineRemoveActor(t *testing.T) {
+	e := NewEngine(time.Second, 1)
+	n := 0
+	a := ActorFunc(func(time.Time, time.Duration) { n++ })
+	e.AddActor(a)
+	e.Step()
+	e.RemoveActor(a)
+	e.Step()
+	if n != 1 {
+		t.Fatalf("removed actor ticked %d times", n)
+	}
+}
+
+func TestEngineScheduleFiresOnce(t *testing.T) {
+	e := NewEngine(time.Second, 1)
+	fired := 0
+	var at time.Time
+	e.Schedule(5*time.Second, func(now time.Time) { fired++; at = now })
+	e.RunFor(4 * time.Second)
+	if fired != 0 {
+		t.Fatal("timer fired early")
+	}
+	e.RunFor(10 * time.Second)
+	if fired != 1 {
+		t.Fatalf("timer fired %d times", fired)
+	}
+	if got := at.Sub(time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)); got != 5*time.Second {
+		t.Fatalf("timer fired at +%v, want +5s", got)
+	}
+}
+
+func TestEngineScheduleOrdering(t *testing.T) {
+	e := NewEngine(time.Second, 1)
+	var order []int
+	// Same deadline: scheduling order wins. Earlier deadline fires first
+	// even when scheduled later.
+	e.Schedule(3*time.Second, func(time.Time) { order = append(order, 1) })
+	e.Schedule(3*time.Second, func(time.Time) { order = append(order, 2) })
+	e.Schedule(2*time.Second, func(time.Time) { order = append(order, 0) })
+	e.RunFor(5 * time.Second)
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("timer order = %v", order)
+	}
+}
+
+func TestEngineScheduleNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(nil) did not panic")
+		}
+	}()
+	NewEngine(time.Second, 1).Schedule(time.Second, nil)
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine(time.Second, 1)
+	hits := 0
+	e.AddActor(ActorFunc(func(time.Time, time.Duration) { hits++ }))
+	if err := e.RunUntil(func() bool { return hits >= 10 }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 10 {
+		t.Fatalf("hits = %d", hits)
+	}
+	if err := e.RunUntil(func() bool { return false }, 5*time.Second); err == nil {
+		t.Fatal("RunUntil(never) did not time out")
+	}
+}
+
+func TestTaskOnIdleNodeFinishesInNeedSeconds(t *testing.T) {
+	e := NewEngine(time.Second, 1)
+	n := NewNode("n1", "siteA", 1.0, IdleLoad())
+	e.AddActor(n)
+	var doneAt time.Time
+	task := NewTask("t1", 283, func(*Task) { doneAt = e.Now() })
+	n.Place(task)
+	e.RunFor(300 * time.Second)
+	if task.State() != TaskDone {
+		t.Fatalf("task state = %v", task.State())
+	}
+	elapsed := doneAt.Sub(time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC))
+	if elapsed != 283*time.Second {
+		t.Fatalf("finished in %v, want 283s", elapsed)
+	}
+	if got := task.WallClock(); got != 283*time.Second {
+		t.Fatalf("wall clock = %v, want 283s", got)
+	}
+	if task.Progress() != 1 {
+		t.Fatalf("progress = %v", task.Progress())
+	}
+}
+
+func TestTaskUnderLoadSlowsProportionally(t *testing.T) {
+	// Under 60% background load a 100 CPU-second job progresses at 0.4/s:
+	// after 100s only 40% done, and wall-clock shows 40s (Condor counts
+	// only actual execution time — the Figure 7 progress proxy).
+	e := NewEngine(time.Second, 1)
+	n := NewNode("n1", "siteA", 1.0, ConstantLoad(0.6))
+	e.AddActor(n)
+	task := NewTask("t1", 100, nil)
+	n.Place(task)
+	e.RunFor(100 * time.Second)
+	if got := task.Progress(); math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("progress = %v, want 0.40", got)
+	}
+	if got := task.WallClock().Seconds(); math.Abs(got-40) > 1e-6 {
+		t.Fatalf("wall clock = %vs, want 40s", got)
+	}
+}
+
+func TestTaskMipsScaling(t *testing.T) {
+	e := NewEngine(time.Second, 1)
+	fast := NewNode("fast", "s", 2.0, IdleLoad())
+	e.AddActor(fast)
+	task := NewTask("t", 100, nil)
+	fast.Place(task)
+	e.RunFor(50 * time.Second)
+	if task.State() != TaskDone {
+		t.Fatalf("2-mips node: task not done after 50s (progress %v)", task.Progress())
+	}
+}
+
+func TestTasksShareNodeFairly(t *testing.T) {
+	e := NewEngine(time.Second, 1)
+	n := NewNode("n", "s", 1.0, IdleLoad())
+	e.AddActor(n)
+	a := NewTask("a", 100, nil)
+	b := NewTask("b", 100, nil)
+	n.Place(a)
+	n.Place(b)
+	e.RunFor(100 * time.Second)
+	if pa, pb := a.Progress(), b.Progress(); math.Abs(pa-0.5) > 1e-9 || math.Abs(pb-0.5) > 1e-9 {
+		t.Fatalf("shared progress = %v, %v, want 0.5 each", pa, pb)
+	}
+}
+
+func TestTaskSuspendResume(t *testing.T) {
+	e := NewEngine(time.Second, 1)
+	n := NewNode("n", "s", 1.0, IdleLoad())
+	e.AddActor(n)
+	task := NewTask("t", 100, nil)
+	n.Place(task)
+	e.RunFor(30 * time.Second)
+	task.Suspend()
+	if task.State() != TaskSuspended {
+		t.Fatalf("state after suspend = %v", task.State())
+	}
+	e.RunFor(50 * time.Second)
+	if got := task.Progress(); math.Abs(got-0.3) > 1e-9 {
+		t.Fatalf("suspended task progressed to %v", got)
+	}
+	task.Resume()
+	e.RunFor(70 * time.Second)
+	if task.State() != TaskDone {
+		t.Fatalf("resumed task state = %v (progress %v)", task.State(), task.Progress())
+	}
+	// Wall clock excludes the suspension window.
+	if got := task.WallClock(); got != 100*time.Second {
+		t.Fatalf("wall clock = %v, want 100s", got)
+	}
+}
+
+func TestTaskKill(t *testing.T) {
+	e := NewEngine(time.Second, 1)
+	n := NewNode("n", "s", 1.0, IdleLoad())
+	e.AddActor(n)
+	task := NewTask("t", 100, func(*Task) { t.Fatal("killed task reported done") })
+	n.Place(task)
+	e.RunFor(10 * time.Second)
+	task.Kill()
+	e.RunFor(200 * time.Second)
+	if task.State() != TaskKilled {
+		t.Fatalf("state = %v", task.State())
+	}
+	if got := task.CPUSeconds(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("killed task cpu = %v, want 10", got)
+	}
+}
+
+func TestKillAfterDoneIsNoOp(t *testing.T) {
+	e := NewEngine(time.Second, 1)
+	n := NewNode("n", "s", 1.0, IdleLoad())
+	e.AddActor(n)
+	task := NewTask("t", 5, nil)
+	n.Place(task)
+	e.RunFor(10 * time.Second)
+	task.Kill()
+	if task.State() != TaskDone {
+		t.Fatalf("Kill demoted a done task to %v", task.State())
+	}
+}
+
+func TestNodeRemoveDetachesTask(t *testing.T) {
+	e := NewEngine(time.Second, 1)
+	n := NewNode("n", "s", 1.0, IdleLoad())
+	e.AddActor(n)
+	task := NewTask("t", 100, nil)
+	n.Place(task)
+	e.RunFor(10 * time.Second)
+	n.Remove(task)
+	e.RunFor(50 * time.Second)
+	if got := task.Progress(); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("detached task progressed to %v", got)
+	}
+	if len(n.Tasks()) != 0 {
+		t.Fatal("node still holds detached task")
+	}
+}
+
+func TestCompletedTaskLeavesNode(t *testing.T) {
+	e := NewEngine(time.Second, 1)
+	n := NewNode("n", "s", 1.0, IdleLoad())
+	e.AddActor(n)
+	n.Place(NewTask("t", 5, nil))
+	e.RunFor(10 * time.Second)
+	if got := len(n.Tasks()); got != 0 {
+		t.Fatalf("node holds %d tasks after completion", got)
+	}
+}
+
+func TestNewTaskValidations(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTask(need=0) did not panic")
+		}
+	}()
+	NewTask("t", 0, nil)
+}
+
+func TestLoadFns(t *testing.T) {
+	epoch := time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)
+	if got := ConstantLoad(0.5)(epoch); got != 0.5 {
+		t.Errorf("ConstantLoad = %v", got)
+	}
+	if got := ConstantLoad(1.5)(epoch); got != 1 {
+		t.Errorf("ConstantLoad clamps high = %v", got)
+	}
+	if got := ConstantLoad(-1)(epoch); got != 0 {
+		t.Errorf("ConstantLoad clamps low = %v", got)
+	}
+	d := DiurnalLoad(0.5, 0.3, 14)
+	peak := d(time.Date(2005, 1, 1, 14, 0, 0, 0, time.UTC))
+	trough := d(time.Date(2005, 1, 1, 2, 0, 0, 0, time.UTC))
+	if peak <= trough {
+		t.Errorf("diurnal peak %v <= trough %v", peak, trough)
+	}
+	if math.Abs(peak-0.8) > 1e-9 {
+		t.Errorf("diurnal peak = %v, want 0.8", peak)
+	}
+	st := StepLoad(epoch, []time.Duration{time.Minute}, []float64{0.1, 0.9})
+	if got := st(epoch.Add(30 * time.Second)); got != 0.1 {
+		t.Errorf("step before boundary = %v", got)
+	}
+	if got := st(epoch.Add(2 * time.Minute)); got != 0.9 {
+		t.Errorf("step after boundary = %v", got)
+	}
+}
+
+func TestStepLoadValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched StepLoad did not panic")
+		}
+	}()
+	StepLoad(time.Time{}, []time.Duration{time.Second}, []float64{0.5})
+}
+
+func TestNoisyLoadDeterministicAndBounded(t *testing.T) {
+	base := ConstantLoad(0.5)
+	noisy := NoisyLoad(base, 0.2, 42)
+	ts := time.Date(2005, 3, 1, 9, 30, 0, 0, time.UTC)
+	a, b := noisy(ts), noisy(ts)
+	if a != b {
+		t.Fatalf("NoisyLoad not deterministic: %v vs %v", a, b)
+	}
+	for i := 0; i < 100; i++ {
+		v := noisy(ts.Add(time.Duration(i) * time.Second))
+		if v < 0 || v > 1 {
+			t.Fatalf("NoisyLoad out of range: %v", v)
+		}
+		if math.Abs(v-0.5) > 0.2+1e-9 {
+			t.Fatalf("NoisyLoad outside amplitude: %v", v)
+		}
+	}
+}
+
+func TestSiteAndGrid(t *testing.T) {
+	g := NewGrid(time.Second, 7)
+	a := g.AddSite("caltech")
+	b := g.AddSite("nust")
+	if g.Site("caltech") != a || g.Site("nust") != b || g.Site("x") != nil {
+		t.Fatal("Site lookup broken")
+	}
+	names := g.SiteNames()
+	if len(names) != 2 || names[0] != "caltech" || names[1] != "nust" {
+		t.Fatalf("SiteNames = %v", names)
+	}
+	a.AddNode(g.Engine, "c1", 1, ConstantLoad(0.2))
+	a.AddNode(g.Engine, "c2", 1, ConstantLoad(0.4))
+	if got := a.AvgLoad(g.Engine.Now()); math.Abs(got-0.3) > 1e-9 {
+		t.Fatalf("AvgLoad = %v", got)
+	}
+	if n := a.Node("c2"); n == nil || n.Name != "c2" {
+		t.Fatal("Node lookup broken")
+	}
+	if a.Node("zz") != nil {
+		t.Fatal("phantom node")
+	}
+}
+
+func TestGridDuplicateSitePanics(t *testing.T) {
+	g := NewGrid(time.Second, 1)
+	g.AddSite("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate site did not panic")
+		}
+	}()
+	g.AddSite("a")
+}
+
+func TestLeastLoadedNode(t *testing.T) {
+	g := NewGrid(time.Second, 1)
+	s := g.AddSite("s")
+	s.AddNode(g.Engine, "busy", 1, ConstantLoad(0.9))
+	idle := s.AddNode(g.Engine, "idle", 1, ConstantLoad(0.0))
+	if got := s.LeastLoadedNode(g.Engine.Now()); got != idle {
+		t.Fatalf("LeastLoadedNode = %v", got.Name)
+	}
+	// Placing a task makes the idle node less attractive.
+	idle.Place(NewTask("t", 1000, nil))
+	idle.Place(NewTask("t2", 1000, nil))
+	if got := s.LeastLoadedNode(g.Engine.Now()); got.Name != "busy" {
+		t.Fatalf("LeastLoadedNode with queue = %v", got.Name)
+	}
+}
+
+func TestLeastLoadedNodeEmptySite(t *testing.T) {
+	s := NewSite("empty")
+	if s.LeastLoadedNode(time.Now()) != nil {
+		t.Fatal("empty site returned a node")
+	}
+}
+
+func TestNetworkTransferDuration(t *testing.T) {
+	g := NewGrid(time.Second, 1)
+	g.AddSite("a")
+	g.AddSite("b")
+	g.Network.Connect("a", "b", Link{BandwidthMBps: 10, Latency: 100 * time.Millisecond})
+	d, err := g.Network.TransferDuration("a", "b", 100) // 100MB at 10MB/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 10*time.Second + 100*time.Millisecond; d != want {
+		t.Fatalf("duration = %v, want %v", d, want)
+	}
+	// Symmetric.
+	d2, err := g.Network.TransferDuration("b", "a", 100)
+	if err != nil || d2 != d {
+		t.Fatalf("reverse = %v, %v", d2, err)
+	}
+	// Same site: local copy speed.
+	dl, err := g.Network.TransferDuration("a", "a", 400)
+	if err != nil || dl != time.Second {
+		t.Fatalf("local = %v, %v", dl, err)
+	}
+	// Missing link.
+	if _, err := g.Network.TransferDuration("a", "c", 1); err == nil {
+		t.Fatal("transfer over missing link succeeded")
+	}
+	// Negative size.
+	if _, err := g.Network.TransferDuration("a", "b", -1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestNetworkUtilizationSlowsTransfers(t *testing.T) {
+	g := NewGrid(time.Second, 1)
+	g.Network.Connect("a", "b", Link{BandwidthMBps: 10})
+	base, _ := g.Network.TransferDuration("a", "b", 100)
+	if err := g.Network.SetUtilization("a", "b", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _ := g.Network.TransferDuration("a", "b", 100)
+	if loaded <= base {
+		t.Fatalf("utilized link not slower: %v vs %v", loaded, base)
+	}
+	if err := g.Network.SetUtilization("x", "y", 0.5); err == nil {
+		t.Fatal("SetUtilization on missing link succeeded")
+	}
+}
+
+func TestNetworkConnectValidation(t *testing.T) {
+	g := NewGrid(time.Second, 1)
+	for _, f := range []func(){
+		func() { g.Network.Connect("a", "a", Link{BandwidthMBps: 1}) },
+		func() { g.Network.Connect("a", "b", Link{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad Connect did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStartTransferCompletesInSimTime(t *testing.T) {
+	g := NewGrid(time.Second, 1)
+	g.Network.Connect("a", "b", Link{BandwidthMBps: 10})
+	var done time.Duration
+	planned, err := g.Network.StartTransfer("a", "b", 50, func(elapsed time.Duration) { done = elapsed })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planned != 5*time.Second {
+		t.Fatalf("planned = %v", planned)
+	}
+	g.Engine.RunFor(4 * time.Second)
+	if done != 0 {
+		t.Fatal("transfer completed early")
+	}
+	g.Engine.RunFor(2 * time.Second)
+	if done != planned {
+		t.Fatalf("done = %v, want %v", done, planned)
+	}
+}
+
+func TestMeasureBandwidth(t *testing.T) {
+	g := NewGrid(time.Second, 1)
+	g.Network.Connect("a", "b", Link{BandwidthMBps: 12.5})
+	bw, err := g.Network.MeasureBandwidth("a", "b", 0) // default probe
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bw-12.5) > 0.01 {
+		t.Fatalf("measured %v MB/s, want ~12.5", bw)
+	}
+	// Latency reduces measured throughput for small probes, as with iperf.
+	g.Network.Connect("a", "c", Link{BandwidthMBps: 12.5, Latency: 2 * time.Second})
+	bw2, err := g.Network.MeasureBandwidth("a", "c", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw2 >= bw {
+		t.Fatalf("latency did not reduce measured bandwidth: %v vs %v", bw2, bw)
+	}
+	if _, err := g.Network.MeasureBandwidth("a", "zz", 1); err == nil {
+		t.Fatal("probe over missing link succeeded")
+	}
+}
+
+func TestStorageBasics(t *testing.T) {
+	s := NewStorage("site")
+	if err := s.Put("data.root", 150); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("", 1); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := s.Put("x", -1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	f, ok := s.Get("data.root")
+	if !ok || f.SizeMB != 150 {
+		t.Fatalf("Get = %+v, %v", f, ok)
+	}
+	s.Put("other", 50)
+	if got := s.UsedMB(); got != 200 {
+		t.Fatalf("UsedMB = %v", got)
+	}
+	list := s.List()
+	if len(list) != 2 || list[0].Name != "data.root" || list[1].Name != "other" {
+		t.Fatalf("List = %v", list)
+	}
+	if !s.Delete("other") || s.Delete("other") {
+		t.Fatal("Delete semantics broken")
+	}
+}
+
+func TestStorageReplicate(t *testing.T) {
+	g := NewGrid(time.Second, 1)
+	a := g.AddSite("a")
+	b := g.AddSite("b")
+	g.Network.Connect("a", "b", Link{BandwidthMBps: 10})
+	a.Storage().Put("dataset", 100)
+	replicated := false
+	d, err := a.Storage().Replicate(g.Network, b.Storage(), "dataset", func() { replicated = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 10*time.Second {
+		t.Fatalf("planned = %v", d)
+	}
+	if _, ok := b.Storage().Get("dataset"); ok {
+		t.Fatal("file appeared before transfer completed")
+	}
+	g.Engine.RunFor(11 * time.Second)
+	if !replicated {
+		t.Fatal("done callback not fired")
+	}
+	if f, ok := b.Storage().Get("dataset"); !ok || f.SizeMB != 100 {
+		t.Fatalf("replica = %+v, %v", f, ok)
+	}
+	if _, err := a.Storage().Replicate(g.Network, b.Storage(), "missing", nil); err == nil {
+		t.Fatal("replicating a missing file succeeded")
+	}
+}
+
+// Property: a task under constant load L on a Mips-1 node reaches progress
+// ≈ (1-L)·t/Need after t seconds (before completion).
+func TestQuickProgressUnderLoad(t *testing.T) {
+	f := func(loadPct uint8, needS uint8) bool {
+		load := float64(loadPct%90) / 100 // 0.00 .. 0.89
+		need := float64(needS%100) + 50   // 50 .. 149 cpu-seconds
+		e := NewEngine(time.Second, 1)
+		n := NewNode("n", "s", 1, ConstantLoad(load))
+		e.AddActor(n)
+		task := NewTask("t", need, nil)
+		n.Place(task)
+		const runFor = 40
+		e.RunFor(runFor * time.Second)
+		want := (1 - load) * runFor / need
+		if want > 1 {
+			want = 1
+		}
+		return math.Abs(task.Progress()-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transfer duration is monotone in size and inversely monotone
+// in bandwidth.
+func TestQuickTransferMonotonicity(t *testing.T) {
+	f := func(szA, szB uint16, bw uint8) bool {
+		g := NewGrid(time.Second, 1)
+		bwv := float64(bw%50) + 1
+		g.Network.Connect("a", "b", Link{BandwidthMBps: bwv})
+		small, big := float64(szA%1000), float64(szA%1000)+float64(szB%1000)+1
+		ds, err1 := g.Network.TransferDuration("a", "b", small)
+		db, err2 := g.Network.TransferDuration("a", "b", big)
+		return err1 == nil && err2 == nil && db > ds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

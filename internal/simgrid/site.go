@@ -1,0 +1,161 @@
+package simgrid
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Site is a named computing facility: a set of nodes plus a storage
+// element, attached to the grid's network fabric. In the paper's setting a
+// site is one Condor pool (Caltech, NUST, ...).
+type Site struct {
+	Name string
+
+	mu      sync.Mutex
+	nodes   []*Node
+	storage *Storage
+}
+
+// NewSite creates an empty site with its own storage element.
+func NewSite(name string) *Site {
+	return &Site{Name: name, storage: NewStorage(name)}
+}
+
+// AddNode creates a node inside this site and registers it with the engine
+// so it advances on every tick.
+func (s *Site) AddNode(e *Engine, name string, mips float64, load LoadFn) *Node {
+	n := NewNode(name, s.Name, mips, load)
+	s.mu.Lock()
+	s.nodes = append(s.nodes, n)
+	s.mu.Unlock()
+	e.AddActor(n)
+	return n
+}
+
+// Nodes returns a snapshot of the site's nodes.
+func (s *Site) Nodes() []*Node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Node, len(s.nodes))
+	copy(out, s.nodes)
+	return out
+}
+
+// Node returns the named node or nil.
+func (s *Site) Node(name string) *Node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, n := range s.nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// Storage returns the site's storage element.
+func (s *Site) Storage() *Storage { return s.storage }
+
+// AvgLoad reports the mean background load across the site's nodes at t —
+// the quantity a MonALISA farm snapshot would publish.
+func (s *Site) AvgLoad(t time.Time) float64 {
+	nodes := s.Nodes()
+	if len(nodes) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, n := range nodes {
+		sum += n.LoadAt(t)
+	}
+	return sum / float64(len(nodes))
+}
+
+// RunningTasks reports the total number of running tasks at the site.
+func (s *Site) RunningTasks() int {
+	total := 0
+	for _, n := range s.Nodes() {
+		total += n.RunningCount()
+	}
+	return total
+}
+
+// LeastLoadedNode returns the node with the lowest (load, running tasks)
+// pair at time t, or nil for an empty site. Ties break by node name so
+// placement is deterministic.
+func (s *Site) LeastLoadedNode(t time.Time) *Node {
+	nodes := s.Nodes()
+	if len(nodes) == 0 {
+		return nil
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+	best := nodes[0]
+	bestKey := placementKey(best, t)
+	for _, n := range nodes[1:] {
+		if k := placementKey(n, t); k < bestKey {
+			best, bestKey = n, k
+		}
+	}
+	return best
+}
+
+func placementKey(n *Node, t time.Time) float64 {
+	return n.LoadAt(t) + float64(n.RunningCount())
+}
+
+// Grid is the top-level simulated infrastructure: engine, sites, network.
+type Grid struct {
+	Engine  *Engine
+	Network *Network
+
+	mu    sync.Mutex
+	sites map[string]*Site
+}
+
+// NewGrid creates a grid with the given tick and seed.
+func NewGrid(tick time.Duration, seed int64) *Grid {
+	e := NewEngine(tick, seed)
+	return &Grid{Engine: e, Network: NewNetwork(e), sites: make(map[string]*Site)}
+}
+
+// AddSite creates and registers a site.
+func (g *Grid) AddSite(name string) *Site {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.sites[name]; dup {
+		panic(fmt.Sprintf("simgrid: duplicate site %q", name))
+	}
+	s := NewSite(name)
+	g.sites[name] = s
+	return s
+}
+
+// Site returns the named site or nil.
+func (g *Grid) Site(name string) *Site {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sites[name]
+}
+
+// Sites returns all sites sorted by name.
+func (g *Grid) Sites() []*Site {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*Site, 0, len(g.sites))
+	for _, s := range g.sites {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SiteNames returns the sorted site names.
+func (g *Grid) SiteNames() []string {
+	sites := g.Sites()
+	out := make([]string, len(sites))
+	for i, s := range sites {
+		out[i] = s.Name
+	}
+	return out
+}

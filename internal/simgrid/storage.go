@@ -1,0 +1,103 @@
+package simgrid
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// File is a named dataset replica held by a storage element.
+type File struct {
+	Name   string
+	SizeMB float64
+}
+
+// Storage is a site's storage element: a set of named files. The data-grid
+// side of the paper (selecting and accessing datasets from suitable
+// storage elements) reduces to replica lookup plus transfer-time
+// estimation over the Network.
+type Storage struct {
+	Site string
+
+	mu    sync.Mutex
+	files map[string]File
+}
+
+// NewStorage creates an empty storage element for a site.
+func NewStorage(site string) *Storage {
+	return &Storage{Site: site, files: make(map[string]File)}
+}
+
+// Put stores (or replaces) a file.
+func (s *Storage) Put(name string, sizeMB float64) error {
+	if name == "" {
+		return fmt.Errorf("simgrid: empty file name")
+	}
+	if sizeMB < 0 {
+		return fmt.Errorf("simgrid: negative size for %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.files[name] = File{Name: name, SizeMB: sizeMB}
+	return nil
+}
+
+// Get returns the named file.
+func (s *Storage) Get(name string) (File, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[name]
+	return f, ok
+}
+
+// Delete removes a file; it reports whether the file existed.
+func (s *Storage) Delete(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.files[name]
+	delete(s.files, name)
+	return ok
+}
+
+// List returns all files sorted by name.
+func (s *Storage) List() []File {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]File, 0, len(s.files))
+	for _, f := range s.files {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// UsedMB returns the total stored size.
+func (s *Storage) UsedMB() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0.0
+	for _, f := range s.files {
+		total += f.SizeMB
+	}
+	return total
+}
+
+// Replicate copies a file from this storage element to dst over the
+// network. The file appears at dst when the simulated transfer completes;
+// done (optional) fires at that moment. The planned transfer duration is
+// returned immediately.
+func (s *Storage) Replicate(n *Network, dst *Storage, name string, done func()) (time.Duration, error) {
+	f, ok := s.Get(name)
+	if !ok {
+		return 0, fmt.Errorf("simgrid: %s has no file %q", s.Site, name)
+	}
+	return n.StartTransfer(s.Site, dst.Site, f.SizeMB, func(time.Duration) {
+		dst.mu.Lock()
+		dst.files[f.Name] = f
+		dst.mu.Unlock()
+		if done != nil {
+			done()
+		}
+	})
+}

@@ -1,0 +1,183 @@
+package steering
+
+import (
+	"fmt"
+
+	"repro/internal/scheduler"
+)
+
+// The Command Processor: client- and optimizer-issued job control. Every
+// entry point authorizes through the Session Manager first, then acts on
+// the execution service directly — except redirection, which is "sent to
+// the scheduler (Sphinx)" per the paper.
+
+// poolFor resolves the execution service currently running the task.
+func (s *Service) poolFor(w *watched) (a scheduler.Assignment, err error) {
+	a, ok := w.cp.Assignment(w.ref.Task)
+	if !ok {
+		return a, fmt.Errorf("steering: assignment missing for %s", w.ref)
+	}
+	if a.Site == "" || a.CondorID == 0 {
+		return a, fmt.Errorf("steering: task %s is not submitted (state %v)", w.ref, a.State)
+	}
+	return a, nil
+}
+
+// Kill terminates a task on behalf of user.
+func (s *Service) Kill(user string, ref TaskRef) error {
+	w, err := s.lookup(ref)
+	if err != nil {
+		return err
+	}
+	if err := s.Sessions.Authorize(user, w.owner); err != nil {
+		return err
+	}
+	a, err := s.poolFor(w)
+	if err != nil {
+		return err
+	}
+	svc, ok := s.cfg.Scheduler.SiteServicesFor(a.Site)
+	if !ok {
+		return fmt.Errorf("steering: site %q not registered", a.Site)
+	}
+	return svc.Pool.Remove(a.CondorID)
+}
+
+// Pause suspends a running task.
+func (s *Service) Pause(user string, ref TaskRef) error {
+	w, err := s.lookup(ref)
+	if err != nil {
+		return err
+	}
+	if err := s.Sessions.Authorize(user, w.owner); err != nil {
+		return err
+	}
+	a, err := s.poolFor(w)
+	if err != nil {
+		return err
+	}
+	svc, ok := s.cfg.Scheduler.SiteServicesFor(a.Site)
+	if !ok {
+		return fmt.Errorf("steering: site %q not registered", a.Site)
+	}
+	return svc.Pool.Suspend(a.CondorID)
+}
+
+// Resume continues a paused task.
+func (s *Service) Resume(user string, ref TaskRef) error {
+	w, err := s.lookup(ref)
+	if err != nil {
+		return err
+	}
+	if err := s.Sessions.Authorize(user, w.owner); err != nil {
+		return err
+	}
+	a, err := s.poolFor(w)
+	if err != nil {
+		return err
+	}
+	svc, ok := s.cfg.Scheduler.SiteServicesFor(a.Site)
+	if !ok {
+		return fmt.Errorf("steering: site %q not registered", a.Site)
+	}
+	return svc.Pool.Resume(a.CondorID)
+}
+
+// SetPriority changes a task's priority.
+func (s *Service) SetPriority(user string, ref TaskRef, prio int) error {
+	w, err := s.lookup(ref)
+	if err != nil {
+		return err
+	}
+	if err := s.Sessions.Authorize(user, w.owner); err != nil {
+		return err
+	}
+	a, err := s.poolFor(w)
+	if err != nil {
+		return err
+	}
+	svc, ok := s.cfg.Scheduler.SiteServicesFor(a.Site)
+	if !ok {
+		return fmt.Errorf("steering: site %q not registered", a.Site)
+	}
+	return svc.Pool.SetPriority(a.CondorID, prio)
+}
+
+// Move redirects a task to another execution site. With target == "" the
+// scheduler picks the best site by its usual scoring (excluding the
+// current site); otherwise the task goes to the named site. Redirection
+// always flows through the scheduler, as in the paper.
+func (s *Service) Move(user string, ref TaskRef, target string) (scheduler.Assignment, error) {
+	w, err := s.lookup(ref)
+	if err != nil {
+		return scheduler.Assignment{}, err
+	}
+	if err := s.Sessions.Authorize(user, w.owner); err != nil {
+		return scheduler.Assignment{}, err
+	}
+	return s.moveTask(w, target, fmt.Sprintf("moved by %s", user))
+}
+
+// moveTask performs the redirection and notifies the owner. target == ""
+// lets the scheduler choose.
+func (s *Service) moveTask(w *watched, target string, reason string) (scheduler.Assignment, error) {
+	before, _ := w.cp.Assignment(w.ref.Task)
+	var exclude []string
+	if target != "" {
+		for _, site := range s.cfg.Scheduler.Sites() {
+			if site != target {
+				exclude = append(exclude, site)
+			}
+		}
+		if before.Site == target {
+			return before, fmt.Errorf("steering: task %s already at %s", w.ref, target)
+		}
+	}
+	after, err := s.cfg.Scheduler.Reschedule(w.cp, w.ref.Task, exclude)
+	if err != nil {
+		return scheduler.Assignment{}, err
+	}
+	s.mu.Lock()
+	w.moves++
+	s.mu.Unlock()
+	s.notify(w.owner, Notification{
+		Time: s.cfg.Grid.Engine.Now(),
+		Plan: w.ref.Plan,
+		Task: w.ref.Task,
+		Kind: "moved",
+		Message: fmt.Sprintf("task %s moved %s → %s (%s)",
+			w.ref, orDash(before.Site), after.Site, reason),
+	})
+	return after, nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// EstimateCompletion returns the Optimizer's view of the expected time to
+// completion (seconds) for a watched task at its current site: the
+// remaining runtime estimate plus, when queued, the site backlog. Clients
+// use it through the steering API ("the steering service determines the
+// estimated time to completion of a job ... by invoking the estimator
+// service").
+func (s *Service) EstimateCompletion(ref TaskRef) (float64, error) {
+	st, err := s.TaskStatus(ref)
+	if err != nil {
+		return 0, err
+	}
+	if !st.HaveJob {
+		return 0, fmt.Errorf("steering: no live job for %s", ref)
+	}
+	rem := st.Job.RemainingEstimate
+	if rem <= 0 && st.Job.EstimatedRuntime == 0 {
+		rem = st.Assignment.Estimates.RuntimeSeconds - st.Job.WallClock.Seconds()
+		if rem < 0 {
+			rem = 0
+		}
+	}
+	return rem + st.Assignment.Estimates.QueueSeconds, nil
+}

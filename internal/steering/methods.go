@@ -1,0 +1,185 @@
+package steering
+
+import (
+	"context"
+
+	"repro/internal/jobmon"
+	"repro/internal/xmlrpc"
+)
+
+// UserResolver maps a request context to the authenticated user name
+// ("" for anonymous). The Clarens host supplies one that consults its
+// session store.
+type UserResolver func(ctx context.Context) string
+
+// Methods returns the Steering Service's XML-RPC facade, hosted on
+// Clarens under the "steering" service name.
+func (s *Service) Methods(userOf UserResolver) map[string]xmlrpc.Handler {
+	if userOf == nil {
+		userOf = func(context.Context) string { return "" }
+	}
+	parseRef := func(args []any) (TaskRef, error) {
+		p := xmlrpc.Params(args)
+		if err := p.WantAtLeast(2); err != nil {
+			return TaskRef{}, err
+		}
+		plan, err := p.String(0)
+		if err != nil {
+			return TaskRef{}, err
+		}
+		task, err := p.String(1)
+		if err != nil {
+			return TaskRef{}, err
+		}
+		return TaskRef{Plan: plan, Task: task}, nil
+	}
+	appErr := func(err error) error {
+		return xmlrpc.NewFault(xmlrpc.FaultApplication, "%v", err)
+	}
+	return map[string]xmlrpc.Handler{
+		// jobs lists the caller's watched tasks as "plan/task" strings.
+		"jobs": func(ctx context.Context, _ []any) (any, error) {
+			refs := s.Watched(userOf(ctx))
+			out := make([]any, len(refs))
+			for i, r := range refs {
+				out[i] = r.String()
+			}
+			return out, nil
+		},
+		// status returns the combined assignment + monitoring view.
+		"status": func(ctx context.Context, args []any) (any, error) {
+			ref, err := parseRef(args)
+			if err != nil {
+				return nil, err
+			}
+			st, err := s.TaskStatus(ref)
+			if err != nil {
+				return nil, appErr(err)
+			}
+			out := map[string]any{
+				"plan":     st.Ref.Plan,
+				"task":     st.Ref.Task,
+				"owner":    st.Owner,
+				"site":     st.Assignment.Site,
+				"condorid": st.Assignment.CondorID,
+				"state":    st.Assignment.State.String(),
+				"attempts": st.Assignment.Attempts,
+			}
+			if st.HaveJob {
+				out["job"] = jobmon.InfoToStruct(st.Job)
+			}
+			return out, nil
+		},
+		"kill": func(ctx context.Context, args []any) (any, error) {
+			ref, err := parseRef(args)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.Kill(userOf(ctx), ref); err != nil {
+				return nil, appErr(err)
+			}
+			return true, nil
+		},
+		"pause": func(ctx context.Context, args []any) (any, error) {
+			ref, err := parseRef(args)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.Pause(userOf(ctx), ref); err != nil {
+				return nil, appErr(err)
+			}
+			return true, nil
+		},
+		"resume": func(ctx context.Context, args []any) (any, error) {
+			ref, err := parseRef(args)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.Resume(userOf(ctx), ref); err != nil {
+				return nil, appErr(err)
+			}
+			return true, nil
+		},
+		// move redirects a task; optional third argument names the target
+		// site (otherwise the scheduler chooses).
+		"move": func(ctx context.Context, args []any) (any, error) {
+			ref, err := parseRef(args)
+			if err != nil {
+				return nil, err
+			}
+			target := ""
+			if len(args) >= 3 {
+				if t, err := xmlrpc.Params(args).String(2); err == nil {
+					target = t
+				}
+			}
+			a, err := s.Move(userOf(ctx), ref, target)
+			if err != nil {
+				return nil, appErr(err)
+			}
+			return map[string]any{"site": a.Site, "condorid": a.CondorID}, nil
+		},
+		"setpriority": func(ctx context.Context, args []any) (any, error) {
+			ref, err := parseRef(args)
+			if err != nil {
+				return nil, err
+			}
+			p := xmlrpc.Params(args)
+			if err := p.Want(3); err != nil {
+				return nil, err
+			}
+			prio, err := p.Int(2)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.SetPriority(userOf(ctx), ref, prio); err != nil {
+				return nil, appErr(err)
+			}
+			return true, nil
+		},
+		// estimate returns the expected seconds to completion.
+		"estimate": func(ctx context.Context, args []any) (any, error) {
+			ref, err := parseRef(args)
+			if err != nil {
+				return nil, err
+			}
+			sec, err := s.EstimateCompletion(ref)
+			if err != nil {
+				return nil, appErr(err)
+			}
+			return sec, nil
+		},
+		// notifications drains the caller's queued messages.
+		"notifications": func(ctx context.Context, _ []any) (any, error) {
+			ns := s.Notifications(userOf(ctx))
+			out := make([]any, len(ns))
+			for i, n := range ns {
+				out[i] = map[string]any{
+					"time":    n.Time,
+					"plan":    n.Plan,
+					"task":    n.Task,
+					"kind":    n.Kind,
+					"message": n.Message,
+				}
+			}
+			return out, nil
+		},
+		// preference reads or sets the optimization preference.
+		"preference": func(_ context.Context, args []any) (any, error) {
+			if len(args) == 0 {
+				return s.Preference.String(), nil
+			}
+			p := xmlrpc.Params(args)
+			name, err := p.String(0)
+			if err != nil {
+				return nil, err
+			}
+			pref, err := ParsePreference(name)
+			if err != nil {
+				return nil, appErr(err)
+			}
+			s.Preference = pref
+			return pref.String(), nil
+		},
+	}
+}

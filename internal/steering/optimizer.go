@@ -1,0 +1,150 @@
+package steering
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/condor"
+	"repro/internal/scheduler"
+)
+
+// OnTick drives the Optimizer and the Backup & Recovery module on the
+// service's poll interval.
+func (s *Service) OnTick(now time.Time, dt time.Duration) {
+	s.mu.Lock()
+	s.elapsed += dt
+	if s.elapsed < s.PollInterval {
+		s.mu.Unlock()
+		return
+	}
+	s.elapsed = 0
+	tasks := make([]*watched, 0, len(s.tasks))
+	for _, w := range s.tasks {
+		tasks = append(tasks, w)
+	}
+	s.mu.Unlock()
+
+	// Deterministic iteration order.
+	sortWatched(tasks)
+	for _, w := range tasks {
+		s.pollTask(w, now)
+	}
+}
+
+func sortWatched(ws []*watched) {
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0 && ws[j].ref.String() < ws[j-1].ref.String(); j-- {
+			ws[j], ws[j-1] = ws[j-1], ws[j]
+		}
+	}
+}
+
+// pollTask runs one observation cycle for one task: terminal-state
+// handling (Backup & Recovery), service-failure detection, and the
+// Optimizer's slow-execution check.
+func (s *Service) pollTask(w *watched, now time.Time) {
+	a, ok := w.cp.Assignment(w.ref.Task)
+	if !ok {
+		return
+	}
+	switch a.State {
+	case scheduler.TaskCompleted, scheduler.TaskFailed:
+		s.handleTerminal(w, a, now)
+		return
+	case scheduler.TaskSubmitted:
+	default:
+		return // pending or staging: nothing to watch yet
+	}
+	svc, ok := s.cfg.Scheduler.SiteServicesFor(a.Site)
+	if !ok {
+		return
+	}
+	// Backup & Recovery: "continuously checks all the Execution Services
+	// ... for failure. In case of the failure of the Execution Service,
+	// the Backup and Recovery module contacts Sphinx to allocate a new
+	// execution service."
+	if !svc.Pool.Healthy() {
+		s.handleServiceFailure(w, a, now)
+		return
+	}
+	s.mu.Lock()
+	w.downSince = time.Time{}
+	w.downHandled = false
+	s.mu.Unlock()
+
+	info, err := s.cfg.Monitor.Manager.Get(a.Site, a.CondorID)
+	if err != nil {
+		return
+	}
+	if info.Status == condor.StatusFailed {
+		s.handleJobFailure(w, a, info, now)
+		return
+	}
+	if s.AutoSteer && info.Status == condor.StatusRunning {
+		s.optimize(w, a, info, now)
+	}
+}
+
+// optimize is the Optimizer: detect a slow execution rate via the Job
+// Monitoring Service and redirect the job to the best site.
+func (s *Service) optimize(w *watched, a scheduler.Assignment, info condor.JobInfo, now time.Time) {
+	s.mu.Lock()
+	moves := w.moves
+	s.mu.Unlock()
+	if moves >= s.MaxMoves {
+		return
+	}
+	if info.StartTime.IsZero() {
+		return
+	}
+	runningFor := now.Sub(info.StartTime)
+	if runningFor < s.MinObservation {
+		return
+	}
+	// Execution rate: the fraction of real time the job actually got the
+	// CPU. On an unloaded node this is ~1.0; Figure 7's site A delivers
+	// ~0.3.
+	rate := info.WallClock.Seconds() / runningFor.Seconds()
+	if rate >= s.SlownessThreshold {
+		return
+	}
+	target, reason := s.chooseBestSite(w, a)
+	if target == a.Site {
+		return // nowhere better to go
+	}
+	_, err := s.moveTask(w, target,
+		fmt.Sprintf("slow execution rate %.2f < %.2f; %s", rate, s.SlownessThreshold, reason))
+	_ = err // a failed move leaves the job where it is; next poll retries
+}
+
+// chooseBestSite applies the optimization preference. "The meaning of
+// 'Best Site' depends on the optimization preference chosen (cheap or
+// fast execution)."
+func (s *Service) chooseBestSite(w *watched, a scheduler.Assignment) (site, reason string) {
+	task, ok := w.cp.Plan.Task(w.ref.Task)
+	if !ok {
+		return a.Site, "plan lost"
+	}
+	if s.Preference == PreferCheap && s.cfg.Quota != nil {
+		var candidates []string
+		for _, site := range s.cfg.Scheduler.Sites() {
+			if site != a.Site {
+				candidates = append(candidates, site)
+			}
+		}
+		cpu := a.Estimates.RuntimeSeconds
+		if cpu <= 0 {
+			cpu = task.CPUSeconds
+		}
+		if best, cost, err := s.cfg.Quota.CheapestSite(candidates, cpu, 0); err == nil {
+			return best, fmt.Sprintf("cheapest site at %.2f credits", cost)
+		}
+	}
+	// Fast preference (and cheap fallback): the scheduler's estimate-based
+	// scoring, excluding the current site.
+	best, _, err := s.cfg.Scheduler.SelectSite(task, map[string]bool{a.Site: true})
+	if err != nil {
+		return a.Site, "no alternative site"
+	}
+	return best.Site, fmt.Sprintf("fastest site (score %.1f)", best.Score)
+}

@@ -1,0 +1,54 @@
+package steering
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SessionManager is the paper's §4.2.5 module: "makes sure that the
+// authorized users steer the jobs". A user may steer their own jobs;
+// designated administrators may steer anyone's.
+type SessionManager struct {
+	mu     sync.RWMutex
+	admins map[string]bool
+}
+
+// NewSessionManager creates a manager with no administrators.
+func NewSessionManager() *SessionManager {
+	return &SessionManager{admins: make(map[string]bool)}
+}
+
+// GrantAdmin lets user steer any job.
+func (m *SessionManager) GrantAdmin(user string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.admins[user] = true
+}
+
+// RevokeAdmin removes administrative rights.
+func (m *SessionManager) RevokeAdmin(user string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.admins, user)
+}
+
+// IsAdmin reports administrator status.
+func (m *SessionManager) IsAdmin(user string) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.admins[user]
+}
+
+// Authorize checks that user may steer a job owned by owner.
+func (m *SessionManager) Authorize(user, owner string) error {
+	if user == "" {
+		return fmt.Errorf("steering: unauthenticated steering request")
+	}
+	if user == owner {
+		return nil
+	}
+	if m.IsAdmin(user) {
+		return nil
+	}
+	return fmt.Errorf("steering: user %q may not steer jobs owned by %q", user, owner)
+}

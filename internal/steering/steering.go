@@ -1,0 +1,284 @@
+// Package steering implements the paper's Steering Service (§4): "the
+// component of the GAE architecture that allows users to interact with
+// submitted jobs", providing "constant feedback of the submitted jobs to
+// the users" and job control — kill, pause, resume, change priority, or
+// moving the job to some other execution site.
+//
+// The five components of Figure 2 map onto this package:
+//
+//   - Subscriber: receives concrete job plans from the scheduler and
+//     "analyzes the received job plan to get the list of Execution
+//     Services to be used";
+//   - Command Processor: "handles the requests of the client and requests
+//     of the optimizer to perform job control e.g. kill, pause, resume,
+//     move job. Requests for job redirection are sent to the scheduler";
+//   - Optimizer: watches job progress through the Job Monitoring Service,
+//     detects slow execution, and redirects jobs to the "Best Site" —
+//     cheapest (Quota/Accounting Service) or fastest (Estimators),
+//     depending on the chosen optimization preference;
+//   - Backup & Recovery: polls execution services for failure, asks the
+//     scheduler to reallocate on outage, notifies clients of completion
+//     or failure, and collects the files a finished (or failed) job left
+//     behind;
+//   - Session Manager: "makes sure that the authorized users steer the
+//     jobs".
+package steering
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/condor"
+	"repro/internal/jobmon"
+	"repro/internal/monalisa"
+	"repro/internal/quota"
+	"repro/internal/scheduler"
+	"repro/internal/simgrid"
+)
+
+// Preference selects the Optimizer's notion of "Best Site".
+type Preference int
+
+// Optimization preferences (paper: "cheap or fast execution").
+const (
+	PreferFast Preference = iota
+	PreferCheap
+)
+
+func (p Preference) String() string {
+	switch p {
+	case PreferFast:
+		return "fast"
+	case PreferCheap:
+		return "cheap"
+	}
+	return fmt.Sprintf("preference(%d)", int(p))
+}
+
+// ParsePreference converts "fast"/"cheap" to a Preference.
+func ParsePreference(s string) (Preference, error) {
+	switch s {
+	case "fast":
+		return PreferFast, nil
+	case "cheap":
+		return PreferCheap, nil
+	}
+	return 0, fmt.Errorf("steering: unknown preference %q (want fast or cheap)", s)
+}
+
+// Notification is a message the service queues for a job owner.
+type Notification struct {
+	Time    time.Time
+	Plan    string
+	Task    string
+	Kind    string // "moved", "completed", "failed", "recovered", "service-failure"
+	Message string
+}
+
+// TaskRef identifies a watched task.
+type TaskRef struct {
+	Plan string
+	Task string
+}
+
+func (r TaskRef) String() string { return r.Plan + "/" + r.Task }
+
+// watched is the service's record of one task under steering.
+type watched struct {
+	cp    *scheduler.ConcretePlan
+	ref   TaskRef
+	owner string
+	moves int
+	// terminalNotified ensures completion/failure is announced once.
+	terminalNotified bool
+	// lastSite tracks the site for failure detection transitions.
+	lastSite    string
+	downSince   time.Time
+	downHandled bool
+}
+
+// Config wires the Steering Service's collaborators.
+type Config struct {
+	Grid      *simgrid.Grid
+	Scheduler *scheduler.Scheduler
+	Monitor   *jobmon.Service
+	MonaLisa  *monalisa.Repository // optional
+	Quota     *quota.Service       // optional (needed for PreferCheap)
+}
+
+// Service is the Steering Service.
+type Service struct {
+	cfg Config
+
+	// PollInterval is how often the Optimizer and Backup & Recovery
+	// modules examine watched jobs (default 10 s of simulated time).
+	PollInterval time.Duration
+	// MinObservation is how long a job must have been running before the
+	// Optimizer judges its rate — moving a job on one slow tick would
+	// thrash (the paper: "it takes some time to detect the slow execution
+	// rate of a job").
+	MinObservation time.Duration
+	// SlownessThreshold: a job is slow when wall-clock ÷ time-since-start
+	// falls below this fraction (default 0.5 — the job is getting less
+	// than half a CPU).
+	SlownessThreshold float64
+	// AutoSteer lets the Optimizer move slow jobs without a client
+	// command. Advanced users can instead move jobs manually (the paper
+	// notes "the user could have moved the job from site A to site B
+	// manually as well").
+	AutoSteer bool
+	// MaxMoves bounds automatic moves per task (default 1).
+	MaxMoves int
+	// Preference chooses fast (estimators) or cheap (quota) placement.
+	Preference Preference
+	// ServiceFailureGrace is how long an execution service must stay
+	// unhealthy before Backup & Recovery reallocates its jobs.
+	ServiceFailureGrace time.Duration
+
+	Sessions *SessionManager
+
+	mu            sync.Mutex
+	tasks         map[TaskRef]*watched
+	notifications map[string][]Notification
+	execState     map[TaskRef][]simgrid.File
+	elapsed       time.Duration
+}
+
+// New creates a Steering Service, registers it with the grid engine, and
+// subscribes it to the scheduler's concrete-plan announcements.
+func New(cfg Config) *Service {
+	if cfg.Grid == nil || cfg.Scheduler == nil || cfg.Monitor == nil {
+		panic("steering: Config needs Grid, Scheduler and Monitor")
+	}
+	s := &Service{
+		cfg:                 cfg,
+		PollInterval:        10 * time.Second,
+		MinObservation:      30 * time.Second,
+		SlownessThreshold:   0.5,
+		AutoSteer:           true,
+		MaxMoves:            1,
+		ServiceFailureGrace: 20 * time.Second,
+		Sessions:            NewSessionManager(),
+		tasks:               make(map[TaskRef]*watched),
+		notifications:       make(map[string][]Notification),
+		execState:           make(map[TaskRef][]simgrid.File),
+	}
+	cfg.Scheduler.SubscribePlans(s.ReceivePlan)
+	cfg.Grid.Engine.AddActor(s)
+	return s
+}
+
+// ReceivePlan is the Subscriber: it registers every task of a concrete
+// plan for steering.
+func (s *Service) ReceivePlan(cp *scheduler.ConcretePlan) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range cp.Plan.Tasks {
+		ref := TaskRef{Plan: cp.Plan.Name, Task: t.ID}
+		s.tasks[ref] = &watched{cp: cp, ref: ref, owner: cp.Plan.Owner}
+	}
+}
+
+// Watched returns the refs under steering, sorted; owner filters ("" for
+// all).
+func (s *Service) Watched(owner string) []TaskRef {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []TaskRef
+	for ref, w := range s.tasks {
+		if owner == "" || w.owner == owner {
+			out = append(out, ref)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Sites returns the distinct execution sites across all watched plans —
+// what the Subscriber extracted from the concrete plans.
+func (s *Service) Sites() []string {
+	s.mu.Lock()
+	plans := map[*scheduler.ConcretePlan]bool{}
+	for _, w := range s.tasks {
+		plans[w.cp] = true
+	}
+	s.mu.Unlock()
+	set := map[string]bool{}
+	for cp := range plans {
+		for _, site := range cp.Sites() {
+			set[site] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for site := range set {
+		out = append(out, site)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lookup resolves a watched task.
+func (s *Service) lookup(ref TaskRef) (*watched, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, ok := s.tasks[ref]
+	if !ok {
+		return nil, fmt.Errorf("steering: no watched task %s", ref)
+	}
+	return w, nil
+}
+
+// notify queues a message for an owner.
+func (s *Service) notify(owner string, n Notification) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.notifications[owner] = append(s.notifications[owner], n)
+}
+
+// Notifications drains (and returns) the owner's queued messages.
+func (s *Service) Notifications(owner string) []Notification {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.notifications[owner]
+	delete(s.notifications, owner)
+	return out
+}
+
+// ExecutionState returns the files collected from a finished task's site
+// — the paper's "execution state ... made available for download".
+func (s *Service) ExecutionState(ref TaskRef) []simgrid.File {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]simgrid.File(nil), s.execState[ref]...)
+}
+
+// Status reports a watched task's assignment and live monitoring info.
+type Status struct {
+	Ref        TaskRef
+	Owner      string
+	Assignment scheduler.Assignment
+	Job        condor.JobInfo
+	HaveJob    bool
+}
+
+// TaskStatus fetches the combined steering view of a task.
+func (s *Service) TaskStatus(ref TaskRef) (Status, error) {
+	w, err := s.lookup(ref)
+	if err != nil {
+		return Status{}, err
+	}
+	a, ok := w.cp.Assignment(ref.Task)
+	if !ok {
+		return Status{}, fmt.Errorf("steering: assignment missing for %s", ref)
+	}
+	st := Status{Ref: ref, Owner: w.owner, Assignment: a}
+	if a.CondorID != 0 && a.Site != "" {
+		if info, err := s.cfg.Monitor.Manager.Get(a.Site, a.CondorID); err == nil {
+			st.Job = info
+			st.HaveJob = true
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,249 @@
+package vtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealClockNow(t *testing.T) {
+	c := Real()
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real().Now() = %v, want within [%v, %v]", got, before, after)
+	}
+}
+
+func TestRealClockAfter(t *testing.T) {
+	c := Real()
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("Real().After(1ms) did not fire")
+	}
+}
+
+func TestSimClockDefaultEpoch(t *testing.T) {
+	c := NewSimClock(time.Time{})
+	want := time.Date(2005, time.January, 1, 0, 0, 0, 0, time.UTC)
+	if !c.Now().Equal(want) {
+		t.Fatalf("default epoch = %v, want %v", c.Now(), want)
+	}
+}
+
+func TestSimClockAdvance(t *testing.T) {
+	epoch := time.Date(2020, 6, 1, 12, 0, 0, 0, time.UTC)
+	c := NewSimClock(epoch)
+	c.Advance(90 * time.Second)
+	if got, want := c.Now(), epoch.Add(90*time.Second); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestSimClockAdvanceTo(t *testing.T) {
+	c := NewSimClock(time.Time{})
+	target := c.Now().Add(5 * time.Minute)
+	c.AdvanceTo(target)
+	if !c.Now().Equal(target) {
+		t.Fatalf("AdvanceTo: Now() = %v, want %v", c.Now(), target)
+	}
+	// Advancing to the past must be a no-op.
+	c.AdvanceTo(target.Add(-time.Hour))
+	if !c.Now().Equal(target) {
+		t.Fatalf("AdvanceTo(past) moved clock to %v", c.Now())
+	}
+}
+
+func TestSimClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewSimClock(time.Time{}).Advance(-1)
+}
+
+func TestSimClockAfterImmediate(t *testing.T) {
+	c := NewSimClock(time.Time{})
+	select {
+	case got := <-c.After(0):
+		if !got.Equal(c.Now()) {
+			t.Fatalf("After(0) delivered %v, want %v", got, c.Now())
+		}
+	default:
+		t.Fatal("After(0) not immediately ready")
+	}
+}
+
+func TestSimClockAfterFiresAtDeadline(t *testing.T) {
+	c := NewSimClock(time.Time{})
+	ch := c.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before any advance")
+	default:
+	}
+	c.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired one second early")
+	default:
+	}
+	c.Advance(time.Second)
+	select {
+	case got := <-ch:
+		if !got.Equal(c.Now()) {
+			t.Fatalf("After delivered %v, want %v", got, c.Now())
+		}
+	default:
+		t.Fatal("After did not fire at its deadline")
+	}
+}
+
+func TestSimClockWakeOrderIsDeadlineOrder(t *testing.T) {
+	c := NewSimClock(time.Time{})
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	durations := []time.Duration{30 * time.Second, 10 * time.Second, 20 * time.Second}
+	for i, d := range durations {
+		wg.Add(1)
+		go func(i int, d time.Duration) {
+			defer wg.Done()
+			<-c.After(d)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}(i, d)
+	}
+	// Wait for all three goroutines to register.
+	for c.PendingWaiters() != 3 {
+		time.Sleep(time.Millisecond)
+	}
+	// Advance in small steps so each deadline is crossed separately; the
+	// wake order must then be 1 (10s), 2 (20s), 0 (30s).
+	for i := 0; i < 3; i++ {
+		c.Advance(10 * time.Second)
+		time.Sleep(5 * time.Millisecond) // let the woken goroutine record itself
+	}
+	wg.Wait()
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("wake order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSimClockSleepNonPositive(t *testing.T) {
+	c := NewSimClock(time.Time{})
+	done := make(chan struct{})
+	go func() {
+		c.Sleep(0)
+		c.Sleep(-time.Second)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep(<=0) blocked")
+	}
+}
+
+func TestSimClockIntermediateWakeTimes(t *testing.T) {
+	// A waiter woken mid-advance must observe its own deadline, not the
+	// final target, so chained sleeps measure correct durations.
+	c := NewSimClock(time.Time{})
+	ch := c.After(10 * time.Second)
+	c.Advance(time.Hour)
+	got := <-ch
+	want := time.Date(2005, 1, 1, 0, 0, 10, 0, time.UTC)
+	if !got.Equal(want) {
+		t.Fatalf("waiter observed %v, want its deadline %v", got, want)
+	}
+}
+
+func TestSimTickerFiresEachPeriod(t *testing.T) {
+	c := NewSimClock(time.Time{})
+	tk := c.NewTicker(10 * time.Second)
+	defer tk.Stop()
+	for i := 1; i <= 3; i++ {
+		c.Advance(10 * time.Second)
+		select {
+		case got := <-tk.C:
+			want := time.Date(2005, 1, 1, 0, 0, 10*i, 0, time.UTC)
+			if !got.Equal(want) {
+				t.Fatalf("tick %d at %v, want %v", i, got, want)
+			}
+		default:
+			t.Fatalf("tick %d missing", i)
+		}
+	}
+}
+
+func TestSimTickerDropsMissedTicks(t *testing.T) {
+	c := NewSimClock(time.Time{})
+	tk := c.NewTicker(time.Second)
+	defer tk.Stop()
+	c.Advance(10 * time.Second) // 10 ticks due, channel capacity 1
+	n := 0
+	for {
+		select {
+		case <-tk.C:
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != 1 {
+		t.Fatalf("received %d buffered ticks, want 1 (missed ticks dropped)", n)
+	}
+}
+
+func TestSimTickerStopRemoves(t *testing.T) {
+	c := NewSimClock(time.Time{})
+	tk := c.NewTicker(time.Second)
+	tk.Stop()
+	c.Advance(5 * time.Second)
+	select {
+	case <-tk.C:
+		t.Fatal("stopped ticker delivered a tick")
+	default:
+	}
+}
+
+func TestSimTickerNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTicker(0) did not panic")
+		}
+	}()
+	NewSimClock(time.Time{}).NewTicker(0)
+}
+
+func TestSimClockConcurrentAfter(t *testing.T) {
+	c := NewSimClock(time.Time{})
+	const n = 50
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-c.After(time.Duration(i+1) * time.Second)
+		}(i)
+	}
+	for c.PendingWaiters() != n {
+		time.Sleep(time.Millisecond)
+	}
+	c.Advance(time.Duration(n) * time.Second)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("%d waiters still pending after advance", c.PendingWaiters())
+	}
+}

@@ -1,0 +1,73 @@
+package workload
+
+import "math"
+
+// The paper's Figure 7 job is "a simple C++ program that calculates prime
+// numbers over an input range", calibrated to take 283 seconds on a free
+// CPU. PrimeJob models that: it carries the input range, knows how many
+// CPU-seconds the computation takes on the reference processor (via a
+// calibrated cost model), and can actually perform the computation (used
+// by examples to produce a verifiable answer).
+
+// PrimeJob is a prime-counting task over [From, To].
+type PrimeJob struct {
+	From, To int
+}
+
+// referenceRate is the calibrated sieve throughput of the reference
+// (Mips = 1) processor in "candidates per second", chosen so the paper's
+// range takes exactly 283 reference seconds.
+const referenceRate = float64(PaperRangeTo-PaperRangeFrom) / 283.0
+
+// The range used for the Figure 7 experiment.
+const (
+	PaperRangeFrom = 1
+	PaperRangeTo   = 200_000_000
+)
+
+// PaperPrimeJob returns the Figure 7 job: 283 CPU-seconds on a free CPU.
+func PaperPrimeJob() PrimeJob { return PrimeJob{From: PaperRangeFrom, To: PaperRangeTo} }
+
+// CPUSeconds returns the job's cost on the reference processor.
+func (j PrimeJob) CPUSeconds() float64 {
+	if j.To <= j.From {
+		return 0
+	}
+	return float64(j.To-j.From) / referenceRate
+}
+
+// CountPrimes actually counts primes in [From, To] with a segmented trial
+// division over odd candidates — the real computation, for ranges small
+// enough to run inside tests and examples.
+func (j PrimeJob) CountPrimes() int {
+	if j.To < 2 || j.To < j.From {
+		return 0
+	}
+	from := j.From
+	if from < 2 {
+		from = 2
+	}
+	count := 0
+	for n := from; n <= j.To; n++ {
+		if isPrime(n) {
+			count++
+		}
+	}
+	return count
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	limit := int(math.Sqrt(float64(n)))
+	for d := 3; d <= limit; d += 2 {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,143 @@
+package xmlrpc
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client issues XML-RPC calls against a single endpoint URL.
+// The zero http.Client is used unless HTTP is set; Headers (for example a
+// Clarens session token) are attached to every request.
+type Client struct {
+	URL     string
+	HTTP    *http.Client
+	Headers map[string]string
+}
+
+// NewClient returns a client for the endpoint with a default timeout
+// suitable for LAN service calls.
+func NewClient(url string) *Client {
+	return &Client{
+		URL:  url,
+		HTTP: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Call invokes method with args and returns the decoded result.
+// A remote fault is returned as a *Fault error.
+func (c *Client) Call(ctx context.Context, method string, args ...any) (any, error) {
+	body, err := EncodeRequest(method, args)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.URL, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "text/xml; charset=utf-8")
+	for k, v := range c.Headers {
+		req.Header.Set(k, v)
+	}
+	httpClient := c.HTTP
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("xmlrpc: calling %s: %w", method, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("xmlrpc: %s returned HTTP %d: %s", method, resp.StatusCode, snippet)
+	}
+	return DecodeResponse(resp.Body)
+}
+
+// CallString invokes method and asserts a string result.
+func (c *Client) CallString(ctx context.Context, method string, args ...any) (string, error) {
+	v, err := c.Call(ctx, method, args...)
+	if err != nil {
+		return "", err
+	}
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("xmlrpc: %s returned %T, want string", method, v)
+	}
+	return s, nil
+}
+
+// CallInt invokes method and asserts an int result.
+func (c *Client) CallInt(ctx context.Context, method string, args ...any) (int, error) {
+	v, err := c.Call(ctx, method, args...)
+	if err != nil {
+		return 0, err
+	}
+	switch n := v.(type) {
+	case int:
+		return n, nil
+	case float64:
+		if n == float64(int(n)) {
+			return int(n), nil
+		}
+	}
+	return 0, fmt.Errorf("xmlrpc: %s returned %T, want int", method, v)
+}
+
+// CallFloat invokes method and asserts a double result.
+func (c *Client) CallFloat(ctx context.Context, method string, args ...any) (float64, error) {
+	v, err := c.Call(ctx, method, args...)
+	if err != nil {
+		return 0, err
+	}
+	switch n := v.(type) {
+	case float64:
+		return n, nil
+	case int:
+		return float64(n), nil
+	}
+	return 0, fmt.Errorf("xmlrpc: %s returned %T, want double", method, v)
+}
+
+// CallBool invokes method and asserts a boolean result.
+func (c *Client) CallBool(ctx context.Context, method string, args ...any) (bool, error) {
+	v, err := c.Call(ctx, method, args...)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, fmt.Errorf("xmlrpc: %s returned %T, want boolean", method, v)
+	}
+	return b, nil
+}
+
+// CallStruct invokes method and asserts a struct result.
+func (c *Client) CallStruct(ctx context.Context, method string, args ...any) (map[string]any, error) {
+	v, err := c.Call(ctx, method, args...)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("xmlrpc: %s returned %T, want struct", method, v)
+	}
+	return m, nil
+}
+
+// CallArray invokes method and asserts an array result.
+func (c *Client) CallArray(ctx context.Context, method string, args ...any) ([]any, error) {
+	v, err := c.Call(ctx, method, args...)
+	if err != nil {
+		return nil, err
+	}
+	a, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("xmlrpc: %s returned %T, want array", method, v)
+	}
+	return a, nil
+}

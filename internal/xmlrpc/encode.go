@@ -1,0 +1,209 @@
+package xmlrpc
+
+import (
+	"bytes"
+	"encoding/base64"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// iso8601 is the dateTime layout mandated by the XML-RPC specification.
+// Note the absence of separators and timezone, per the original spec.
+const iso8601 = "20060102T15:04:05"
+
+// EncodeRequest serializes a method call with the given arguments.
+func EncodeRequest(method string, args []any) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(`<?xml version="1.0" encoding="UTF-8"?>`)
+	buf.WriteString("<methodCall><methodName>")
+	escapeInto(&buf, method)
+	buf.WriteString("</methodName><params>")
+	for _, a := range args {
+		buf.WriteString("<param>")
+		if err := encodeValue(&buf, a); err != nil {
+			return nil, fmt.Errorf("encoding request %q: %w", method, err)
+		}
+		buf.WriteString("</param>")
+	}
+	buf.WriteString("</params></methodCall>")
+	return buf.Bytes(), nil
+}
+
+// EncodeResponse serializes a successful method response carrying result.
+func EncodeResponse(result any) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(`<?xml version="1.0" encoding="UTF-8"?>`)
+	buf.WriteString("<methodResponse><params><param>")
+	if err := encodeValue(&buf, result); err != nil {
+		return nil, fmt.Errorf("encoding response: %w", err)
+	}
+	buf.WriteString("</param></params></methodResponse>")
+	return buf.Bytes(), nil
+}
+
+// EncodeFault serializes a fault response.
+func EncodeFault(f *Fault) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(`<?xml version="1.0" encoding="UTF-8"?>`)
+	buf.WriteString("<methodResponse><fault>")
+	// A fault struct has exactly two members; encode by hand so EncodeFault
+	// cannot itself fail.
+	buf.WriteString("<value><struct>")
+	buf.WriteString("<member><name>faultCode</name><value><int>")
+	buf.WriteString(strconv.Itoa(f.Code))
+	buf.WriteString("</int></value></member>")
+	buf.WriteString("<member><name>faultString</name><value><string>")
+	escapeInto(&buf, f.Message)
+	buf.WriteString("</string></value></member>")
+	buf.WriteString("</struct></value>")
+	buf.WriteString("</fault></methodResponse>")
+	return buf.Bytes()
+}
+
+// encodeValue writes <value>...</value> for a single Go value.
+func encodeValue(buf *bytes.Buffer, v any) error {
+	buf.WriteString("<value>")
+	if err := encodeInner(buf, v); err != nil {
+		return err
+	}
+	buf.WriteString("</value>")
+	return nil
+}
+
+func encodeInner(buf *bytes.Buffer, v any) error {
+	switch x := v.(type) {
+	case nil:
+		buf.WriteString("<nil/>")
+	case bool:
+		if x {
+			buf.WriteString("<boolean>1</boolean>")
+		} else {
+			buf.WriteString("<boolean>0</boolean>")
+		}
+	case int:
+		return encodeInt(buf, int64(x))
+	case int8:
+		return encodeInt(buf, int64(x))
+	case int16:
+		return encodeInt(buf, int64(x))
+	case int32:
+		return encodeInt(buf, int64(x))
+	case int64:
+		return encodeInt(buf, x)
+	case uint:
+		return encodeInt(buf, int64(x))
+	case uint8:
+		return encodeInt(buf, int64(x))
+	case uint16:
+		return encodeInt(buf, int64(x))
+	case uint32:
+		return encodeInt(buf, int64(x))
+	case float32:
+		return encodeInner(buf, float64(x))
+	case float64:
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("%w: non-finite double %v", ErrUnsupportedType, x)
+		}
+		buf.WriteString("<double>")
+		buf.WriteString(strconv.FormatFloat(x, 'g', 17, 64))
+		buf.WriteString("</double>")
+	case string:
+		buf.WriteString("<string>")
+		escapeInto(buf, x)
+		buf.WriteString("</string>")
+	case time.Time:
+		buf.WriteString("<dateTime.iso8601>")
+		buf.WriteString(x.UTC().Format(iso8601))
+		buf.WriteString("</dateTime.iso8601>")
+	case []byte:
+		buf.WriteString("<base64>")
+		buf.WriteString(base64.StdEncoding.EncodeToString(x))
+		buf.WriteString("</base64>")
+	case []any:
+		buf.WriteString("<array><data>")
+		for _, e := range x {
+			if err := encodeValue(buf, e); err != nil {
+				return err
+			}
+		}
+		buf.WriteString("</data></array>")
+	case []string:
+		arr := make([]any, len(x))
+		for i, s := range x {
+			arr[i] = s
+		}
+		return encodeInner(buf, arr)
+	case []int:
+		arr := make([]any, len(x))
+		for i, n := range x {
+			arr[i] = n
+		}
+		return encodeInner(buf, arr)
+	case []float64:
+		arr := make([]any, len(x))
+		for i, f := range x {
+			arr[i] = f
+		}
+		return encodeInner(buf, arr)
+	case map[string]any:
+		buf.WriteString("<struct>")
+		// Deterministic member order keeps golden tests and hashes stable.
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			buf.WriteString("<member><name>")
+			escapeInto(buf, k)
+			buf.WriteString("</name>")
+			if err := encodeValue(buf, x[k]); err != nil {
+				return err
+			}
+			buf.WriteString("</member>")
+		}
+		buf.WriteString("</struct>")
+	case map[string]string:
+		m := make(map[string]any, len(x))
+		for k, s := range x {
+			m[k] = s
+		}
+		return encodeInner(buf, m)
+	default:
+		return fmt.Errorf("%w: %T", ErrUnsupportedType, v)
+	}
+	return nil
+}
+
+func encodeInt(buf *bytes.Buffer, x int64) error {
+	if x > math.MaxInt32 || x < math.MinInt32 {
+		return fmt.Errorf("%w: integer %d overflows XML-RPC i4", ErrUnsupportedType, x)
+	}
+	buf.WriteString("<int>")
+	buf.WriteString(strconv.FormatInt(x, 10))
+	buf.WriteString("</int>")
+	return nil
+}
+
+// escapeInto writes s with the five XML predefined entities escaped.
+func escapeInto(buf *bytes.Buffer, s string) {
+	for _, r := range s {
+		switch r {
+		case '&':
+			buf.WriteString("&amp;")
+		case '<':
+			buf.WriteString("&lt;")
+		case '>':
+			buf.WriteString("&gt;")
+		case '\'':
+			buf.WriteString("&apos;")
+		case '"':
+			buf.WriteString("&quot;")
+		default:
+			buf.WriteRune(r)
+		}
+	}
+}

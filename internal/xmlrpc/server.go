@@ -1,0 +1,279 @@
+package xmlrpc
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Handler executes a single XML-RPC method. Args carry the decoded
+// parameters; the returned value must be encodable (see package doc).
+// Returning a *Fault propagates it verbatim; any other error becomes a
+// FaultInternal with the error text.
+type Handler func(ctx context.Context, args []any) (any, error)
+
+// ServeMux dispatches XML-RPC method calls to registered handlers and
+// implements http.Handler. Method names are conventionally
+// "service.method" (e.g. "jobmon.status"), matching Clarens conventions.
+type ServeMux struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+
+	// Intercept, if non-nil, wraps every dispatch. Clarens uses it to
+	// enforce sessions and ACLs without teaching this package about
+	// either concept.
+	Intercept func(ctx context.Context, method string, args []any, next Handler) (any, error)
+}
+
+// NewServeMux returns an empty mux with the built-in system.listMethods
+// introspection method registered.
+func NewServeMux() *ServeMux {
+	m := &ServeMux{handlers: make(map[string]Handler)}
+	m.Handle("system.listMethods", func(context.Context, []any) (any, error) {
+		return m.methodNames(), nil
+	})
+	return m
+}
+
+// Handle registers a handler for the given method name, replacing any
+// existing registration.
+func (m *ServeMux) Handle(method string, h Handler) {
+	if method == "" || h == nil {
+		panic("xmlrpc: Handle with empty method or nil handler")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers[method] = h
+}
+
+// Unhandle removes a method registration if present.
+func (m *ServeMux) Unhandle(method string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.handlers, method)
+}
+
+// methodNames returns all registered method names sorted, as []any for
+// direct XML-RPC encoding.
+func (m *ServeMux) methodNames() []any {
+	m.mu.RLock()
+	names := make([]string, 0, len(m.handlers))
+	for k := range m.handlers {
+		names = append(names, k)
+	}
+	m.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]any, len(names))
+	for i, n := range names {
+		out[i] = n
+	}
+	return out
+}
+
+// Methods returns the registered method names, sorted.
+func (m *ServeMux) Methods() []string {
+	raw := m.methodNames()
+	out := make([]string, len(raw))
+	for i, v := range raw {
+		out[i] = v.(string)
+	}
+	return out
+}
+
+// Dispatch runs one decoded request through the interceptor and handler.
+func (m *ServeMux) Dispatch(ctx context.Context, method string, args []any) (any, error) {
+	m.mu.RLock()
+	h, ok := m.handlers[method]
+	intercept := m.Intercept
+	m.mu.RUnlock()
+	if !ok {
+		return nil, NewFault(FaultMethodNotFound, "no such method %q", method)
+	}
+	if intercept != nil {
+		return intercept(ctx, method, args, h)
+	}
+	return h(ctx, args)
+}
+
+// ServeHTTP implements http.Handler: it decodes one method call from the
+// request body, dispatches it, and writes the response or fault.
+func (m *ServeMux) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "xmlrpc requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	body := io.LimitReader(r.Body, MaxRequestBytes+1)
+	req, err := DecodeRequest(body)
+	if err != nil {
+		writeFault(w, NewFault(FaultParse, "parse error: %v", err))
+		return
+	}
+	result, err := m.Dispatch(r.Context(), req.Method, req.Args)
+	if err != nil {
+		writeFault(w, toFault(err))
+		return
+	}
+	out, err := EncodeResponse(result)
+	if err != nil {
+		writeFault(w, NewFault(FaultInternal, "unencodable result: %v", err))
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.Write(out)
+}
+
+func toFault(err error) *Fault {
+	if f, ok := AsFault(err); ok {
+		return f
+	}
+	return NewFault(FaultInternal, "%v", err)
+}
+
+func writeFault(w http.ResponseWriter, f *Fault) {
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	// Faults ride on HTTP 200 per the XML-RPC specification.
+	w.Write(EncodeFault(f))
+}
+
+// Params provides positional, type-checked access to handler arguments.
+// It converts between the numeric types XML-RPC can deliver, so handlers
+// accept an int where a client sent a double and vice versa.
+type Params []any
+
+// Len returns the number of arguments.
+func (p Params) Len() int { return len(p) }
+
+// Want returns a FaultInvalidParams unless exactly n arguments are present.
+func (p Params) Want(n int) error {
+	if len(p) != n {
+		return NewFault(FaultInvalidParams, "got %d arguments, want %d", len(p), n)
+	}
+	return nil
+}
+
+// WantAtLeast returns a FaultInvalidParams unless at least n arguments are
+// present.
+func (p Params) WantAtLeast(n int) error {
+	if len(p) < n {
+		return NewFault(FaultInvalidParams, "got %d arguments, want at least %d", len(p), n)
+	}
+	return nil
+}
+
+// String returns argument i as a string.
+func (p Params) String(i int) (string, error) {
+	if i >= len(p) {
+		return "", NewFault(FaultInvalidParams, "missing argument %d", i)
+	}
+	s, ok := p[i].(string)
+	if !ok {
+		return "", NewFault(FaultInvalidParams, "argument %d is %T, want string", i, p[i])
+	}
+	return s, nil
+}
+
+// Int returns argument i as an int, accepting doubles with integral value.
+func (p Params) Int(i int) (int, error) {
+	if i >= len(p) {
+		return 0, NewFault(FaultInvalidParams, "missing argument %d", i)
+	}
+	switch v := p[i].(type) {
+	case int:
+		return v, nil
+	case float64:
+		if v == float64(int(v)) {
+			return int(v), nil
+		}
+	}
+	return 0, NewFault(FaultInvalidParams, "argument %d is %T, want int", i, p[i])
+}
+
+// Float returns argument i as a float64, accepting ints.
+func (p Params) Float(i int) (float64, error) {
+	if i >= len(p) {
+		return 0, NewFault(FaultInvalidParams, "missing argument %d", i)
+	}
+	switch v := p[i].(type) {
+	case float64:
+		return v, nil
+	case int:
+		return float64(v), nil
+	}
+	return 0, NewFault(FaultInvalidParams, "argument %d is %T, want double", i, p[i])
+}
+
+// Bool returns argument i as a bool.
+func (p Params) Bool(i int) (bool, error) {
+	if i >= len(p) {
+		return false, NewFault(FaultInvalidParams, "missing argument %d", i)
+	}
+	b, ok := p[i].(bool)
+	if !ok {
+		return false, NewFault(FaultInvalidParams, "argument %d is %T, want boolean", i, p[i])
+	}
+	return b, nil
+}
+
+// Struct returns argument i as a map (XML-RPC struct).
+func (p Params) Struct(i int) (map[string]any, error) {
+	if i >= len(p) {
+		return nil, NewFault(FaultInvalidParams, "missing argument %d", i)
+	}
+	m, ok := p[i].(map[string]any)
+	if !ok {
+		return nil, NewFault(FaultInvalidParams, "argument %d is %T, want struct", i, p[i])
+	}
+	return m, nil
+}
+
+// Array returns argument i as a slice (XML-RPC array).
+func (p Params) Array(i int) ([]any, error) {
+	if i >= len(p) {
+		return nil, NewFault(FaultInvalidParams, "missing argument %d", i)
+	}
+	a, ok := p[i].([]any)
+	if !ok {
+		return nil, NewFault(FaultInvalidParams, "argument %d is %T, want array", i, p[i])
+	}
+	return a, nil
+}
+
+// StringsArray returns argument i as []string, converting each element.
+func (p Params) StringsArray(i int) ([]string, error) {
+	raw, err := p.Array(i)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(raw))
+	for j, v := range raw {
+		s, ok := v.(string)
+		if !ok {
+			return nil, NewFault(FaultInvalidParams,
+				"argument %d element %d is %T, want string", i, j, v)
+		}
+		out[j] = s
+	}
+	return out, nil
+}
+
+// MethodService splits "service.method" into its two halves; method-only
+// names yield an empty service.
+func MethodService(method string) (service, name string) {
+	if i := strings.LastIndex(method, "."); i >= 0 {
+		return method[:i], method[i+1:]
+	}
+	return "", method
+}
+
+// FormatMethod joins a service and method name.
+func FormatMethod(service, name string) string {
+	if service == "" {
+		return name
+	}
+	return fmt.Sprintf("%s.%s", service, name)
+}

@@ -1,0 +1,343 @@
+package xmlrpc
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func echoHandler(_ context.Context, args []any) (any, error) {
+	return args, nil
+}
+
+func newTestServer(t *testing.T) (*ServeMux, *Client) {
+	t.Helper()
+	mux := NewServeMux()
+	mux.Handle("test.echo", echoHandler)
+	mux.Handle("test.add", func(_ context.Context, args []any) (any, error) {
+		p := Params(args)
+		if err := p.Want(2); err != nil {
+			return nil, err
+		}
+		a, err := p.Int(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := p.Int(1)
+		if err != nil {
+			return nil, err
+		}
+		return a + b, nil
+	})
+	mux.Handle("test.fail", func(context.Context, []any) (any, error) {
+		return nil, errors.New("boom")
+	})
+	mux.Handle("test.fault", func(context.Context, []any) (any, error) {
+		return nil, NewFault(FaultQuota, "quota exceeded")
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return mux, NewClient(srv.URL)
+}
+
+func TestEndToEndEcho(t *testing.T) {
+	_, c := newTestServer(t)
+	got, err := c.Call(context.Background(), "test.echo", 1, "two", 3.5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []any{1, "two", 3.5, true}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("echo = %#v, want %#v", got, want)
+	}
+}
+
+func TestEndToEndAdd(t *testing.T) {
+	_, c := newTestServer(t)
+	n, err := c.CallInt(context.Background(), "test.add", 40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 42 {
+		t.Fatalf("add = %d, want 42", n)
+	}
+}
+
+func TestEndToEndMethodNotFound(t *testing.T) {
+	_, c := newTestServer(t)
+	_, err := c.Call(context.Background(), "test.nope")
+	if !IsFault(err, FaultMethodNotFound) {
+		t.Fatalf("error = %v, want method-not-found fault", err)
+	}
+}
+
+func TestEndToEndInternalFault(t *testing.T) {
+	_, c := newTestServer(t)
+	_, err := c.Call(context.Background(), "test.fail")
+	f, ok := AsFault(err)
+	if !ok || f.Code != FaultInternal || !strings.Contains(f.Message, "boom") {
+		t.Fatalf("error = %v, want internal fault wrapping boom", err)
+	}
+}
+
+func TestEndToEndApplicationFault(t *testing.T) {
+	_, c := newTestServer(t)
+	_, err := c.Call(context.Background(), "test.fault")
+	if !IsFault(err, FaultQuota) {
+		t.Fatalf("error = %v, want quota fault", err)
+	}
+}
+
+func TestEndToEndInvalidParams(t *testing.T) {
+	_, c := newTestServer(t)
+	_, err := c.Call(context.Background(), "test.add", 1)
+	if !IsFault(err, FaultInvalidParams) {
+		t.Fatalf("error = %v, want invalid-params fault", err)
+	}
+	_, err = c.Call(context.Background(), "test.add", "x", "y")
+	if !IsFault(err, FaultInvalidParams) {
+		t.Fatalf("error = %v, want invalid-params fault", err)
+	}
+}
+
+func TestSystemListMethods(t *testing.T) {
+	_, c := newTestServer(t)
+	got, err := c.CallArray(context.Background(), "system.listMethods")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(got))
+	for i, v := range got {
+		names[i] = v.(string)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"system.listMethods", "test.add", "test.echo"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("listMethods missing %s in %v", want, names)
+		}
+	}
+	if !sortedStrings(names) {
+		t.Errorf("listMethods not sorted: %v", names)
+	}
+}
+
+func sortedStrings(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestServerRejectsGET(t *testing.T) {
+	mux := NewServeMux()
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestServerParseFault(t *testing.T) {
+	mux := NewServeMux()
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	resp, err := http.Post(srv.URL, "text/xml", strings.NewReader("this is not xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	_, derr := DecodeResponse(resp.Body)
+	if !IsFault(derr, FaultParse) {
+		t.Fatalf("error = %v, want parse fault", derr)
+	}
+}
+
+func TestInterceptSeesEveryCall(t *testing.T) {
+	mux, c := newTestServer(t)
+	var mu sync.Mutex
+	var seen []string
+	mux.Intercept = func(ctx context.Context, method string, args []any, next Handler) (any, error) {
+		mu.Lock()
+		seen = append(seen, method)
+		mu.Unlock()
+		if method == "test.fault" {
+			return nil, NewFault(FaultAuth, "blocked")
+		}
+		return next(ctx, args)
+	}
+	if _, err := c.Call(context.Background(), "test.echo", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(context.Background(), "test.fault"); !IsFault(err, FaultAuth) {
+		t.Fatalf("intercepted error = %v, want auth fault", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 || seen[0] != "test.echo" || seen[1] != "test.fault" {
+		t.Fatalf("intercept saw %v", seen)
+	}
+}
+
+func TestHandlePanicsOnBadArgs(t *testing.T) {
+	mux := NewServeMux()
+	for _, f := range []func(){
+		func() { mux.Handle("", echoHandler) },
+		func() { mux.Handle("x", nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("Handle with invalid args did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestUnhandle(t *testing.T) {
+	mux, c := newTestServer(t)
+	mux.Unhandle("test.echo")
+	_, err := c.Call(context.Background(), "test.echo")
+	if !IsFault(err, FaultMethodNotFound) {
+		t.Fatalf("error after Unhandle = %v", err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	_, c := newTestServer(t)
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := c.CallInt(context.Background(), "test.add", i, i)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got != 2*i {
+				errs <- errors.New("wrong sum")
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsAccessors(t *testing.T) {
+	p := Params{
+		"str", 7, 2.5, true,
+		map[string]any{"k": "v"},
+		[]any{"a", "b"},
+		3.0, // integral double should satisfy Int
+	}
+	if s, err := p.String(0); err != nil || s != "str" {
+		t.Errorf("String = %q, %v", s, err)
+	}
+	if n, err := p.Int(1); err != nil || n != 7 {
+		t.Errorf("Int = %d, %v", n, err)
+	}
+	if f, err := p.Float(2); err != nil || f != 2.5 {
+		t.Errorf("Float = %v, %v", f, err)
+	}
+	if f, err := p.Float(1); err != nil || f != 7.0 {
+		t.Errorf("Float(int) = %v, %v", f, err)
+	}
+	if b, err := p.Bool(3); err != nil || !b {
+		t.Errorf("Bool = %v, %v", b, err)
+	}
+	if m, err := p.Struct(4); err != nil || m["k"] != "v" {
+		t.Errorf("Struct = %v, %v", m, err)
+	}
+	if a, err := p.Array(5); err != nil || len(a) != 2 {
+		t.Errorf("Array = %v, %v", a, err)
+	}
+	if ss, err := p.StringsArray(5); err != nil || ss[1] != "b" {
+		t.Errorf("StringsArray = %v, %v", ss, err)
+	}
+	if n, err := p.Int(6); err != nil || n != 3 {
+		t.Errorf("Int(integral double) = %d, %v", n, err)
+	}
+	// Type errors.
+	if _, err := p.Int(0); !IsFault(err, FaultInvalidParams) {
+		t.Errorf("Int(string) error = %v", err)
+	}
+	if _, err := p.String(99); !IsFault(err, FaultInvalidParams) {
+		t.Errorf("String(oob) error = %v", err)
+	}
+	if _, err := p.StringsArray(4); !IsFault(err, FaultInvalidParams) {
+		t.Errorf("StringsArray(struct) error = %v", err)
+	}
+	if err := p.Want(3); !IsFault(err, FaultInvalidParams) {
+		t.Errorf("Want(3) on len-7 error = %v", err)
+	}
+	if err := p.WantAtLeast(8); !IsFault(err, FaultInvalidParams) {
+		t.Errorf("WantAtLeast(8) error = %v", err)
+	}
+	if err := p.WantAtLeast(2); err != nil {
+		t.Errorf("WantAtLeast(2) error = %v", err)
+	}
+}
+
+func TestClientTypedCallErrors(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+	// test.echo returns an array; every scalar-typed call must fail cleanly.
+	if _, err := c.CallString(ctx, "test.echo", 1); err == nil {
+		t.Error("CallString on array succeeded")
+	}
+	if _, err := c.CallInt(ctx, "test.echo", 1); err == nil {
+		t.Error("CallInt on array succeeded")
+	}
+	if _, err := c.CallBool(ctx, "test.echo", 1); err == nil {
+		t.Error("CallBool on array succeeded")
+	}
+	if _, err := c.CallStruct(ctx, "test.echo", 1); err == nil {
+		t.Error("CallStruct on array succeeded")
+	}
+	if _, err := c.CallFloat(ctx, "test.echo", 1); err == nil {
+		t.Error("CallFloat on array succeeded")
+	}
+}
+
+func TestServerRejectsOversizedRequest(t *testing.T) {
+	mux := NewServeMux()
+	mux.Handle("big.echo", echoHandler)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	// A single string argument larger than MaxRequestBytes must produce a
+	// parse fault (the body is truncated at the limit), not a success or
+	// a hang.
+	huge := strings.Repeat("x", MaxRequestBytes+1024)
+	raw, err := EncodeRequest("big.echo", []any{huge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL, "text/xml", strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	_, derr := DecodeResponse(resp.Body)
+	if !IsFault(derr, FaultParse) {
+		t.Fatalf("oversized request error = %v, want parse fault", derr)
+	}
+}

@@ -1,0 +1,35 @@
+// Package xmlrpc implements the XML-RPC wire protocol on top of the
+// standard library (encoding/xml, net/http).
+//
+// The Clarens framework that hosts every GAE service speaks XML-RPC, so
+// this package is the transport substrate of the whole reproduction: the
+// steering, job-monitoring and estimator services are all exposed through
+// it, and Figure 6's response-time measurements exercise this code path
+// end to end.
+//
+// Supported types follow the XML-RPC specification:
+//
+//	Go                      XML-RPC
+//	int, int8..int64        <int> / <i4>  (must fit in 32 bits on the wire)
+//	bool                    <boolean>
+//	string                  <string>
+//	float32, float64        <double>
+//	time.Time               <dateTime.iso8601>
+//	[]byte                  <base64>
+//	map[string]any          <struct>
+//	[]any                   <array>
+//	nil                     <nil/> (common extension, accepted and emitted)
+//
+// Decoded values use the canonical Go types int, bool, string, float64,
+// time.Time, []byte, map[string]any and []any.
+package xmlrpc
+
+import "errors"
+
+// ErrUnsupportedType is returned when a Go value cannot be represented as
+// an XML-RPC value.
+var ErrUnsupportedType = errors.New("xmlrpc: unsupported type")
+
+// MaxRequestBytes bounds the size of a request body the server will parse;
+// oversized requests produce a fault rather than unbounded memory use.
+const MaxRequestBytes = 8 << 20
