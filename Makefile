@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test bench sim fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark sweep (figures, ablations, micro, fairness).
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# Replay a fairness scenario; override with e.g.
+#   make sim SCENARIO=bursty-tenant SIMFLAGS=-fairshare=false
+SCENARIO ?= starvation-recovery
+SIMFLAGS ?=
+sim:
+	$(GO) run ./cmd/gae-sim -scenario $(SCENARIO) $(SIMFLAGS) -output -
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...

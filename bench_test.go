@@ -492,3 +492,55 @@ func BenchmarkAblationCheckpointing(b *testing.B) {
 		})
 	}
 }
+
+// --- Fair-share fairness (multi-tenant arbitration) ------------------------
+
+// BenchmarkFairShare replays the built-in multi-tenant scenarios with the
+// fair-share subsystem arbitrating and reports Jain's fairness index over
+// entitlement-normalized completed CPU-seconds (1 = perfectly
+// weight-proportional) plus the worst-off tenant's share. Equal-weight
+// scenarios should report jain_index ≥ 0.9.
+func BenchmarkFairShare(b *testing.B) {
+	for _, sc := range []string{
+		"bursty-tenant", "starvation-recovery", "weighted-groups", "federated-flocking",
+	} {
+		b.Run(sc, func(b *testing.B) {
+			var jain, minShare float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.Fairness(experiments.FairnessConfig{
+					Scenario: sc, FairShare: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				jain, minShare = res.JainIndex, res.MinShare
+			}
+			b.ReportMetric(jain, "jain_index")
+			b.ReportMetric(minShare, "min_share")
+		})
+	}
+}
+
+// BenchmarkAblationFairShareOff is the control: the same scenarios under
+// the seed's static-priority/FIFO negotiation. The bursty tenant drags
+// the Jain index down and the priority flood starves the meek tenant
+// outright (min_share 0) — the measurable starvation the fair-share
+// subsystem removes.
+func BenchmarkAblationFairShareOff(b *testing.B) {
+	for _, sc := range []string{"bursty-tenant", "starvation-recovery"} {
+		b.Run(sc, func(b *testing.B) {
+			var jain, minShare float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.Fairness(experiments.FairnessConfig{
+					Scenario: sc, FairShare: false,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				jain, minShare = res.JainIndex, res.MinShare
+			}
+			b.ReportMetric(jain, "jain_index")
+			b.ReportMetric(minShare, "min_share")
+		})
+	}
+}

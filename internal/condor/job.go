@@ -108,6 +108,10 @@ type job struct {
 	task    *simgrid.Task
 	cpuBase float64 // CPU-seconds carried over from a checkpoint
 	ckptCPU float64 // last checkpointed CPU-seconds
+
+	// usageRecorded is the locally-executed CPU already reported to the
+	// fair-share sink, so accrual stays incremental and exactly-once.
+	usageRecorded float64
 }
 
 // JobInfo is an immutable snapshot of a job, carrying every field the

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/classad"
+	"repro/internal/fairshare"
 	"repro/internal/simgrid"
 )
 
@@ -37,6 +38,9 @@ type Pool struct {
 	down      bool
 	flockPeer *Pool
 	listeners []func(Event)
+	fair      fairshare.Ranker
+	fairSink  fairshare.Sink
+	fairStart fairshare.StartObserver
 }
 
 type machine struct {
@@ -94,6 +98,24 @@ func (p *Pool) EnableFlocking(peer *Pool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.flockPeer = peer
+}
+
+// SetFairShare installs a fair-share policy: negotiation (and the
+// reported queue position) orders idle jobs by pol.Less instead of static
+// priority with FIFO, making the queue time-aware. If pol also implements
+// fairshare.Sink — as *fairshare.Manager does — the CPU-seconds each job
+// executed here are recorded as owner usage at this pool's site when the
+// job reaches a terminal state, closing the accounting loop the paper's
+// stack lacks. A nil pol restores the static ordering.
+func (p *Pool) SetFairShare(pol fairshare.Ranker) {
+	if fairshare.IsNil(pol) {
+		pol = nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fair = pol
+	p.fairSink, _ = pol.(fairshare.Sink)
+	p.fairStart, _ = pol.(fairshare.StartObserver)
 }
 
 // Subscribe registers a listener for job state transitions. Listeners run
@@ -215,16 +237,20 @@ func (p *Pool) Jobs() ([]JobInfo, error) {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
+	pos := p.idlePositionsLocked()
 	out := make([]JobInfo, 0, len(ids))
 	for _, id := range ids {
-		out = append(out, p.snapshotLocked(p.jobs[id]))
+		out = append(out, p.snapshotPosLocked(p.jobs[id], pos))
 	}
 	return out, nil
 }
 
-// QueueAbove returns the running and idle jobs whose priority is strictly
-// greater than that of job id — the queue-time estimator's step (a)/(b)
-// input.
+// QueueAbove returns the running and idle jobs scheduled ahead of job id
+// — the queue-time estimator's step (a)/(b) input. Under the default
+// static policy that is every non-terminal job with strictly greater
+// priority; when a fair-share policy is installed, it is every running
+// job plus the idle jobs the policy orders before this one, so queue-time
+// estimates track the order the negotiator will actually use.
 func (p *Pool) QueueAbove(id int) ([]JobInfo, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -236,13 +262,38 @@ func (p *Pool) QueueAbove(id int) ([]JobInfo, error) {
 		return nil, fmt.Errorf("%w: %d", ErrNoSuchJob, id)
 	}
 	var out []JobInfo
+	if p.fair != nil {
+		// Running and suspended jobs both hold machines the target must
+		// wait on (a suspended task keeps its node until resumed); they
+		// carry no queue position, so the ordering pass is only paid when
+		// the target itself is idle.
+		var pos map[int]int
+		for _, oid := range p.order {
+			o := p.jobs[oid]
+			if o.id != id && (o.status == StatusRunning || o.status == StatusSuspended) {
+				out = append(out, p.snapshotPosLocked(o, pos))
+			}
+		}
+		if j.status == StatusIdle {
+			ordered := p.idleOrderedLocked()
+			pos = positionsOf(ordered)
+			for _, o := range ordered {
+				if o.id == id {
+					break
+				}
+				out = append(out, p.snapshotPosLocked(o, pos))
+			}
+		}
+		return out, nil
+	}
+	pos := p.idlePositionsLocked()
 	for _, oid := range p.order {
 		o := p.jobs[oid]
 		if o.id == id || o.status.Terminal() {
 			continue
 		}
 		if o.priority > j.priority {
-			out = append(out, p.snapshotLocked(o))
+			out = append(out, p.snapshotPosLocked(o, pos))
 		}
 	}
 	return out, nil
@@ -348,13 +399,17 @@ func (p *Pool) OnTick(now time.Time, dt time.Duration) {
 }
 
 // harvestLocked promotes finished tasks to Completed and applies fault
-// injection.
+// injection. Running jobs also accrue their fair-share usage here, tick
+// by tick, so a tenant holding machines with long jobs is penalized
+// while it runs — not only when the job finally completes (Condor's
+// periodic usage update does the same).
 func (p *Pool) harvestLocked(now time.Time) {
 	for _, id := range p.order {
 		j := p.jobs[id]
 		if j.status != StatusRunning || j.task == nil {
 			continue
 		}
+		p.accrueUsageLocked(j)
 		if fail := j.ad.Float(AttrFailAfter, 0); fail > 0 && p.cpuSecondsLocked(j) >= fail {
 			j.task.Kill()
 			p.detachLocked(j)
@@ -383,9 +438,10 @@ func (p *Pool) produceOutputLocked(j *job) {
 	_ = p.site.Storage().Put(name, size)
 }
 
-// negotiateLocked matches idle jobs to free machines: priority descending,
-// FIFO within a level; each job picks its highest-Rank matching machine.
-func (p *Pool) negotiateLocked(now time.Time) {
+// idleOrderedLocked returns the idle jobs in negotiation order: the
+// fair-share policy's order when one is installed, otherwise priority
+// descending with FIFO within a level.
+func (p *Pool) idleOrderedLocked() []*job {
 	idle := make([]*job, 0)
 	for _, id := range p.order {
 		j := p.jobs[id]
@@ -393,12 +449,68 @@ func (p *Pool) negotiateLocked(now time.Time) {
 			idle = append(idle, j)
 		}
 	}
+	if p.fair != nil {
+		// Refs are built once per sort: a comparator that re-evaluates
+		// classad attributes per comparison dominates negotiation cost.
+		refs := make([]fairshare.JobRef, len(idle))
+		for i, j := range idle {
+			refs[i] = jobRef(j)
+		}
+		order := make([]int, len(idle))
+		for i := range order {
+			order[i] = i
+		}
+		// One timestamp for the whole pass keeps the comparator a strict
+		// weak ordering even on a clock that advances mid-sort, and the
+		// key form computes standing in one locked pass so the sort
+		// itself runs lock-free.
+		switch r := p.fair.(type) {
+		case fairshare.KeyRanker:
+			keys := r.SortKeysAt(p.grid.Engine.Now(), refs)
+			sort.SliceStable(order, func(a, b int) bool {
+				ia, ib := order[a], order[b]
+				return fairshare.LessKeys(refs[ia], refs[ib], keys[ia], keys[ib])
+			})
+		case fairshare.TickRanker:
+			now := p.grid.Engine.Now()
+			sort.SliceStable(order, func(a, b int) bool {
+				return r.LessAt(now, refs[order[a]], refs[order[b]])
+			})
+		default:
+			sort.SliceStable(order, func(a, b int) bool {
+				return p.fair.Less(refs[order[a]], refs[order[b]])
+			})
+		}
+		out := make([]*job, len(idle))
+		for i, idx := range order {
+			out[i] = idle[idx]
+		}
+		return out
+	}
 	sort.SliceStable(idle, func(a, b int) bool {
 		if idle[a].priority != idle[b].priority {
 			return idle[a].priority > idle[b].priority
 		}
 		return idle[a].id < idle[b].id
 	})
+	return idle
+}
+
+// jobRef is the fair-share policy's view of a queued job.
+func jobRef(j *job) fairshare.JobRef {
+	return fairshare.JobRef{
+		Owner:          j.ad.Str(AttrOwner, ""),
+		StaticPriority: j.priority,
+		Submitted:      j.submitTime,
+		Seq:            j.id,
+	}
+}
+
+// negotiateLocked matches idle jobs to free machines in negotiation order
+// (see idleOrderedLocked); each job picks its highest-Rank matching
+// machine.
+func (p *Pool) negotiateLocked(now time.Time) {
+	idle := p.idleOrderedLocked()
 	if len(idle) == 0 {
 		return
 	}
@@ -477,12 +589,17 @@ func removeMachine(ms []*machine, m *machine) []*machine {
 func (p *Pool) startLocked(j *job, m *machine, now time.Time) {
 	need := j.ad.Float(AttrCpuSeconds, 0) - j.cpuBase
 	if need <= 0 {
-		// Checkpoint covered all remaining work; complete immediately.
+		// Checkpoint covered all remaining work; complete immediately. No
+		// machine time was consumed, so this is not an allocation for the
+		// starvation guard.
 		j.startTime = now
 		j.completionTime = now
 		p.setStatusLocked(j, StatusCompleted)
 		p.produceOutputLocked(j)
 		return
+	}
+	if p.fairStart != nil {
+		p.fairStart.ObserveStart(j.ad.Str(AttrOwner, ""), now)
 	}
 	j.task = simgrid.NewTask(fmt.Sprintf("%s-%d", p.Name, j.id), need, nil)
 	j.node = m.node
@@ -512,10 +629,35 @@ func (p *Pool) cpuSecondsLocked(j *job) float64 {
 	return cpu
 }
 
-// setStatusLocked applies a state change and notifies listeners.
+// accrueUsageLocked reports the job's locally-executed CPU-seconds to
+// the fair-share sink incrementally, attributed to the site whose
+// machine ran them — a flocked job charges the peer's site, not this
+// pool's. Checkpointed work carried in from another site is excluded;
+// that site already accounted for it.
+func (p *Pool) accrueUsageLocked(j *job) {
+	if p.fairSink == nil {
+		return
+	}
+	cpu := p.cpuSecondsLocked(j) - j.cpuBase
+	if delta := cpu - j.usageRecorded; delta > 0 {
+		site := p.site.Name
+		if j.node != nil {
+			site = j.node.Site
+		}
+		p.fairSink.RecordUsage(j.ad.Str(AttrOwner, ""), site, delta)
+		j.usageRecorded = cpu
+	}
+}
+
+// setStatusLocked applies a state change and notifies listeners. Jobs
+// reaching a terminal state settle any CPU not yet accrued by the
+// per-tick update.
 func (p *Pool) setStatusLocked(j *job, to Status) {
 	from := j.status
 	j.status = to
+	if to.Terminal() {
+		p.accrueUsageLocked(j)
+	}
 	p.emitLocked(j, from, to)
 }
 
@@ -529,8 +671,34 @@ func (p *Pool) emitLocked(j *job, from, to Status) {
 	}
 }
 
-// snapshotLocked builds the JobInfo view.
+// idlePositionsLocked maps idle job IDs to their 1-based place in
+// negotiation order. Bulk snapshotters compute it once so a whole-queue
+// listing costs one ordering pass instead of one per job.
+func (p *Pool) idlePositionsLocked() map[int]int {
+	return positionsOf(p.idleOrderedLocked())
+}
+
+func positionsOf(ordered []*job) map[int]int {
+	pos := make(map[int]int, len(ordered))
+	for i, j := range ordered {
+		pos[j.id] = i + 1
+	}
+	return pos
+}
+
+// snapshotLocked builds the JobInfo view of a single job, paying for an
+// ordering pass only when the job is idle.
 func (p *Pool) snapshotLocked(j *job) JobInfo {
+	var pos map[int]int
+	if j.status == StatusIdle {
+		pos = p.idlePositionsLocked()
+	}
+	return p.snapshotPosLocked(j, pos)
+}
+
+// snapshotPosLocked builds the JobInfo view using precomputed idle
+// positions.
+func (p *Pool) snapshotPosLocked(j *job, pos map[int]int) JobInfo {
 	now := p.grid.Engine.Now()
 	info := JobInfo{
 		ID:               j.id,
@@ -579,33 +747,9 @@ func (p *Pool) snapshotLocked(j *job) JobInfo {
 		info.RemainingEstimate = rem
 	}
 	if j.status == StatusIdle {
-		info.QueuePosition = p.queuePositionLocked(j)
+		info.QueuePosition = pos[j.id]
 	}
 	return info
-}
-
-// queuePositionLocked computes the job's 1-based place among idle jobs in
-// negotiation order.
-func (p *Pool) queuePositionLocked(target *job) int {
-	idle := make([]*job, 0)
-	for _, id := range p.order {
-		j := p.jobs[id]
-		if j.status == StatusIdle {
-			idle = append(idle, j)
-		}
-	}
-	sort.SliceStable(idle, func(a, b int) bool {
-		if idle[a].priority != idle[b].priority {
-			return idle[a].priority > idle[b].priority
-		}
-		return idle[a].id < idle[b].id
-	})
-	for i, j := range idle {
-		if j == target {
-			return i + 1
-		}
-	}
-	return 0
 }
 
 // ParseEnv splits the AttrEnv convention "K=V;K2=V2" into a map.

@@ -20,6 +20,7 @@ import (
 	"repro/internal/clarens"
 	"repro/internal/condor"
 	"repro/internal/estimator"
+	"repro/internal/fairshare"
 	"repro/internal/jobmon"
 	"repro/internal/monalisa"
 	"repro/internal/quota"
@@ -39,6 +40,10 @@ type SiteSpec struct {
 	Load simgrid.LoadFn
 	// CostPerCPUSecond configures the Quota & Accounting rate.
 	CostPerCPUSecond float64
+	// CostPerTransferMB prices data movement at this site. Besides
+	// billing, it is what lets transfer charges reach the fair-share
+	// state when Config.FairShare is enabled.
+	CostPerTransferMB float64
 }
 
 // LinkSpec describes a network link between two sites.
@@ -72,6 +77,14 @@ type Config struct {
 	MonitorInterval time.Duration
 	// HostName names the Clarens host (default "gae").
 	HostName string
+
+	// FairShare, when non-nil, enables time-aware fair-share arbitration:
+	// every pool orders idle jobs by effective priority, the scheduler
+	// breaks site-selection ties by fair-share standing, and the transfer
+	// component of quota charges folds into the shared usage state
+	// (execution CPU is accounted by the pools themselves). The Clock
+	// field may be left nil — the grid engine's simulated clock is used.
+	FairShare *fairshare.Config
 }
 
 // GAE is a fully wired Grid Analysis Environment.
@@ -82,6 +95,7 @@ type GAE struct {
 	JobMon    *jobmon.Service
 	Steering  *steering.Service
 	Quota     *quota.Service
+	FairShare *fairshare.Manager // nil unless Config.FairShare was set
 	Clarens   *clarens.Server
 	Transfer  *estimator.TransferEstimator
 	Replicas  *replica.Catalog
@@ -132,7 +146,10 @@ func New(cfg Config) *GAE {
 			pool.AddMachine(n, nil)
 		}
 		g.pools[spec.Name] = pool
-		q.SetRate(spec.Name, quota.Rate{CPUSecond: spec.CostPerCPUSecond})
+		q.SetRate(spec.Name, quota.Rate{
+			CPUSecond:  spec.CostPerCPUSecond,
+			TransferMB: spec.CostPerTransferMB,
+		})
 	}
 
 	// Network.
@@ -152,13 +169,53 @@ func New(cfg Config) *GAE {
 	g.Transfer = &estimator.TransferEstimator{Network: grid.Network}
 	g.Replicas = replica.NewCatalog()
 
-	// Scheduler with per-site decentralized estimator histories.
+	// Fair-share arbitration: one manager shared by every pool, the
+	// scheduler, and the quota ledger, so accounting, execution, and
+	// planning all see one fairness state.
+	if cfg.FairShare != nil {
+		fscfg := *cfg.FairShare
+		if fscfg.Clock == nil {
+			fscfg.Clock = grid.Engine.Clock()
+		}
+		g.FairShare = fairshare.NewManager(fscfg)
+		for _, pool := range g.pools {
+			pool.SetFairShare(g.FairShare)
+		}
+		q.Subscribe(func(c quota.Charge) {
+			// The pools already record execution CPU at terminal state, and
+			// deployments conventionally Charge for that same CPU — folding
+			// c.CPUSeconds in here would double-count it. Only the transfer
+			// component of the charge adds standing, converted to
+			// CPU-second equivalents at the site's own rates.
+			// When the fairness config sets an explicit MB→CPU-second
+			// exchange rate, data movement accrues standing in physical
+			// units. Otherwise one billed transfer credit counts as one
+			// CPU-second: a site-rate-based conversion would blow up as a
+			// site's CPU price approaches zero and would re-read rates
+			// that may have changed since billing, while the flat exchange
+			// is bounded, continuous, and derived purely from the ledger
+			// entry.
+			if per := g.FairShare.TransferUsagePerMB(); per > 0 {
+				if c.MB > 0 {
+					g.FairShare.RecordUsage(c.User, c.Site, c.MB*per)
+				}
+				return
+			}
+			if c.TransferCredits > 0 {
+				g.FairShare.RecordUsage(c.User, c.Site, c.TransferCredits)
+			}
+		})
+	}
+
+	// Scheduler with per-site decentralized estimator histories. A nil
+	// FairShare manager is normalized away by scheduler.New.
 	g.Scheduler = scheduler.New(scheduler.Config{
-		Grid:     grid,
-		Monitor:  repo,
-		Quota:    q,
-		Transfer: g.Transfer,
-		Replicas: g.Replicas,
+		Grid:      grid,
+		Monitor:   repo,
+		Quota:     q,
+		Transfer:  g.Transfer,
+		Replicas:  g.Replicas,
+		FairShare: g.FairShare,
 	})
 	for name, pool := range g.pools {
 		g.Scheduler.RegisterSite(name, &scheduler.SiteServices{

@@ -1,0 +1,341 @@
+package fairshare
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+func newTestManager(cfg Config) (*Manager, *vtime.SimClock) {
+	clock := vtime.NewSimClock(time.Time{})
+	cfg.Clock = clock
+	return NewManager(cfg), clock
+}
+
+func TestNewManagerRequiresClock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil clock accepted")
+		}
+	}()
+	NewManager(Config{})
+}
+
+func TestUsageDecaysWithHalfLife(t *testing.T) {
+	m, clock := newTestManager(Config{HalfLife: time.Minute})
+	m.RecordUsage("alice", "caltech", 100)
+	if u := m.Usage("alice"); math.Abs(u-100) > 1e-9 {
+		t.Fatalf("fresh usage = %v", u)
+	}
+	clock.Advance(time.Minute)
+	if u := m.Usage("alice"); math.Abs(u-50) > 1e-9 {
+		t.Fatalf("usage after one half-life = %v, want 50", u)
+	}
+	clock.Advance(time.Minute)
+	if u := m.Usage("alice"); math.Abs(u-25) > 1e-9 {
+		t.Fatalf("usage after two half-lives = %v, want 25", u)
+	}
+	// Per-site and group usage decay on the same schedule.
+	if u := m.SiteUsage("alice", "caltech"); math.Abs(u-25) > 1e-9 {
+		t.Fatalf("site usage = %v, want 25", u)
+	}
+	if u := m.GroupUsage("default"); math.Abs(u-25) > 1e-9 {
+		t.Fatalf("group usage = %v, want 25", u)
+	}
+}
+
+func TestNegativeHalfLifeDisablesDecay(t *testing.T) {
+	m, clock := newTestManager(Config{HalfLife: -1})
+	m.RecordUsage("alice", "", 100)
+	clock.Advance(24 * time.Hour)
+	if u := m.Usage("alice"); math.Abs(u-100) > 1e-9 {
+		t.Fatalf("usage decayed despite HalfLife<0: %v", u)
+	}
+}
+
+func TestEffectivePriorityWeightOverUsage(t *testing.T) {
+	m, _ := newTestManager(Config{UsageScale: 100})
+	m.SetTenant("alice", "", 1)
+	m.SetTenant("bob", "", 1)
+	if ea, eb := m.EffectivePriority("alice"), m.EffectivePriority("bob"); math.Abs(ea-eb) > 1e-12 {
+		t.Fatalf("idle equal-weight tenants differ: %v vs %v", ea, eb)
+	}
+	m.RecordUsage("alice", "", 100) // one UsageScale halves the tenant factor
+	ea, eb := m.EffectivePriority("alice"), m.EffectivePriority("bob")
+	if ea >= eb {
+		t.Fatalf("used tenant not deprioritized: alice %v, bob %v", ea, eb)
+	}
+	// alice's group also absorbed the usage; bob shares the group, so the
+	// ratio reflects only the tenant factor: 1/2.
+	if r := ea / eb; math.Abs(r-0.5) > 1e-9 {
+		t.Fatalf("priority ratio = %v, want 0.5", r)
+	}
+}
+
+func TestEffectivePriorityHierarchy(t *testing.T) {
+	m, _ := newTestManager(Config{UsageScale: 100})
+	m.SetGroup("atlas", 3)
+	m.SetGroup("cms", 1)
+	m.SetTenant("a1", "atlas", 1)
+	m.SetTenant("c1", "cms", 1)
+	if ea, ec := m.EffectivePriority("a1"), m.EffectivePriority("c1"); math.Abs(ea/ec-3) > 1e-9 {
+		t.Fatalf("idle group-weighted ratio = %v, want 3", ea/ec)
+	}
+	// Usage by a sibling drags down the whole group.
+	m.SetTenant("a2", "atlas", 1)
+	m.RecordUsage("a2", "", 300)
+	ea, ec := m.EffectivePriority("a1"), m.EffectivePriority("c1")
+	if math.Abs(ea/ec-0.75) > 1e-9 { // 3 × 100/(100+300) = 0.75
+		t.Fatalf("post-sibling-usage ratio = %v, want 0.75", ea/ec)
+	}
+}
+
+func TestLessOrdersByEffectivePriority(t *testing.T) {
+	m, clock := newTestManager(Config{UsageScale: 100})
+	epoch := clock.Now()
+	a := JobRef{Owner: "alice", Submitted: epoch, Seq: 1}
+	b := JobRef{Owner: "bob", Submitted: epoch, Seq: 2}
+	// Equal standing: FIFO by sequence.
+	if !m.Less(a, b) || m.Less(b, a) {
+		t.Fatal("equal standing should fall back to FIFO")
+	}
+	m.RecordUsage("alice", "", 500)
+	if !m.Less(b, a) || m.Less(a, b) {
+		t.Fatal("bob should precede the heavy user alice")
+	}
+	// Static priority only breaks effective-priority ties.
+	hot := JobRef{Owner: "alice", StaticPriority: 99, Submitted: epoch, Seq: 3}
+	if m.Less(hot, b) {
+		t.Fatal("static priority must not override fair-share standing")
+	}
+	aHot := JobRef{Owner: "alice", StaticPriority: 1, Submitted: epoch, Seq: 4}
+	aCold := JobRef{Owner: "alice", Submitted: epoch, Seq: 5}
+	if !m.Less(aHot, aCold) {
+		t.Fatal("same owner: higher static priority first")
+	}
+}
+
+func TestStarvationGuard(t *testing.T) {
+	m, clock := newTestManager(Config{UsageScale: 100, StarvationWindow: time.Minute})
+	old := JobRef{Owner: "heavy", Submitted: clock.Now(), Seq: 1}
+	m.RecordUsage("heavy", "", 1e6) // heavy is far beyond its share
+	clock.Advance(2 * time.Minute)
+	fresh := JobRef{Owner: "light", Submitted: clock.Now(), Seq: 2}
+	if !m.Less(old, fresh) {
+		t.Fatal("starved job should outrank any fresh job")
+	}
+	// Guard disabled: standing decides again.
+	m2, clock2 := newTestManager(Config{UsageScale: 100, StarvationWindow: -1})
+	old2 := JobRef{Owner: "heavy", Submitted: clock2.Now(), Seq: 1}
+	m2.RecordUsage("heavy", "", 1e6)
+	clock2.Advance(2 * time.Minute)
+	fresh2 := JobRef{Owner: "light", Submitted: clock2.Now(), Seq: 2}
+	if m2.Less(old2, fresh2) {
+		t.Fatal("with the guard disabled the light tenant should win")
+	}
+	// Two starved jobs: strict FIFO.
+	clock.Advance(time.Hour)
+	s1 := JobRef{Owner: "light", Submitted: clock.Now().Add(-3 * time.Hour), Seq: 9}
+	s2 := JobRef{Owner: "light", Submitted: clock.Now().Add(-2 * time.Hour), Seq: 3}
+	if !m.Less(s1, s2) || m.Less(s2, s1) {
+		t.Fatal("starved jobs must order oldest-first")
+	}
+}
+
+func TestServedTenantIsNotStarved(t *testing.T) {
+	m, clock := newTestManager(Config{UsageScale: 100, StarvationWindow: time.Minute})
+	old := JobRef{Owner: "burst", Submitted: clock.Now(), Seq: 1}
+	clock.Advance(2 * time.Minute)
+	// burst keeps receiving machines, so its aged backlog is merely
+	// queued, not starved — effective priority must decide instead.
+	m.ObserveStart("burst", clock.Now())
+	m.RecordUsage("burst", "", 500)
+	fresh := JobRef{Owner: "light", Submitted: clock.Now(), Seq: 2}
+	if m.Less(old, fresh) {
+		t.Fatal("backlogged-but-served tenant must not jump the queue via the guard")
+	}
+	if !m.Less(fresh, old) {
+		t.Fatal("light tenant should win on effective priority")
+	}
+}
+
+func TestStarvationGuardPromotesOneJobPerTenant(t *testing.T) {
+	m, clock := newTestManager(Config{UsageScale: 100, StarvationWindow: time.Minute})
+	epoch := clock.Now()
+	m.RecordUsage("heavy", "", 1000) // heavy would lose on effective priority
+	clock.Advance(2 * time.Minute)
+	now := clock.Now()
+	refs := []JobRef{
+		{Owner: "heavy", Submitted: epoch, Seq: 1},
+		{Owner: "heavy", Submitted: epoch, Seq: 2},
+		{Owner: "fresh", Submitted: now, Seq: 3},
+	}
+	keys := m.SortKeysAt(now, refs)
+	if !keys[0].Starved || keys[1].Starved || keys[2].Starved {
+		t.Fatalf("starved flags = %+v, want only heavy's oldest", keys)
+	}
+	// Oldest starved job leads; the rest of heavy's backlog still yields
+	// to the fresh tenant on effective priority.
+	if !LessKeys(refs[0], refs[2], keys[0], keys[2]) {
+		t.Fatal("oldest starved job should precede the fresh job")
+	}
+	if LessKeys(refs[1], refs[2], keys[1], keys[2]) {
+		t.Fatal("heavy's second job must not ride the guard past the fresh tenant")
+	}
+}
+
+func TestSortKeysMatchPairwiseOrder(t *testing.T) {
+	m, clock := newTestManager(Config{UsageScale: 100, StarvationWindow: time.Minute})
+	epoch := clock.Now()
+	m.RecordUsage("heavy", "", 800)
+	m.RecordUsage("mid", "", 100)
+	clock.Advance(90 * time.Second)
+	now := clock.Now()
+	refs := []JobRef{
+		{Owner: "heavy", StaticPriority: 9, Submitted: epoch, Seq: 1}, // starved (no starts)
+		{Owner: "mid", Submitted: now, Seq: 2},
+		{Owner: "fresh", Submitted: now, Seq: 3},
+		{Owner: "heavy", StaticPriority: 2, Submitted: now, Seq: 4},
+		{Owner: "fresh", StaticPriority: 5, Submitted: now, Seq: 5},
+	}
+	keys := m.SortKeysAt(now, refs)
+	for i := range refs {
+		for j := range refs {
+			got := LessKeys(refs[i], refs[j], keys[i], keys[j])
+			want := m.LessAt(now, refs[i], refs[j])
+			if got != want {
+				t.Fatalf("LessKeys(%d,%d)=%v but LessAt=%v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestSetTenantMoveMigratesUsage(t *testing.T) {
+	m, _ := newTestManager(Config{HalfLife: -1})
+	m.SetGroup("g1", 1)
+	m.SetGroup("g2", 1)
+	m.SetTenant("x", "g1", 1)
+	m.SetTenant("y", "g1", 1)
+	m.RecordUsage("x", "", 1000)
+	m.RecordUsage("y", "", 50)
+	m.SetTenant("x", "g2", 1)
+	if u := m.GroupUsage("g1"); math.Abs(u-50) > 1e-9 {
+		t.Fatalf("old group usage = %v, want 50 (y's share only)", u)
+	}
+	if u := m.GroupUsage("g2"); math.Abs(u-1000) > 1e-9 {
+		t.Fatalf("new group usage = %v, want 1000", u)
+	}
+	if u := m.Usage("x"); math.Abs(u-1000) > 1e-9 {
+		t.Fatalf("tenant usage changed by move: %v", u)
+	}
+}
+
+func TestEffectivePriorityReadDoesNotRegister(t *testing.T) {
+	m, _ := newTestManager(Config{})
+	m.SetTenant("real", "", 1)
+	ghost := m.EffectivePriority("ghost")
+	if real := m.EffectivePriority("real"); math.Abs(ghost-real) > 1e-12 {
+		t.Fatalf("unknown tenant EP = %v, want fresh default %v", ghost, real)
+	}
+	for _, s := range m.Standings() {
+		if s.Tenant == "ghost" {
+			t.Fatal("EffectivePriority read minted a ghost tenant")
+		}
+	}
+}
+
+func TestLessAtUsesExplicitInstant(t *testing.T) {
+	m, clock := newTestManager(Config{UsageScale: 100, StarvationWindow: time.Minute})
+	a := JobRef{Owner: "x", Submitted: clock.Now(), Seq: 1}
+	b := JobRef{Owner: "y", Submitted: clock.Now(), Seq: 2}
+	m.RecordUsage("x", "", 500)
+	// At the current instant, y wins on effective priority.
+	if m.LessAt(clock.Now(), a, b) {
+		t.Fatal("heavy x should not precede y now")
+	}
+	// At an instant two windows in the future, a has starved: the explicit
+	// timestamp — not the clock — must decide.
+	future := clock.Now().Add(2 * time.Minute)
+	if !m.LessAt(future, a, b) {
+		t.Fatal("starved a should precede at the future instant")
+	}
+	// Less delegates to LessAt(clock.Now()).
+	if m.Less(a, b) != m.LessAt(clock.Now(), a, b) {
+		t.Fatal("Less and LessAt(now) disagree")
+	}
+}
+
+func TestAnonymousOwnerCannotBypassFairShare(t *testing.T) {
+	m, clock := newTestManager(Config{UsageScale: 100, StarvationWindow: time.Minute})
+	// Ownerless work accounts to the Anonymous tenant: it accrues usage
+	// and allocation history like anyone else.
+	m.RecordUsage("", "siteA", 500)
+	if u := m.Usage(Anonymous); math.Abs(u-500) > 1e-9 {
+		t.Fatalf("anonymous usage = %v", u)
+	}
+	if u := m.Usage(""); math.Abs(u-500) > 1e-9 {
+		t.Fatalf("empty-name query = %v", u)
+	}
+	submitted := clock.Now()
+	clock.Advance(2 * time.Minute)
+	m.ObserveStart("", clock.Now()) // ownerless work keeps being served
+	old := JobRef{Owner: "", Submitted: submitted, Seq: 1}
+	fresh := JobRef{Owner: "light", Submitted: clock.Now(), Seq: 2}
+	if m.Less(old, fresh) {
+		t.Fatal("ownerless job must not outrank a light tenant via the guard")
+	}
+	if !m.Less(fresh, old) {
+		t.Fatal("light tenant should win on effective priority")
+	}
+}
+
+func TestStandings(t *testing.T) {
+	m, _ := newTestManager(Config{})
+	m.SetGroup("atlas", 1)
+	m.SetTenant("bob", "atlas", 1)
+	m.SetTenant("alice", "", 1)
+	m.RecordUsage("bob", "caltech", 50)
+	st := m.Standings()
+	if len(st) != 2 || st[0].Tenant != "alice" || st[1].Tenant != "bob" {
+		t.Fatalf("standings = %+v", st)
+	}
+	if st[1].Group != "atlas" || math.Abs(st[1].Usage-50) > 1e-9 {
+		t.Fatalf("bob standing = %+v", st[1])
+	}
+	if st[0].Effective <= st[1].Effective {
+		t.Fatal("idle alice should outrank used bob")
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if j := JainIndex([]float64{10, 10, 10, 10}); math.Abs(j-1) > 1e-12 {
+		t.Fatalf("equal allocations: J = %v", j)
+	}
+	if j := JainIndex([]float64{100, 0, 0, 0}); math.Abs(j-0.25) > 1e-12 {
+		t.Fatalf("single-winner: J = %v, want 1/n", j)
+	}
+	if j := JainIndex(nil); j != 0 {
+		t.Fatalf("empty: J = %v", j)
+	}
+	if j := JainIndex([]float64{0, 0}); j != 0 {
+		t.Fatalf("all-zero: J = %v", j)
+	}
+	mid := JainIndex([]float64{30, 20, 10})
+	if mid <= 0.25 || mid >= 1 {
+		t.Fatalf("skewed: J = %v, want strictly between 1/n and 1", mid)
+	}
+}
+
+func TestMinShare(t *testing.T) {
+	if s := MinShare([]float64{10, 10}); math.Abs(s-1) > 1e-12 {
+		t.Fatalf("equal: %v", s)
+	}
+	if s := MinShare([]float64{100, 0}); s != 0 {
+		t.Fatalf("starved: %v", s)
+	}
+	if s := MinShare(nil); s != 0 {
+		t.Fatalf("empty: %v", s)
+	}
+}

@@ -1,0 +1,57 @@
+package fairshare
+
+// JainIndex computes Jain's fairness index over per-tenant allocations:
+//
+//	J = (Σxᵢ)² / (n·Σxᵢ²)
+//
+// J is 1 when every tenant received the same allocation and approaches
+// 1/n when one tenant received everything. Non-positive allocations count
+// as zero received share; an empty or all-zero input yields 0.
+func JainIndex(allocations []float64) float64 {
+	n := len(allocations)
+	if n == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range allocations {
+		if x < 0 {
+			x = 0
+		}
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// MinShare returns the smallest tenant's fraction of its fair share: each
+// allocation is divided by the mean, so 1 means the worst-off tenant got
+// exactly its equal share and 0 means it was fully starved. Callers
+// normalize allocations by entitlement first when weights differ.
+func MinShare(allocations []float64) float64 {
+	if len(allocations) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range allocations {
+		if x > 0 {
+			sum += x
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := sum / float64(len(allocations))
+	min := allocations[0]
+	for _, x := range allocations[1:] {
+		if x < min {
+			min = x
+		}
+	}
+	if min < 0 {
+		min = 0
+	}
+	return min / mean
+}

@@ -1,0 +1,201 @@
+package fairshare
+
+import (
+	"reflect"
+	"time"
+)
+
+// IsNil reports whether a policy interface value is nil or wraps a
+// typed-nil pointer (e.g. a nil *Manager stored in a Ranker). Integration
+// points use it so a typed nil means "no policy", not a crash — the
+// subtle rule lives in one place instead of being re-derived per caller.
+func IsNil(v any) bool {
+	if v == nil {
+		return true
+	}
+	rv := reflect.ValueOf(v)
+	return rv.Kind() == reflect.Pointer && rv.IsNil()
+}
+
+// JobRef is the ordering view of one queued job: everything a fair-share
+// policy may consider when deciding which idle job the next free machine
+// goes to. The execution service builds these from its queue; the policy
+// never sees execution-service internals.
+type JobRef struct {
+	Owner          string    // submitting tenant
+	StaticPriority int       // the job ad's static priority (larger first)
+	Submitted      time.Time // when the job entered the queue
+	Seq            int       // submission sequence, the final FIFO tie-break
+}
+
+// Ranker orders competing idle jobs. Less reports whether a should be
+// offered a machine before b; implementations must be a strict weak
+// ordering so sorts are well-defined.
+type Ranker interface {
+	Less(a, b JobRef) bool
+}
+
+// TickRanker is the form callers should prefer when comparing pairs: the
+// caller captures one timestamp and uses it for the whole ordering pass,
+// so the comparator stays a strict weak ordering even on a clock that
+// advances mid-sort (a real-time vtime.Clock). Less alone re-reads the
+// clock per comparison, which is only safe on a frozen simulated clock.
+type TickRanker interface {
+	Ranker
+	LessAt(now time.Time, a, b JobRef) bool
+}
+
+// SortKey is one job's precomputed standing at one instant; together with
+// the JobRef's static fields it fully determines negotiation order.
+type SortKey struct {
+	Starved   bool
+	Effective float64
+}
+
+// KeyRanker is the bulk form sorts should prefer: all keys are computed
+// in one locked pass and the sort itself runs lock-free via LessKeys —
+// O(n) lock operations instead of O(n log n).
+type KeyRanker interface {
+	TickRanker
+	SortKeysAt(now time.Time, refs []JobRef) []SortKey
+}
+
+// SortKeysAt computes each ref's standing at the given instant in a
+// single locked pass. Among a starved tenant's refs, only the oldest is
+// marked Starved: promoting one job per tenant per pass bounds the guard
+// to its purpose — guaranteeing progress — instead of handing a starved
+// tenant's whole backlog every machine that frees in the same cycle.
+func (m *Manager) SortKeysAt(now time.Time, refs []JobRef) []SortKey {
+	keys := make([]SortKey, len(refs))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var oldest map[string]int // starved owner → index of their oldest ref
+	for i, r := range refs {
+		keys[i].Effective = m.effectiveAtLocked(r.Owner, now)
+		if m.cfg.StarvationWindow > 0 && m.starvedLocked(r, now) {
+			if oldest == nil {
+				oldest = make(map[string]int)
+			}
+			owner := tenantName(r.Owner)
+			if j, ok := oldest[owner]; !ok || olderRef(r, refs[j]) {
+				oldest[owner] = i
+			}
+		}
+	}
+	for _, i := range oldest {
+		keys[i].Starved = true
+	}
+	return keys
+}
+
+// olderRef reports whether a entered the queue before b.
+func olderRef(a, b JobRef) bool {
+	if !a.Submitted.Equal(b.Submitted) {
+		return a.Submitted.Before(b.Submitted)
+	}
+	return a.Seq < b.Seq
+}
+
+// LessKeys orders two jobs by their precomputed keys with exactly the
+// tie-breaks LessAt applies.
+func LessKeys(a, b JobRef, ka, kb SortKey) bool {
+	if ka.Starved != kb.Starved {
+		return ka.Starved
+	}
+	if ka.Starved { // both starved: strict FIFO so the oldest progresses
+		if !a.Submitted.Equal(b.Submitted) {
+			return a.Submitted.Before(b.Submitted)
+		}
+		return a.Seq < b.Seq
+	}
+	// Exact comparison keeps the order a strict weak ordering (an epsilon
+	// band would break transitivity of equivalence); tenants with
+	// identical weights and usage produce bitwise-equal priorities, so
+	// equal standing still falls through to the static tie-breaks.
+	if ka.Effective != kb.Effective {
+		return ka.Effective > kb.Effective
+	}
+	if a.StaticPriority != b.StaticPriority {
+		return a.StaticPriority > b.StaticPriority
+	}
+	if !a.Submitted.Equal(b.Submitted) {
+		return a.Submitted.Before(b.Submitted)
+	}
+	return a.Seq < b.Seq
+}
+
+// Sink receives consumed usage. The execution service reports the
+// CPU-seconds of each job reaching a terminal state; the quota service's
+// ledger subscribers report charged usage.
+type Sink interface {
+	RecordUsage(tenant, site string, cpuSeconds float64)
+}
+
+// SiteStanding exposes per-site fair-share standing — the scheduler's
+// site-selection tie-break: among sites with near-equal estimated cost,
+// prefer the one where the tenant has consumed the least recent usage.
+type SiteStanding interface {
+	SiteUsage(tenant, site string) float64
+}
+
+// StartObserver receives job-start notifications from the execution
+// service. The starvation guard needs them to distinguish a tenant that
+// is backlogged but being served (a burst working its way through) from
+// one that is actually starved: only the latter's jobs are promoted.
+type StartObserver interface {
+	ObserveStart(tenant string, at time.Time)
+}
+
+// ObserveStart records that tenant was allocated a machine at the given
+// time. Empty tenants account to Anonymous.
+func (m *Manager) ObserveStart(tenant string, at time.Time) {
+	tenant = tenantName(tenant)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if at.After(m.lastStart[tenant]) {
+		m.lastStart[tenant] = at
+	}
+}
+
+// Less implements Ranker with the manager's time-aware policy:
+//
+//  1. Starvation guard: each starved tenant's oldest queued job precedes
+//     any non-starved job; among those, oldest first. A tenant is starved
+//     when the job has waited longer than the configured window AND the
+//     tenant has not been allocated any machine within that window (per
+//     ObserveStart). Serving one job per starved tenant per pass, and
+//     treating a backlogged-but-served burst as not starved, keeps the
+//     guard a progress guarantee rather than a way to monopolize the
+//     pool. The guard is evaluated over the refs considered together, so
+//     pairwise Less sees a ref as its owner's oldest within that pair.
+//  2. Effective priority of the owning tenant, higher first.
+//  3. The job's static priority, higher first.
+//  4. Submission order (time, then sequence) — FIFO.
+//
+// Step 2 is what makes the queue time-aware: as a bursty tenant's decayed
+// usage grows, its remaining jobs sink below other tenants' regardless of
+// static priority.
+func (m *Manager) Less(a, b JobRef) bool {
+	return m.LessAt(m.clock.Now(), a, b)
+}
+
+// LessAt is Less evaluated at an explicit instant. It is defined in
+// terms of SortKeysAt/LessKeys, so pairwise comparison and bulk key
+// sorting can never disagree.
+func (m *Manager) LessAt(now time.Time, a, b JobRef) bool {
+	if a == b {
+		return false // irreflexive, and the oldest-starved pick needs distinct refs
+	}
+	keys := m.SortKeysAt(now, []JobRef{a, b})
+	return LessKeys(a, b, keys[0], keys[1])
+}
+
+// starvedLocked reports whether the job's wait and its owner's allocation
+// drought both exceed the starvation window.
+func (m *Manager) starvedLocked(r JobRef, now time.Time) bool {
+	if now.Sub(r.Submitted) < m.cfg.StarvationWindow {
+		return false
+	}
+	last, ok := m.lastStart[tenantName(r.Owner)]
+	return !ok || now.Sub(last) >= m.cfg.StarvationWindow
+}

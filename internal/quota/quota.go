@@ -28,6 +28,12 @@ type Rate struct {
 	TransferMB float64
 }
 
+// price is the single pricing formula shared by quotes (Cost,
+// CheapestSite) and billing (Charge), so the two can never diverge.
+func (r Rate) price(cpuSeconds, mb float64) float64 {
+	return cpuSeconds*r.CPUSecond + mb*r.TransferMB
+}
+
 // Charge is one accounting ledger entry.
 type Charge struct {
 	Time       time.Time
@@ -36,15 +42,21 @@ type Charge struct {
 	CPUSeconds float64
 	MB         float64
 	Credits    float64
-	Note       string
+	// TransferCredits is the slice of Credits attributable to data
+	// movement, priced at the rate in force when the charge was billed —
+	// ledger subscribers (the fair-share bridge) read it instead of
+	// re-deriving it from rates that may have changed since.
+	TransferCredits float64
+	Note            string
 }
 
 // Service is the quota and accounting service.
 type Service struct {
-	mu       sync.Mutex
-	rates    map[string]Rate
-	balances map[string]float64
-	ledger   []Charge
+	mu        sync.Mutex
+	rates     map[string]Rate
+	balances  map[string]float64
+	ledger    []Charge
+	listeners []func(Charge)
 }
 
 // NewService creates an empty service.
@@ -107,7 +119,7 @@ func (s *Service) Cost(site string, cpuSeconds, mb float64) (float64, error) {
 	if cpuSeconds < 0 || mb < 0 {
 		return 0, fmt.Errorf("quota: negative usage")
 	}
-	return cpuSeconds*r.CPUSecond + mb*r.TransferMB, nil
+	return r.price(cpuSeconds, mb), nil
 }
 
 // CheapestSite returns the site from candidates with the lowest quoted
@@ -135,26 +147,55 @@ func (s *Service) CheapestSite(candidates []string, cpuSeconds, mb float64) (str
 	return bestSite, bestCost, nil
 }
 
-// Charge debits the user for usage at site and records a ledger entry.
-func (s *Service) Charge(user, site string, cpuSeconds, mb float64, at time.Time, note string) (float64, error) {
-	cost, err := s.Cost(site, cpuSeconds, mb)
-	if err != nil {
-		return 0, err
+// Subscribe registers a listener invoked synchronously after every
+// successful Charge. The fair-share manager subscribes here so charged
+// usage folds into effective priorities — the paper's "trivial prototype"
+// accounting service becomes a fairness input. Listeners run outside the
+// service lock and may call back into the service.
+func (s *Service) Subscribe(fn func(Charge)) {
+	if fn == nil {
+		panic("quota: Subscribe with nil listener")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.listeners = append(s.listeners, fn)
+}
+
+// Charge debits the user for usage at site and records a ledger entry.
+func (s *Service) Charge(user, site string, cpuSeconds, mb float64, at time.Time, note string) (float64, error) {
+	if cpuSeconds < 0 || mb < 0 {
+		return 0, fmt.Errorf("quota: negative usage")
+	}
+	s.mu.Lock()
+	r, ok := s.rates[site]
+	if !ok {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s", ErrUnknownSite, site)
+	}
+	transfer := r.price(0, mb)
+	cost := r.price(cpuSeconds, mb)
 	bal, ok := s.balances[user]
 	if !ok {
+		s.mu.Unlock()
 		return 0, fmt.Errorf("%w: %s", ErrUnknownUser, user)
 	}
 	if bal < cost {
+		s.mu.Unlock()
 		return 0, fmt.Errorf("%w: user %s has %.2f, needs %.2f", ErrInsufficientCredit, user, bal, cost)
 	}
 	s.balances[user] = bal - cost
-	s.ledger = append(s.ledger, Charge{
+	entry := Charge{
 		Time: at, User: user, Site: site,
-		CPUSeconds: cpuSeconds, MB: mb, Credits: cost, Note: note,
-	})
+		CPUSeconds: cpuSeconds, MB: mb,
+		Credits: cost, TransferCredits: transfer, Note: note,
+	}
+	s.ledger = append(s.ledger, entry)
+	listeners := make([]func(Charge), len(s.listeners))
+	copy(listeners, s.listeners)
+	s.mu.Unlock()
+	for _, fn := range listeners {
+		fn(entry)
+	}
 	return cost, nil
 }
 

@@ -155,3 +155,84 @@ func TestSitesSorted(t *testing.T) {
 		t.Fatalf("Sites = %v", got)
 	}
 }
+
+func TestSubscribeNotifiesSuccessfulChargesOnly(t *testing.T) {
+	s := NewService()
+	s.SetRate("caltech", Rate{CPUSecond: 0.01, TransferMB: 0.001})
+	s.SetRate("nust", Rate{CPUSecond: 0.05})
+	s.Grant("alice", 100)
+	var got []Charge
+	s.Subscribe(func(c Charge) { got = append(got, c) })
+
+	if _, err := s.Charge("alice", "caltech", 1000, 500, t0, "job 1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("listener calls = %d", len(got))
+	}
+	c := got[0]
+	if c.User != "alice" || c.Site != "caltech" || c.CPUSeconds != 1000 || c.MB != 500 {
+		t.Fatalf("charge = %+v", c)
+	}
+	if math.Abs(c.Credits-10.5) > 1e-9 {
+		t.Fatalf("credits = %v", c.Credits)
+	}
+	// The transfer slice is priced at billing time and carried on the
+	// entry, so subscribers never re-derive it from mutable rates.
+	if math.Abs(c.TransferCredits-0.5) > 1e-9 {
+		t.Fatalf("transfer credits = %v", c.TransferCredits)
+	}
+
+	// Failed charges never notify: overdraw, unknown user, unknown site.
+	if _, err := s.Charge("alice", "nust", 1e6, 0, t0, ""); !errors.Is(err, ErrInsufficientCredit) {
+		t.Fatalf("overdraw = %v", err)
+	}
+	if _, err := s.Charge("ghost", "nust", 1, 0, t0, ""); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("ghost = %v", err)
+	}
+	if _, err := s.Charge("alice", "mars", 1, 0, t0, ""); !errors.Is(err, ErrUnknownSite) {
+		t.Fatalf("mars = %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("failed charges notified: %d calls", len(got))
+	}
+
+	// Per-site rates produce per-site credits in the same ledger.
+	if _, err := s.Charge("alice", "nust", 100, 0, t0, "job 2"); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || math.Abs(got[1].Credits-5) > 1e-9 {
+		t.Fatalf("nust charge = %+v", got[len(got)-1])
+	}
+}
+
+func TestSubscribeNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil listener accepted")
+		}
+	}()
+	NewService().Subscribe(nil)
+}
+
+func TestSubscribeListenerMayCallBack(t *testing.T) {
+	s := NewService()
+	s.SetRate("s", Rate{CPUSecond: 1})
+	s.Grant("alice", 100)
+	var seen float64
+	s.Subscribe(func(c Charge) {
+		// Listeners run outside the lock, so reading the service back is
+		// legal (the fair-share bridge does exactly this kind of thing).
+		b, err := s.Balance(c.User)
+		if err != nil {
+			t.Errorf("Balance in listener: %v", err)
+		}
+		seen = b
+	})
+	if _, err := s.Charge("alice", "s", 30, 0, t0, ""); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(seen-70) > 1e-9 {
+		t.Fatalf("balance seen in listener = %v", seen)
+	}
+}

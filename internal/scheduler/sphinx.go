@@ -9,6 +9,7 @@ import (
 	"repro/internal/classad"
 	"repro/internal/condor"
 	"repro/internal/estimator"
+	"repro/internal/fairshare"
 	"repro/internal/monalisa"
 	"repro/internal/quota"
 	"repro/internal/replica"
@@ -29,8 +30,9 @@ type Scheduler struct {
 	repo     *monalisa.Repository
 	estDB    *estimator.EstimateDB
 	transfer *estimator.TransferEstimator
-	quota    *quota.Service   // optional
-	replicas *replica.Catalog // optional
+	quota    *quota.Service         // optional
+	replicas *replica.Catalog       // optional
+	fair     fairshare.SiteStanding // optional
 
 	// LoadWeight scales how strongly MonALISA's observed site load
 	// penalizes a site's score (default 1: a fully loaded site doubles
@@ -47,6 +49,11 @@ type Scheduler struct {
 	MaxAttempts int
 	// Learn feeds completed tasks back into the executing site's history.
 	Learn bool
+	// TieMargin is the relative score band within which site estimates
+	// count as tied; when a fair-share standing is configured, ties break
+	// toward the site where the plan owner has the least decayed usage,
+	// spreading each tenant's load across the grid. Default 0.02.
+	TieMargin float64
 
 	mu       sync.Mutex
 	sites    map[string]*SiteServices
@@ -77,12 +84,18 @@ type Config struct {
 	// fixed source (FileRef.Site == ""): the scheduler resolves the
 	// closest replica and registers new copies it creates.
 	Replicas *replica.Catalog
+	// FairShare, when set, supplies per-tenant per-site standing used as
+	// the site-selection tie-break (see Scheduler.TieMargin).
+	FairShare fairshare.SiteStanding
 }
 
 // New creates a scheduler and registers it with the grid engine.
 func New(cfg Config) *Scheduler {
 	if cfg.Grid == nil {
 		panic("scheduler: Config.Grid is required")
+	}
+	if fairshare.IsNil(cfg.FairShare) {
+		cfg.FairShare = nil
 	}
 	if cfg.EstDB == nil {
 		cfg.EstDB = estimator.NewEstimateDB()
@@ -97,7 +110,9 @@ func New(cfg Config) *Scheduler {
 		transfer:        cfg.Transfer,
 		quota:           cfg.Quota,
 		replicas:        cfg.Replicas,
+		fair:            cfg.FairShare,
 		LoadWeight:      1.0,
+		TieMargin:       0.02,
 		DefaultEstimate: 300,
 		MaxAttempts:     3,
 		Learn:           true,
@@ -320,7 +335,7 @@ func (s *Scheduler) depsDone(cp *ConcretePlan, t TaskPlan) bool {
 // launch selects a site, stages inputs, and submits the task. cpuDone
 // carries checkpointed progress on migration.
 func (s *Scheduler) launch(cp *ConcretePlan, t TaskPlan, exclude map[string]bool, cpuDone float64) error {
-	best, considered, err := s.SelectSite(t, exclude)
+	best, considered, err := s.SelectSiteFor(cp.Plan.Owner, t, exclude)
 	if err != nil {
 		return err
 	}
@@ -334,11 +349,21 @@ func (s *Scheduler) launch(cp *ConcretePlan, t TaskPlan, exclude map[string]bool
 	return s.stageAndSubmit(cp, t, best, cpuDone)
 }
 
-// SelectSite performs the paper's steps (a)–(e): per-site runtime
-// estimates, queue-time estimates, MonALISA load, transfer time, and (when
-// a quota service is configured) monetary cost. The returned slice holds
-// every candidate for explainability.
+// SelectSite performs the paper's steps (a)–(e) with no owner context;
+// see SelectSiteFor.
 func (s *Scheduler) SelectSite(t TaskPlan, exclude map[string]bool) (SiteEstimate, []SiteEstimate, error) {
+	return s.SelectSiteFor("", t, exclude)
+}
+
+// SelectSiteFor performs the paper's steps (a)–(e): per-site runtime
+// estimates, queue-time estimates, MonALISA load, transfer time, and (when
+// a quota service is configured) monetary cost. When a fair-share standing
+// is configured, candidates whose score lies within TieMargin of the best
+// are re-ranked by the owner's decayed usage at each site, lowest first —
+// planning then steers tenants toward sites they have used least recently
+// (an empty owner accounts to the Anonymous tenant, as in the execution
+// service). The returned slice holds every candidate for explainability.
+func (s *Scheduler) SelectSiteFor(owner string, t TaskPlan, exclude map[string]bool) (SiteEstimate, []SiteEstimate, error) {
 	s.mu.Lock()
 	names := make([]string, 0, len(s.sites))
 	for name := range s.sites {
@@ -378,6 +403,27 @@ func (s *Scheduler) SelectSite(t TaskPlan, exclude map[string]bool) (SiteEstimat
 		if e.Score < best.Score {
 			best = e
 		}
+	}
+	if s.fair != nil {
+		// Tie-break by fair-share standing: among near-tied sites, the one
+		// where this tenant has the least recent usage wins. Candidates are
+		// name-sorted, so equal standings keep the deterministic name order.
+		// Ownerless plans account to the Anonymous tenant, matching how the
+		// execution service attributes their usage.
+		if owner == "" {
+			owner = fairshare.Anonymous
+		}
+		limit := best.Score * (1 + s.TieMargin)
+		chosen, chosenUsage := best, s.fair.SiteUsage(owner, best.Site)
+		for _, e := range all {
+			if e.Score > limit {
+				continue
+			}
+			if u := s.fair.SiteUsage(owner, e.Site); u < chosenUsage {
+				chosen, chosenUsage = e, u
+			}
+		}
+		best = chosen
 	}
 	return best, all, nil
 }

@@ -141,8 +141,10 @@ func (s *Service) chooseBestSite(w *watched, a scheduler.Assignment) (site, reas
 		}
 	}
 	// Fast preference (and cheap fallback): the scheduler's estimate-based
-	// scoring, excluding the current site.
-	best, _, err := s.cfg.Scheduler.SelectSite(task, map[string]bool{a.Site: true})
+	// scoring, excluding the current site. The owner rides along so
+	// fair-share standing breaks near-ties for migrations exactly as it
+	// does for launches.
+	best, _, err := s.cfg.Scheduler.SelectSiteFor(w.cp.Plan.Owner, task, map[string]bool{a.Site: true})
 	if err != nil {
 		return a.Site, "no alternative site"
 	}

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFairnessScenarioCatalogue(t *testing.T) {
+	scenarios := FairnessScenarios()
+	if len(scenarios) < 4 {
+		t.Fatalf("catalogue = %d scenarios", len(scenarios))
+	}
+	seen := map[string]bool{}
+	for _, sc := range scenarios {
+		if sc.Name == "" || seen[sc.Name] {
+			t.Fatalf("bad or duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if sc.Machines <= 0 || sc.Ticks <= 0 || len(sc.Tenants) < 2 {
+			t.Fatalf("degenerate scenario %+v", sc)
+		}
+		for _, tn := range sc.Tenants {
+			if tn.JobCPUSeconds <= 0 || tn.Weight <= 0 {
+				t.Fatalf("%s: degenerate tenant %+v", sc.Name, tn)
+			}
+		}
+	}
+	for _, name := range []string{"bursty-tenant", "starvation-recovery", "weighted-groups", "federated-flocking"} {
+		if _, ok := FairnessScenarioByName(name); !ok {
+			t.Fatalf("built-in scenario %q missing", name)
+		}
+	}
+	if _, ok := FairnessScenarioByName("nope"); ok {
+		t.Fatal("unknown scenario resolved")
+	}
+}
+
+func TestSubmissionsExpansion(t *testing.T) {
+	sc := FairnessScenario{
+		Name:     "t",
+		Machines: 1,
+		Ticks:    100,
+		Tenants: []TenantSpec{
+			{Name: "burst", Weight: 1, JobCPUSeconds: 10, BurstJobs: 3},
+			{Name: "steady", Weight: 1, JobCPUSeconds: 5, SteadyJobs: 4, Every: 10, StartTick: 5},
+		},
+	}
+	subs := sc.Submissions()
+	counts := map[string]int{}
+	lastTick := -1
+	for _, s := range subs {
+		counts[s.Tenant]++
+		if s.Tick < lastTick {
+			t.Fatalf("submissions out of tick order: %+v", subs)
+		}
+		lastTick = s.Tick
+	}
+	if counts["burst"] != 3 || counts["steady"] != 4 {
+		t.Fatalf("counts = %v", counts)
+	}
+	// Steady arrivals land at StartTick + k·Every.
+	var steadyTicks []int
+	for _, s := range subs {
+		if s.Tenant == "steady" {
+			steadyTicks = append(steadyTicks, s.Tick)
+		}
+	}
+	if want := []int{5, 15, 25, 35}; !reflect.DeepEqual(steadyTicks, want) {
+		t.Fatalf("steady ticks = %v, want %v", steadyTicks, want)
+	}
+	// Deterministic: expansion is pure.
+	if !reflect.DeepEqual(subs, sc.Submissions()) {
+		t.Fatal("Submissions not deterministic")
+	}
+}
+
+func TestScenarioDemandExceedsCapacity(t *testing.T) {
+	// Fairness is only observable under contention: every built-in
+	// scenario must demand more CPU-seconds than its horizon supplies.
+	for _, sc := range FairnessScenarios() {
+		demand := 0.0
+		for _, s := range sc.Submissions() {
+			demand += s.CPUSeconds
+		}
+		capacity := float64((sc.Machines + sc.FlockMachines) * sc.Ticks)
+		if demand <= capacity {
+			t.Fatalf("%s: demand %.0f ≤ capacity %.0f, no contention", sc.Name, demand, capacity)
+		}
+	}
+}
