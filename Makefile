@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench sim fmt vet
+.PHONY: build test bench bench-json sim fmt vet
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,13 @@ test:
 # Full benchmark sweep (figures, ablations, micro, fairness).
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# One-iteration sweep parsed into the repo's perf-trajectory JSON
+# (ns/op, allocs/op, and b.ReportMetric custom metrics per benchmark).
+# Bump BENCH_OUT per PR so the trajectory accumulates.
+BENCH_OUT ?= BENCH_2.json
+bench-json:
+	$(GO) run ./cmd/gae-benchjson -out $(BENCH_OUT)
 
 # Replay a fairness scenario; override with e.g.
 #   make sim SCENARIO=bursty-tenant SIMFLAGS=-fairshare=false

@@ -1,0 +1,184 @@
+// Command gae-benchjson runs the repository benchmark sweep and records
+// it as a machine-readable JSON document — the performance trajectory of
+// the reproduction. Every PR regenerates BENCH_<n>.json at the repo root
+// so ns/op, allocs/op, and the experiment-level custom metrics
+// (mean_err_%, jain_index, steered_s, …) are comparable across history.
+//
+//	gae-benchjson -out BENCH_2.json            # full sweep, one iteration
+//	gae-benchjson -bench Condor -benchtime 5x  # focused re-measurement
+//
+// The tool shells out to `go test -bench` and parses the standard
+// benchmark output format, including b.ReportMetric custom units. It
+// exits non-zero when the benchmark binary fails or reports any failure,
+// making it usable as a CI gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	// Name is the benchmark name without the Benchmark prefix and
+	// -GOMAXPROCS suffix, e.g. "Figure5" or "FairShare/bursty-tenant".
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp/AllocsPerOp are present when the benchmark reports
+	// allocations (-benchmem or b.ReportAllocs).
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds b.ReportMetric custom units, e.g. {"jain_index": 0.99}.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the file layout of BENCH_<n>.json.
+type Document struct {
+	Schema      string   `json:"schema"`
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go"`
+	GOOS        string   `json:"goos,omitempty"`
+	GOARCH      string   `json:"goarch,omitempty"`
+	CPU         string   `json:"cpu,omitempty"`
+	Pkg         string   `json:"pkg,omitempty"`
+	Command     string   `json:"command"`
+	Benchmarks  []Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH.json", "output JSON path")
+		bench     = flag.String("bench", ".", "benchmark name pattern (go test -bench)")
+		benchtime = flag.String("benchtime", "1x", "per-benchmark budget (go test -benchtime)")
+		pkg       = flag.String("pkg", ".", "package pattern holding the benchmarks")
+		timeout   = flag.String("timeout", "30m", "go test timeout")
+	)
+	flag.Parse()
+
+	args := []string{
+		"test", "-run", "^$", "-bench", *bench, "-benchmem",
+		"-benchtime", *benchtime, "-timeout", *timeout, *pkg,
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	os.Stdout.Write(raw)
+	if err != nil {
+		fatalf("benchmark run failed: %v", err)
+	}
+	doc, perr := parse(string(raw))
+	if perr != nil {
+		fatalf("%v", perr)
+	}
+	doc.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	doc.GoVersion = runtime.Version()
+	doc.Command = "go " + strings.Join(args, " ")
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatalf("encoding: %v", err)
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatalf("writing %s: %v", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "gae-benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gae-benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// parse converts `go test -bench` output into a Document. It understands
+// the standard line format
+//
+//	BenchmarkName-8 <tab> N <tab> value unit <tab> value unit ...
+//
+// where units beyond ns/op, B/op, and allocs/op are custom b.ReportMetric
+// units collected into Result.Metrics.
+func parse(out string) (*Document, error) {
+	doc := &Document{Schema: "gae-bench/v1"}
+	failed := false
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimRight(line, "\r")
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.Contains(line, "--- FAIL") || strings.HasPrefix(line, "FAIL"):
+			failed = true
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: trimBenchName(fields[0], runtime.GOMAXPROCS(0)), Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				b := v
+				r.BytesPerOp = &b
+			case "allocs/op":
+				a := v
+				r.AllocsPerOp = &a
+			default:
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[unit] = v
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, r)
+	}
+	if failed {
+		return nil, fmt.Errorf("benchmark output reports failures")
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark results found in output")
+	}
+	return doc, nil
+}
+
+// trimBenchName strips the Benchmark prefix and the trailing -GOMAXPROCS.
+// go test appends the suffix only when GOMAXPROCS != 1, and sub-benchmark
+// names may legitimately end in -<number> (e.g. clients-1), so only the
+// exact current procs value is stripped.
+func trimBenchName(s string, procs int) string {
+	s = strings.TrimPrefix(s, "Benchmark")
+	if procs > 1 {
+		s = strings.TrimSuffix(s, "-"+strconv.Itoa(procs))
+	}
+	return s
+}

@@ -263,6 +263,9 @@ func (v Value) Equal(o Value) bool {
 // literals (Value) or unevaluated expressions (Expr).
 type Ad struct {
 	attrs map[string]entry
+	// version counts mutations; compiled Matchers use it to detect that
+	// their cached Requirements/Rank entries are stale.
+	version uint64
 }
 
 type entry struct {
@@ -276,7 +279,8 @@ func New() *Ad { return &Ad{attrs: make(map[string]entry)} }
 
 // Set stores a literal attribute, converting the Go value via From.
 func (a *Ad) Set(name string, v any) *Ad {
-	a.attrs[strings.ToLower(name)] = entry{name: name, val: From(v)}
+	a.attrs[lowered(name)] = entry{name: name, val: From(v)}
+	a.version++
 	return a
 }
 
@@ -286,7 +290,8 @@ func (a *Ad) SetExpr(name, src string) error {
 	if err != nil {
 		return fmt.Errorf("classad: attribute %s: %w", name, err)
 	}
-	a.attrs[strings.ToLower(name)] = entry{name: name, expr: e}
+	a.attrs[lowered(name)] = entry{name: name, expr: e}
+	a.version++
 	return nil
 }
 
@@ -299,11 +304,14 @@ func (a *Ad) MustSetExpr(name, src string) *Ad {
 }
 
 // Delete removes an attribute.
-func (a *Ad) Delete(name string) { delete(a.attrs, strings.ToLower(name)) }
+func (a *Ad) Delete(name string) {
+	delete(a.attrs, lowered(name))
+	a.version++
+}
 
 // Has reports whether the attribute exists.
 func (a *Ad) Has(name string) bool {
-	_, ok := a.attrs[strings.ToLower(name)]
+	_, ok := a.attrs[lowered(name)]
 	return ok
 }
 
@@ -327,14 +335,25 @@ func (a *Ad) Lookup(name string) Value {
 
 // EvalAttr evaluates attribute name with target as the TARGET scope.
 func (a *Ad) EvalAttr(name string, target *Ad) Value {
-	e, ok := a.attrs[strings.ToLower(name)]
+	return a.evalAttrLower(lowered(name), target)
+}
+
+// evalAttrLower is EvalAttr with a pre-lowered name and a pooled scope,
+// so hot callers avoid both the case fold and the scope allocation.
+func (a *Ad) evalAttrLower(lowerName string, target *Ad) Value {
+	e, ok := a.attrs[lowerName]
 	if !ok {
 		return Undefined()
 	}
 	if e.expr == nil {
 		return e.val
 	}
-	return e.expr.Eval(&scope{self: a, target: target})
+	sc := scopePool.Get().(*scope)
+	sc.self, sc.target, sc.depth = a, target, 0
+	v := e.expr.Eval(sc)
+	sc.self, sc.target = nil, nil
+	scopePool.Put(sc)
+	return v
 }
 
 // String renders the ad in [a = 1; b = "x";] form with sorted attributes.
@@ -346,7 +365,7 @@ func (a *Ad) String() string {
 		if i > 0 {
 			sb.WriteString("; ")
 		}
-		e := a.attrs[strings.ToLower(n)]
+		e := a.attrs[lowered(n)]
 		sb.WriteString(e.name)
 		sb.WriteString(" = ")
 		if e.expr != nil {
@@ -358,6 +377,24 @@ func (a *Ad) String() string {
 	sb.WriteString("]")
 	return sb.String()
 }
+
+// LiteralString returns the attribute's value when it is stored as a
+// string literal — not an expression. Index builders use it because only
+// literal values are target-independent: an expression may evaluate
+// differently against every candidate, even if it happens to produce a
+// string with no target in scope.
+func (a *Ad) LiteralString(name string) (string, bool) {
+	e, ok := a.attrs[lowered(name)]
+	if !ok || e.expr != nil {
+		return "", false
+	}
+	return e.val.StringVal()
+}
+
+// Version returns a counter incremented by every attribute mutation.
+// Caches built over an ad — compiled Matchers, the negotiator's machine
+// snapshots — key on it to detect staleness cheaply.
+func (a *Ad) Version() uint64 { return a.version }
 
 // Clone returns a deep-enough copy (expressions are immutable and shared).
 func (a *Ad) Clone() *Ad {
@@ -372,8 +409,8 @@ func (a *Ad) Clone() *Ad {
 func (a *Ad) Project(names ...string) *Ad {
 	c := New()
 	for _, n := range names {
-		if e, ok := a.attrs[strings.ToLower(n)]; ok {
-			c.attrs[strings.ToLower(n)] = e
+		if e, ok := a.attrs[lowered(n)]; ok {
+			c.attrs[lowered(n)] = e
 		}
 	}
 	return c
@@ -413,17 +450,27 @@ func (a *Ad) Bool(name string, def bool) bool {
 
 // Match reports whether left.Requirements is satisfied against right and
 // vice versa — symmetric gang-matching as Condor's negotiator performs.
-// A missing Requirements attribute counts as satisfied.
+// A missing Requirements attribute counts as satisfied. For repeated
+// matches of long-lived ads, the compiled Matcher path is faster still.
 func Match(left, right *Ad) bool {
-	return halfMatch(left, right) && halfMatch(right, left)
+	return halfMatchLower(left, right) && halfMatchLower(right, left)
 }
 
-// halfMatch evaluates self's Requirements with target in scope.
-func halfMatch(self, target *Ad) bool {
-	if !self.Has("Requirements") {
+// halfMatchLower evaluates self's Requirements with target in scope,
+// using the canonical lower-case key and the pooled scope.
+func halfMatchLower(self, target *Ad) bool {
+	e, ok := self.attrs[attrRequirements]
+	if !ok {
 		return true
 	}
-	v := self.EvalAttr("Requirements", target)
+	v := e.val
+	if e.expr != nil {
+		sc := scopePool.Get().(*scope)
+		sc.self, sc.target, sc.depth = self, target, 0
+		v = e.expr.Eval(sc)
+		sc.self, sc.target = nil, nil
+		scopePool.Put(sc)
+	}
 	b, ok := v.BoolVal()
 	return ok && b
 }
@@ -431,10 +478,10 @@ func halfMatch(self, target *Ad) bool {
 // Rank evaluates self's Rank expression against target, returning 0.0 when
 // absent or non-numeric (Condor semantics).
 func Rank(self, target *Ad) float64 {
-	if !self.Has("Rank") {
+	if _, ok := self.attrs[attrRank]; !ok {
 		return 0
 	}
-	if f, ok := self.EvalAttr("Rank", target).RealVal(); ok {
+	if f, ok := self.evalAttrLower(attrRank, target).RealVal(); ok {
 		return f
 	}
 	return 0

@@ -2,7 +2,6 @@ package classad
 
 import (
 	"math"
-	"strings"
 )
 
 // scope carries the self/target ads during evaluation, plus a depth guard
@@ -15,43 +14,48 @@ type scope struct {
 
 const maxEvalDepth = 64
 
-// resolve looks up an attribute reference. Unqualified names search self
-// then target; MY restricts to self; TARGET to target.
-func (sc *scope) resolve(name, scopeName string) Value {
+// resolve looks up an attribute reference by its pre-lowered name.
+// Unqualified names search self then target; MY restricts to self; TARGET
+// to target.
+func (sc *scope) resolve(lowerName, scopeName string) Value {
 	if sc == nil {
 		return Undefined()
 	}
 	if sc.depth >= maxEvalDepth {
-		return Errorf("attribute recursion limit reached at %q", name)
-	}
-	lookup := func(ad *Ad, other *Ad) (Value, bool) {
-		if ad == nil {
-			return Undefined(), false
-		}
-		e, ok := ad.attrs[strings.ToLower(name)]
-		if !ok {
-			return Undefined(), false
-		}
-		if e.expr == nil {
-			return e.val, true
-		}
-		inner := &scope{self: ad, target: other, depth: sc.depth + 1}
-		return e.expr.Eval(inner), true
+		return Errorf("attribute recursion limit reached at %q", lowerName)
 	}
 	switch scopeName {
 	case "my":
-		v, _ := lookup(sc.self, sc.target)
+		v, _ := sc.lookupIn(sc.self, sc.target, lowerName)
 		return v
 	case "target":
-		v, _ := lookup(sc.target, sc.self)
+		v, _ := sc.lookupIn(sc.target, sc.self, lowerName)
 		return v
 	default:
-		if v, ok := lookup(sc.self, sc.target); ok {
+		if v, ok := sc.lookupIn(sc.self, sc.target, lowerName); ok {
 			return v
 		}
-		v, _ := lookup(sc.target, sc.self)
+		v, _ := sc.lookupIn(sc.target, sc.self, lowerName)
 		return v
 	}
+}
+
+// lookupIn fetches lowerName from ad; expression attributes evaluate with
+// ad as self and other as target, one depth level down. Literal lookups —
+// the matchmaking common case — touch no new scope.
+func (sc *scope) lookupIn(ad, other *Ad, lowerName string) (Value, bool) {
+	if ad == nil {
+		return Undefined(), false
+	}
+	e, ok := ad.attrs[lowerName]
+	if !ok {
+		return Undefined(), false
+	}
+	if e.expr == nil {
+		return e.val, true
+	}
+	inner := scope{self: ad, target: other, depth: sc.depth + 1}
+	return e.expr.Eval(&inner), true
 }
 
 // EvalInContext evaluates a parsed expression with explicit self/target
@@ -228,8 +232,7 @@ func evalCompare(op string, l, r Value) Value {
 	}
 	// Strings compare case-insensitively, as in classic ClassAds.
 	if l.kind == KindString && r.kind == KindString {
-		ls, rs := strings.ToLower(l.s), strings.ToLower(r.s)
-		return cmpResult(op, strings.Compare(ls, rs))
+		return cmpResult(op, foldCompare(l.s, r.s))
 	}
 	if l.kind == KindBool && r.kind == KindBool {
 		switch op {

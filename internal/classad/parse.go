@@ -276,7 +276,7 @@ func (p *parser) parseIdent() (Expr, error) {
 				return nil, fmt.Errorf("classad: expected attribute after %s. at %d", t.text, attr.pos)
 			}
 			p.i++
-			return &attrExpr{name: attr.text, scope: lower}, nil
+			return &attrExpr{name: attr.text, lower: lowered(attr.text), scope: lower}, nil
 		}
 	}
 	// Function call.
@@ -303,7 +303,7 @@ func (p *parser) parseIdent() (Expr, error) {
 		}
 		return &callExpr{name: lower, args: args}, nil
 	}
-	return &attrExpr{name: t.text}, nil
+	return &attrExpr{name: t.text, lower: lowered(t.text)}, nil
 }
 
 // AST nodes.
@@ -338,10 +338,11 @@ func (e *listExpr) String() string {
 
 type attrExpr struct {
 	name  string
+	lower string // pre-lowered at parse time; the eval path never folds case
 	scope string // "", "my", or "target"
 }
 
-func (e *attrExpr) Eval(sc *scope) Value { return sc.resolve(e.name, e.scope) }
+func (e *attrExpr) Eval(sc *scope) Value { return sc.resolve(e.lower, e.scope) }
 
 func (e *attrExpr) String() string {
 	switch e.scope {

@@ -99,6 +99,15 @@ type job struct {
 	ad       *classad.Ad
 	status   Status
 	priority int
+	owner    string // cached AttrOwner, read on every accounting pass
+
+	// matcher is the job ad compiled for repeated matchmaking; reqArch
+	// and reqOpSys are the static machine constraints extracted from its
+	// Requirements (lower-cased, "" when unconstrained), which key the
+	// negotiator's free-machine index.
+	matcher  *classad.Matcher
+	reqArch  string
+	reqOpSys string
 
 	submitTime     time.Time
 	startTime      time.Time
@@ -106,8 +115,9 @@ type job struct {
 
 	node    *simgrid.Node
 	task    *simgrid.Task
-	cpuBase float64 // CPU-seconds carried over from a checkpoint
-	ckptCPU float64 // last checkpointed CPU-seconds
+	claimed *machine // machine held while the task occupies its node
+	cpuBase float64  // CPU-seconds carried over from a checkpoint
+	ckptCPU float64  // last checkpointed CPU-seconds
 
 	// usageRecorded is the locally-executed CPU already reported to the
 	// fair-share sink, so accrual stays incremental and exactly-once.

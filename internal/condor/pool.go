@@ -24,38 +24,102 @@ var ErrNoSuchJob = fmt.Errorf("condor: no such job")
 // Pool is one site's execution service: a schedd (queue) plus a negotiator
 // (matchmaker) over the site's machines. Register the pool as an engine
 // actor; each tick runs one negotiation cycle and harvests completions.
+//
+// The negotiation hot path is indexed: free machines are maintained
+// incrementally in per-architecture buckets as jobs start and finish
+// (rather than rescanned from the full machine list every tick), each
+// machine carries a pool-owned match ad whose LoadAvg is written once per
+// negotiation pass (rather than cloned per candidate), and job ads are
+// compiled to classad.Matchers with their static Arch/OpSys Requirements
+// constraints extracted, so each idle job evaluates the full ClassAd
+// match only against plausible candidates. The seed's O(idle × free)
+// clone-based negotiator is retained (see negotiateReferenceLocked) as
+// the specification the indexed path must reproduce assignment-for-
+// assignment; the golden-parity test runs both on identical workloads.
 type Pool struct {
 	Name string
 
 	grid *simgrid.Grid
 	site *simgrid.Site
 
-	mu        sync.Mutex
-	machines  []*machine
-	jobs      map[int]*job
-	order     []int // submission order, for FIFO within a priority
-	nextID    int
-	down      bool
-	flockPeer *Pool
-	listeners []func(Event)
-	fair      fairshare.Ranker
-	fairSink  fairshare.Sink
-	fairStart fairshare.StartObserver
+	mu       sync.Mutex
+	machines []*machine
+	// freeBuckets holds machines with no pool-placed task, keyed by the
+	// lower-cased literal Arch of their ad (dynamicBucket for machines
+	// whose Arch is not a static string). Maintained incrementally by
+	// claim/release on job start/completion.
+	freeBuckets map[string][]*machine
+	jobs        map[int]*job
+	// active lists non-terminal job IDs in submission order; harvest
+	// compacts terminal entries out so per-tick passes cost O(live jobs),
+	// not O(every job ever submitted).
+	active      []int
+	idleScratch []*job
+	peerScratch []*machine
+	nextID      int
+	down        bool
+	flockPeer   *Pool
+	listeners   []func(Event)
+	fair        fairshare.Ranker
+	fairSink    fairshare.Sink
+	fairStart   fairshare.StartObserver
+	// refNegotiate switches negotiation to the retained reference
+	// implementation; set only by the golden-parity test.
+	refNegotiate bool
+
+	// relMu guards pendingRel, the cross-pool release queue. A flocked
+	// job's terminal transition can run on an arbitrary API goroutine
+	// that already holds its own pool's lock, so it must not take the
+	// machine owner's main lock (AB-BA inversion against engine-side peer
+	// negotiation, which locks pools in the opposite order). Releases of
+	// foreign machines enqueue here under this leaf lock instead; the
+	// owner folds the queue back into its free buckets at the next tick
+	// or peer snapshot — the same point a physical rescan would first
+	// observe the machine idle.
+	relMu      sync.Mutex
+	pendingRel []*machine
 }
 
+// dynamicBucket indexes machines whose Arch is not a literal string
+// (i.e. an expression, whose value may depend on the candidate job);
+// they are scanned for every job regardless of its constraint.
+const dynamicBucket = "\x00dynamic"
+
 type machine struct {
-	node *simgrid.Node
-	ad   *classad.Ad
+	node  *simgrid.Node
+	owner *Pool
+	ad    *classad.Ad // caller-supplied ad, kept free of negotiation scratch
+	// matchAd is the pool-owned snapshot offered to the matchmaker; its
+	// LoadAvg is refreshed once per machine per negotiation pass instead
+	// of cloning the ad for every (job, machine) candidate. adVersion
+	// records the source ad's mutation counter at snapshot time: callers
+	// may keep updating the ad they registered (the seed re-read it every
+	// pick), so the snapshot and index keys resync when it changes.
+	matchAd   *classad.Ad
+	matcher   *classad.Matcher
+	adVersion uint64
+	archKey   string // lowered Arch value, or dynamicBucket
+	opsKey    string // lowered OpSys value when opsKnown
+	opsKnown  bool
+	// freeIdx is the machine's position in its owner's free bucket, -1
+	// while claimed by a job.
+	freeIdx int
+	// skipFor excludes the machine from the named pool's current
+	// negotiation pass: set when an externally placed task occupies the
+	// node, or when a checkpoint-complete job consumed the offer without
+	// placing work.
+	skipFor *Pool
 }
 
 // NewPool creates an execution service for site, registered with the
 // grid's engine.
 func NewPool(name string, grid *simgrid.Grid, site *simgrid.Site) *Pool {
 	p := &Pool{
-		Name: name,
-		grid: grid,
-		site: site,
-		jobs: make(map[int]*job),
+		Name:        name,
+		grid:        grid,
+		site:        site,
+		jobs:        make(map[int]*job),
+		freeBuckets: make(map[string][]*machine),
 	}
 	grid.Engine.AddActor(p)
 	return p
@@ -78,9 +142,44 @@ func (p *Pool) AddMachine(node *simgrid.Node, ad *classad.Ad) {
 	if !ad.Has("OpSys") {
 		ad.Set("OpSys", "LINUX")
 	}
+	m := &machine{node: node, owner: p, ad: ad, freeIdx: -1}
+	m.snapshotAd()
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.machines = append(p.machines, &machine{node: node, ad: ad})
+	p.machines = append(p.machines, m)
+	p.addFreeLocked(m)
+}
+
+// snapshotAd (re)builds the machine's match ad, compiled matcher, and
+// index keys from the caller's ad.
+func (m *machine) snapshotAd() {
+	m.adVersion = m.ad.Version()
+	m.matchAd = m.ad.Clone()
+	m.matcher = classad.NewMatcher(m.matchAd)
+	// Only literal attributes are safe index keys: an expression-valued
+	// Arch/OpSys can evaluate differently per candidate job, so such
+	// machines take the catch-all bucket / skip the OpSys pre-filter.
+	m.archKey = dynamicBucket
+	if s, ok := m.matchAd.LiteralString("Arch"); ok {
+		m.archKey = strings.ToLower(s)
+	}
+	m.opsKey, m.opsKnown = "", false
+	if s, ok := m.matchAd.LiteralString("OpSys"); ok {
+		m.opsKey, m.opsKnown = strings.ToLower(s), true
+	}
+}
+
+// resyncMachineLocked refreshes a machine whose caller-side ad mutated
+// since the last snapshot, rebucketing it if its Arch changed.
+func (p *Pool) resyncMachineLocked(m *machine) {
+	wasFree := m.freeIdx >= 0
+	if wasFree {
+		p.removeFreeLocked(m)
+	}
+	m.snapshotAd()
+	if wasFree {
+		p.addFreeLocked(m)
+	}
 }
 
 // Machines returns the advertised machine count.
@@ -184,8 +283,12 @@ func (p *Pool) Submit(ad *classad.Ad) (int, error) {
 		priority:   int(ad.Int(AttrPriority, 0)),
 		submitTime: p.grid.Engine.Now(),
 	}
+	j.owner = j.ad.Str(AttrOwner, "")
+	j.matcher = classad.NewMatcher(j.ad)
+	j.reqArch, _ = j.ad.ReqStringConstraint("Arch")
+	j.reqOpSys, _ = j.ad.ReqStringConstraint("OpSys")
 	p.jobs[id] = j
-	p.order = append(p.order, id)
+	p.active = append(p.active, id)
 	p.emitLocked(j, 0, StatusIdle)
 	return id, nil
 }
@@ -268,7 +371,7 @@ func (p *Pool) QueueAbove(id int) ([]JobInfo, error) {
 		// carry no queue position, so the ordering pass is only paid when
 		// the target itself is idle.
 		var pos map[int]int
-		for _, oid := range p.order {
+		for _, oid := range p.active {
 			o := p.jobs[oid]
 			if o.id != id && (o.status == StatusRunning || o.status == StatusSuspended) {
 				out = append(out, p.snapshotPosLocked(o, pos))
@@ -287,7 +390,7 @@ func (p *Pool) QueueAbove(id int) ([]JobInfo, error) {
 		return out, nil
 	}
 	pos := p.idlePositionsLocked()
-	for _, oid := range p.order {
+	for _, oid := range p.active {
 		o := p.jobs[oid]
 		if o.id == id || o.status.Terminal() {
 			continue
@@ -391,6 +494,7 @@ func (p *Pool) transition(id int, fn func(*job) error) error {
 func (p *Pool) OnTick(now time.Time, dt time.Duration) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.drainReleasesLocked()
 	if p.down {
 		return
 	}
@@ -399,13 +503,19 @@ func (p *Pool) OnTick(now time.Time, dt time.Duration) {
 }
 
 // harvestLocked promotes finished tasks to Completed and applies fault
-// injection. Running jobs also accrue their fair-share usage here, tick
-// by tick, so a tenant holding machines with long jobs is penalized
-// while it runs — not only when the job finally completes (Condor's
-// periodic usage update does the same).
+// injection, compacting terminal jobs out of the active list as it goes.
+// Running jobs also accrue their fair-share usage here, tick by tick, so
+// a tenant holding machines with long jobs is penalized while it runs —
+// not only when the job finally completes (Condor's periodic usage update
+// does the same).
 func (p *Pool) harvestLocked(now time.Time) {
-	for _, id := range p.order {
+	kept := p.active[:0]
+	for _, id := range p.active {
 		j := p.jobs[id]
+		if j.status.Terminal() {
+			continue
+		}
+		kept = append(kept, id)
 		if j.status != StatusRunning || j.task == nil {
 			continue
 		}
@@ -419,11 +529,13 @@ func (p *Pool) harvestLocked(now time.Time) {
 		}
 		if j.task.State() == simgrid.TaskDone {
 			j.node.Remove(j.task)
+			p.releaseClaimLocked(j)
 			j.completionTime = now
 			p.setStatusLocked(j, StatusCompleted)
 			p.produceOutputLocked(j)
 		}
 	}
+	p.active = kept
 }
 
 // produceOutputLocked materializes the job's declared output file in the
@@ -440,15 +552,17 @@ func (p *Pool) produceOutputLocked(j *job) {
 
 // idleOrderedLocked returns the idle jobs in negotiation order: the
 // fair-share policy's order when one is installed, otherwise priority
-// descending with FIFO within a level.
+// descending with FIFO within a level. The returned slice aliases a
+// per-pool scratch buffer valid until the next call under the same lock.
 func (p *Pool) idleOrderedLocked() []*job {
-	idle := make([]*job, 0)
-	for _, id := range p.order {
+	idle := p.idleScratch[:0]
+	for _, id := range p.active {
 		j := p.jobs[id]
 		if j.status == StatusIdle {
 			idle = append(idle, j)
 		}
 	}
+	p.idleScratch = idle
 	if p.fair != nil {
 		// Refs are built once per sort: a comparator that re-evaluates
 		// classad attributes per comparison dominates negotiation cost.
@@ -499,7 +613,7 @@ func (p *Pool) idleOrderedLocked() []*job {
 // jobRef is the fair-share policy's view of a queued job.
 func jobRef(j *job) fairshare.JobRef {
 	return fairshare.JobRef{
-		Owner:          j.ad.Str(AttrOwner, ""),
+		Owner:          j.owner,
 		StaticPriority: j.priority,
 		Submitted:      j.submitTime,
 		Seq:            j.id,
@@ -510,19 +624,240 @@ func jobRef(j *job) fairshare.JobRef {
 // (see idleOrderedLocked); each job picks its highest-Rank matching
 // machine.
 func (p *Pool) negotiateLocked(now time.Time) {
+	if p.refNegotiate {
+		p.negotiateReferenceLocked(now)
+		return
+	}
 	idle := p.idleOrderedLocked()
 	if len(idle) == 0 {
 		return
 	}
-	free := p.freeMachinesLocked(now)
+	p.refreshFreeLocked(now)
 	var peerFree []*machine
 	if p.flockPeer != nil {
-		peerFree = p.flockPeer.freeMachines(now)
+		peerFree = p.flockPeer.snapshotFreeFor(now, p.peerScratch[:0])
+		p.peerScratch = peerFree
 	}
 	for _, j := range idle {
-		m := pickMachine(j.ad, free, now)
+		m := p.pickIndexedLocked(j)
 		if m == nil && len(peerFree) > 0 {
-			m = pickMachine(j.ad, peerFree, now)
+			m, _ = p.bestCandidate(j, peerFree, nil, 0)
+			peerFree = removeMachine(peerFree, m)
+		}
+		if m == nil {
+			continue
+		}
+		p.startLocked(j, m, now)
+	}
+}
+
+// refreshFreeLocked prepares the pool's free machines for one negotiation
+// pass: queued cross-pool releases fold back in, machines whose caller ad
+// mutated resync, each machine's LoadAvg is written into its match ad
+// exactly once, and machines occupied by externally placed tasks (the
+// pool's free set only tracks its own placements) are excluded for this
+// pass.
+func (p *Pool) refreshFreeLocked(now time.Time) {
+	p.visitFreeLocked(func(m *machine) {
+		if m.node.TaskCount() > 0 {
+			m.skipFor = p
+			return
+		}
+		m.skipFor = nil
+		m.matchAd.Set("LoadAvg", m.node.LoadAt(now))
+	})
+}
+
+// snapshotFreeFor lists this pool's free machines for a flocking peer's
+// negotiation pass, refreshing each match ad's LoadAvg under this pool's
+// lock. The caller supplies (and re-owns) the scratch buffer. Safe against
+// deadlock: cross-pool calls happen only on the engine goroutine, where
+// ticks are serialized.
+func (p *Pool) snapshotFreeFor(now time.Time, buf []*machine) []*machine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.down {
+		return buf
+	}
+	p.visitFreeLocked(func(m *machine) {
+		if m.node.TaskCount() > 0 {
+			return
+		}
+		m.skipFor = nil
+		m.matchAd.Set("LoadAvg", m.node.LoadAt(now))
+		buf = append(buf, m)
+	})
+	return buf
+}
+
+// visitFreeLocked is the single pre-pass walk both negotiation views
+// share: queued cross-pool releases fold in, machines whose caller ad
+// mutated resync (possibly moving buckets, hence the deferral past the
+// iteration), and visit runs once per free machine.
+func (p *Pool) visitFreeLocked(visit func(*machine)) {
+	p.drainReleasesLocked()
+	var stale []*machine
+	for _, b := range p.freeBuckets {
+		for _, m := range b {
+			if m.ad.Version() != m.adVersion {
+				stale = append(stale, m)
+				continue
+			}
+			visit(m)
+		}
+	}
+	for _, m := range stale {
+		p.resyncMachineLocked(m)
+		visit(m)
+	}
+}
+
+// pickIndexedLocked returns j's best matching local machine. Jobs whose
+// Requirements pin Arch scan only that bucket (plus machines with
+// non-literal Arch); unconstrained jobs scan every bucket. The winner is
+// the highest job-Rank match, ties broken by machine name, a total order
+// that makes the result independent of bucket iteration order.
+func (p *Pool) pickIndexedLocked(j *job) *machine {
+	if j.reqArch != "" {
+		best, bestRank := p.bestCandidate(j, p.freeBuckets[j.reqArch], nil, 0)
+		best, _ = p.bestCandidate(j, p.freeBuckets[dynamicBucket], best, bestRank)
+		return best
+	}
+	var best *machine
+	bestRank := 0.0
+	for _, b := range p.freeBuckets {
+		best, bestRank = p.bestCandidate(j, b, best, bestRank)
+	}
+	return best
+}
+
+// bestCandidate scans cands for j's best match, carrying the running
+// (best, bestRank) pair. Static Arch/OpSys filters prune candidates
+// before the ClassAd match evaluates.
+func (p *Pool) bestCandidate(j *job, cands []*machine, best *machine, bestRank float64) (*machine, float64) {
+	for _, m := range cands {
+		if m.skipFor == p {
+			continue
+		}
+		if j.reqArch != "" && m.archKey != j.reqArch && m.archKey != dynamicBucket {
+			continue
+		}
+		if j.reqOpSys != "" && m.opsKnown && m.opsKey != j.reqOpSys {
+			continue
+		}
+		if !j.matcher.Match(m.matcher) {
+			continue
+		}
+		r := j.matcher.Rank(m.matcher)
+		if best == nil || r > bestRank || (r == bestRank && m.node.Name < best.node.Name) {
+			best, bestRank = m, r
+		}
+	}
+	return best, bestRank
+}
+
+// addFreeLocked inserts m into its arch bucket; the owner's lock is held.
+// A machine whose caller ad mutated while it was claimed resyncs here so
+// it re-enters under its current Arch key.
+func (p *Pool) addFreeLocked(m *machine) {
+	if m.freeIdx >= 0 {
+		return
+	}
+	if m.ad.Version() != m.adVersion {
+		m.snapshotAd()
+	}
+	b := p.freeBuckets[m.archKey]
+	m.freeIdx = len(b)
+	p.freeBuckets[m.archKey] = append(b, m)
+}
+
+// removeFreeLocked swap-removes m from its arch bucket.
+func (p *Pool) removeFreeLocked(m *machine) {
+	if m.freeIdx < 0 {
+		return
+	}
+	b := p.freeBuckets[m.archKey]
+	last := len(b) - 1
+	moved := b[last]
+	b[m.freeIdx] = moved
+	moved.freeIdx = m.freeIdx
+	b[last] = nil
+	p.freeBuckets[m.archKey] = b[:last]
+	m.freeIdx = -1
+}
+
+// claimMachine removes m from its owner's free set when a job starts on
+// it. The caller holds p.mu; a flocked machine's owner is locked briefly,
+// which cannot deadlock because all cross-pool negotiation runs on the
+// single engine goroutine.
+func (p *Pool) claimMachine(m *machine) {
+	if m.owner == p {
+		p.removeFreeLocked(m)
+		return
+	}
+	m.owner.mu.Lock()
+	m.owner.removeFreeLocked(m)
+	m.owner.mu.Unlock()
+}
+
+// releaseClaimLocked returns j's claimed machine (if any) to its owner's
+// free set — the completion/removal half of the incremental free-set
+// maintenance. A foreign (flocked-onto) machine is enqueued on its
+// owner's leaf-locked release queue rather than locked directly: this
+// path runs from API goroutines (Remove, fault teardown) already holding
+// this pool's lock, and taking another pool's main lock here would
+// invert the engine's negotiation lock order.
+func (p *Pool) releaseClaimLocked(j *job) {
+	m := j.claimed
+	if m == nil {
+		return
+	}
+	j.claimed = nil
+	if m.owner == p {
+		p.addFreeLocked(m)
+		return
+	}
+	o := m.owner
+	o.relMu.Lock()
+	o.pendingRel = append(o.pendingRel, m)
+	o.relMu.Unlock()
+}
+
+// drainReleasesLocked folds queued foreign releases into the free
+// buckets. Called wherever the buckets are about to be read — tick
+// start, pass refresh, peer snapshot — so the indexed view never lags
+// the physical machine state a full rescan would observe.
+func (p *Pool) drainReleasesLocked() {
+	p.relMu.Lock()
+	for _, m := range p.pendingRel {
+		p.addFreeLocked(m)
+	}
+	p.pendingRel = p.pendingRel[:0]
+	p.relMu.Unlock()
+}
+
+// --- reference negotiator --------------------------------------------------
+//
+// The seed's negotiation path, kept as the behavioral specification for
+// the indexed implementation: a full free-machine rescan per tick and a
+// fresh ad clone per (job, machine) candidate. The golden-parity test
+// (TestNegotiationParity) replays seeded workloads through both paths and
+// requires identical job→machine assignments and timings.
+
+func (p *Pool) negotiateReferenceLocked(now time.Time) {
+	idle := p.idleOrderedLocked()
+	if len(idle) == 0 {
+		return
+	}
+	free := p.scanFreeRefLocked()
+	var peerFree []*machine
+	if p.flockPeer != nil {
+		peerFree = p.flockPeer.freeMachinesRef()
+	}
+	for _, j := range idle {
+		m := pickMachineReference(j.ad, free, now)
+		if m == nil && len(peerFree) > 0 {
+			m = pickMachineReference(j.ad, peerFree, now)
 			peerFree = removeMachine(peerFree, m)
 		} else {
 			free = removeMachine(free, m)
@@ -534,8 +869,9 @@ func (p *Pool) negotiateLocked(now time.Time) {
 	}
 }
 
-// freeMachinesLocked lists machines with no running task.
-func (p *Pool) freeMachinesLocked(now time.Time) []*machine {
+// scanFreeRefLocked lists machines with no running task by scanning the
+// full machine list — the seed's per-tick behavior.
+func (p *Pool) scanFreeRefLocked() []*machine {
 	var out []*machine
 	for _, m := range p.machines {
 		if len(m.node.Tasks()) == 0 {
@@ -545,18 +881,19 @@ func (p *Pool) freeMachinesLocked(now time.Time) []*machine {
 	return out
 }
 
-func (p *Pool) freeMachines(now time.Time) []*machine {
+func (p *Pool) freeMachinesRef() []*machine {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.down {
 		return nil
 	}
-	return p.freeMachinesLocked(now)
+	return p.scanFreeRefLocked()
 }
 
-// pickMachine returns the matching machine with the highest job Rank,
-// breaking ties by machine name for determinism.
-func pickMachine(jobAd *classad.Ad, machines []*machine, now time.Time) *machine {
+// pickMachineReference returns the matching machine with the highest job
+// Rank, breaking ties by machine name for determinism — cloning each
+// candidate's ad to overlay LoadAvg, as the seed did.
+func pickMachineReference(jobAd *classad.Ad, machines []*machine, now time.Time) *machine {
 	var best *machine
 	bestRank := 0.0
 	for _, m := range machines {
@@ -585,13 +922,16 @@ func removeMachine(ms []*machine, m *machine) []*machine {
 	return ms
 }
 
-// startLocked launches job j on machine m.
+// startLocked launches job j on machine m, claiming the machine in its
+// owner's free set for as long as the task occupies the node.
 func (p *Pool) startLocked(j *job, m *machine, now time.Time) {
 	need := j.ad.Float(AttrCpuSeconds, 0) - j.cpuBase
 	if need <= 0 {
 		// Checkpoint covered all remaining work; complete immediately. No
 		// machine time was consumed, so this is not an allocation for the
-		// starvation guard.
+		// starvation guard — but the offer is spent for this pass, as it
+		// was under the per-pass candidate list.
+		m.skipFor = p
 		j.startTime = now
 		j.completionTime = now
 		p.setStatusLocked(j, StatusCompleted)
@@ -599,9 +939,21 @@ func (p *Pool) startLocked(j *job, m *machine, now time.Time) {
 		return
 	}
 	if p.fairStart != nil {
-		p.fairStart.ObserveStart(j.ad.Str(AttrOwner, ""), now)
+		p.fairStart.ObserveStart(j.owner, now)
 	}
-	j.task = simgrid.NewTask(fmt.Sprintf("%s-%d", p.Name, j.id), need, nil)
+	p.claimMachine(m)
+	j.claimed = m
+	// The claim is released the moment the task completes (the node drops
+	// finished tasks immediately), not at the next harvest — so the free
+	// set always mirrors the physical machine state a full rescan would
+	// observe, including for flocking peers that negotiate between this
+	// pool's harvests. The callback fires lock-free on the engine
+	// goroutine; job status still transitions at harvest time.
+	j.task = simgrid.NewTask(fmt.Sprintf("%s-%d", p.Name, j.id), need, func(*simgrid.Task) {
+		p.mu.Lock()
+		p.releaseClaimLocked(j)
+		p.mu.Unlock()
+	})
 	j.node = m.node
 	m.node.Place(j.task)
 	if j.startTime.IsZero() {
@@ -610,7 +962,8 @@ func (p *Pool) startLocked(j *job, m *machine, now time.Time) {
 	p.setStatusLocked(j, StatusRunning)
 }
 
-// detachLocked removes the job's task from its node, if any.
+// detachLocked removes the job's task from its node, if any, and releases
+// its machine claim.
 func (p *Pool) detachLocked(j *job) {
 	if j.task != nil {
 		j.task.Kill()
@@ -618,6 +971,7 @@ func (p *Pool) detachLocked(j *job) {
 			j.node.Remove(j.task)
 		}
 	}
+	p.releaseClaimLocked(j)
 }
 
 // cpuSecondsLocked returns checkpoint base plus live task CPU.
@@ -644,7 +998,7 @@ func (p *Pool) accrueUsageLocked(j *job) {
 		if j.node != nil {
 			site = j.node.Site
 		}
-		p.fairSink.RecordUsage(j.ad.Str(AttrOwner, ""), site, delta)
+		p.fairSink.RecordUsage(j.owner, site, delta)
 		j.usageRecorded = cpu
 	}
 }
@@ -704,7 +1058,7 @@ func (p *Pool) snapshotPosLocked(j *job, pos map[int]int) JobInfo {
 		ID:               j.id,
 		Pool:             p.Name,
 		Status:           j.status,
-		Owner:            j.ad.Str(AttrOwner, ""),
+		Owner:            j.owner,
 		Cmd:              j.ad.Str(AttrCmd, ""),
 		Priority:         j.priority,
 		Env:              j.ad.Str(AttrEnv, ""),

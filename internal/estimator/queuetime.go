@@ -13,28 +13,34 @@ import (
 // database."
 type EstimateDB struct {
 	mu        sync.RWMutex
-	estimates map[string]float64 // key: pool/jobID
+	estimates map[dbKey]float64
+}
+
+// dbKey identifies a job's estimate without the per-lookup formatting
+// allocation a "pool/id" string key would cost on the scheduler's
+// backlog-scoring hot path.
+type dbKey struct {
+	pool string
+	id   int
 }
 
 // NewEstimateDB creates an empty estimate database.
 func NewEstimateDB() *EstimateDB {
-	return &EstimateDB{estimates: make(map[string]float64)}
+	return &EstimateDB{estimates: make(map[dbKey]float64)}
 }
-
-func dbKey(pool string, id int) string { return fmt.Sprintf("%s/%d", pool, id) }
 
 // Record stores the submission-time estimate for a job.
 func (db *EstimateDB) Record(pool string, id int, seconds float64) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.estimates[dbKey(pool, id)] = seconds
+	db.estimates[dbKey{pool: pool, id: id}] = seconds
 }
 
 // Lookup fetches a job's recorded estimate.
 func (db *EstimateDB) Lookup(pool string, id int) (float64, bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	v, ok := db.estimates[dbKey(pool, id)]
+	v, ok := db.estimates[dbKey{pool: pool, id: id}]
 	return v, ok
 }
 

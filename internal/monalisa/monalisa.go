@@ -43,8 +43,12 @@ type Event struct {
 // Repository is the MonALISA store: bounded time series plus an event log.
 // All methods are safe for concurrent use.
 type Repository struct {
-	mu        sync.RWMutex
-	series    map[Metric][]Point
+	mu     sync.RWMutex
+	series map[Metric][]Point
+	// latest caches each metric's newest sample so the scheduler's
+	// per-site load reads (one per candidate site per placement) cost one
+	// map hit instead of indexing the series tail under contention.
+	latest    map[Metric]Point
 	events    []Event
 	maxPoints int
 	maxEvents int
@@ -85,6 +89,7 @@ func WithEventCap(n int) Option {
 func NewRepository(opts ...Option) *Repository {
 	r := &Repository{
 		series:    make(map[Metric][]Point),
+		latest:    make(map[Metric]Point),
 		maxPoints: 4096,
 		maxEvents: 65536,
 	}
@@ -104,6 +109,7 @@ func (r *Repository) Publish(source, name string, t time.Time, v float64) {
 		s = s[len(s)-r.maxPoints:]
 	}
 	r.series[m] = s
+	r.latest[m] = Point{Time: t, Value: v}
 	subs := make([]*subscription, len(r.subs))
 	copy(subs, r.subs)
 	r.mu.Unlock()
@@ -124,15 +130,12 @@ func (r *Repository) PublishEvent(t time.Time, source, kind, detail string) {
 	}
 }
 
-// Latest returns the most recent sample of the metric.
+// Latest returns the most recent sample of the metric in O(1).
 func (r *Repository) Latest(source, name string) (Point, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	s := r.series[Metric{Source: source, Name: name}]
-	if len(s) == 0 {
-		return Point{}, false
-	}
-	return s[len(s)-1], true
+	p, ok := r.latest[Metric{Source: source, Name: name}]
+	return p, ok
 }
 
 // LatestValue returns the most recent value, or def when the series is

@@ -61,6 +61,18 @@ type Scheduler struct {
 	planSubs []func(*ConcretePlan)
 	jobIndex map[jobKey]planTask
 	events   []condor.Event
+
+	// backlogCache memoizes backlogSeconds per site for one simulation
+	// instant: site scoring walks every queued job at a site, and a plan
+	// with N ready tasks would otherwise pay that walk N times per tick.
+	// Entries are dropped whenever the site's queue changes at the same
+	// instant — on any pool event (completion, start, failure) and on
+	// scheduler-side submit/remove — so cached reads always equal what a
+	// fresh walk would return. backlogGen guards against a stale value
+	// computed concurrently with an invalidation being stored back.
+	backlogAt    time.Time
+	backlogCache map[string]float64
+	backlogGen   uint64
 }
 
 type jobKey struct {
@@ -118,6 +130,7 @@ func New(cfg Config) *Scheduler {
 		Learn:           true,
 		sites:           make(map[string]*SiteServices),
 		jobIndex:        make(map[jobKey]planTask),
+		backlogCache:    make(map[string]float64),
 	}
 	cfg.Grid.Engine.AddActor(s)
 	return s
@@ -139,10 +152,13 @@ func (s *Scheduler) RegisterSite(site string, svc *SiteServices) {
 	s.sites[site] = svc
 	s.mu.Unlock()
 	// Queue pool events; they are processed on the next tick to avoid
-	// re-entering the pool from inside its own lock.
+	// re-entering the pool from inside its own lock. Any event means the
+	// site's queue changed, so its cached backlog is stale immediately.
 	svc.Pool.Subscribe(func(e condor.Event) {
 		s.mu.Lock()
 		s.events = append(s.events, e)
+		delete(s.backlogCache, site)
+		s.backlogGen++
 		s.mu.Unlock()
 	})
 }
@@ -366,25 +382,26 @@ func (s *Scheduler) SelectSite(t TaskPlan, exclude map[string]bool) (SiteEstimat
 func (s *Scheduler) SelectSiteFor(owner string, t TaskPlan, exclude map[string]bool) (SiteEstimate, []SiteEstimate, error) {
 	s.mu.Lock()
 	names := make([]string, 0, len(s.sites))
+	svcs := make([]*SiteServices, 0, len(s.sites))
 	for name := range s.sites {
 		if !exclude[name] {
 			names = append(names, name)
 		}
 	}
-	s.mu.Unlock()
 	sort.Strings(names)
+	for _, name := range names {
+		svcs = append(svcs, s.sites[name])
+	}
+	s.mu.Unlock()
 	if len(names) == 0 {
 		return SiteEstimate{}, nil, fmt.Errorf("scheduler: no eligible sites for task %q", t.ID)
 	}
-	now := s.grid.Engine.Now()
-	var all []SiteEstimate
-	for _, site := range names {
-		s.mu.Lock()
-		svc := s.sites[site]
-		s.mu.Unlock()
+	all := make([]SiteEstimate, 0, len(names))
+	for i, site := range names {
+		svc := svcs[i]
 		est := SiteEstimate{Site: site}
 		est.RuntimeSeconds = s.runtimeEstimate(svc, t)
-		est.QueueSeconds = s.backlogSeconds(svc)
+		est.QueueSeconds = s.backlogSeconds(site, svc)
 		est.TransferSeconds = s.transferSeconds(t, site)
 		if s.repo != nil {
 			est.Load = s.repo.LatestValue(site, monalisa.MetricLoadAvg, 0)
@@ -396,7 +413,6 @@ func (s *Scheduler) SelectSiteFor(owner string, t TaskPlan, exclude map[string]b
 		}
 		est.Score = est.RuntimeSeconds*(1+s.LoadWeight*est.Load) + est.QueueSeconds + est.TransferSeconds
 		all = append(all, est)
-		_ = now
 	}
 	best := all[0]
 	for _, e := range all[1:] {
@@ -444,8 +460,36 @@ func (s *Scheduler) runtimeEstimate(svc *SiteServices, t TaskPlan) float64 {
 }
 
 // backlogSeconds approximates a site's queue wait: the summed remaining
-// estimates of every non-terminal job, divided by machine count.
-func (s *Scheduler) backlogSeconds(svc *SiteServices) float64 {
+// estimates of every non-terminal job, divided by machine count. Results
+// are cached per site for the current simulation instant — the queue only
+// changes when the clock advances, so repeated scoring within one tick
+// reuses the first walk.
+func (s *Scheduler) backlogSeconds(site string, svc *SiteServices) float64 {
+	now := s.grid.Engine.Now()
+	s.mu.Lock()
+	if !s.backlogAt.Equal(now) {
+		s.backlogAt = now
+		for k := range s.backlogCache {
+			delete(s.backlogCache, k)
+		}
+	} else if v, ok := s.backlogCache[site]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	gen := s.backlogGen
+	s.mu.Unlock()
+	v := s.backlogSecondsUncached(svc)
+	s.mu.Lock()
+	// Store only if nothing invalidated while we walked the queue
+	// unlocked; otherwise the value may predate a concurrent change.
+	if s.backlogAt.Equal(now) && s.backlogGen == gen {
+		s.backlogCache[site] = v
+	}
+	s.mu.Unlock()
+	return v
+}
+
+func (s *Scheduler) backlogSecondsUncached(svc *SiteServices) float64 {
 	jobs, err := svc.Pool.Jobs()
 	if err != nil {
 		return 0
@@ -635,6 +679,10 @@ func (s *Scheduler) submitTask(cp *ConcretePlan, t TaskPlan, est SiteEstimate, c
 	s.estDB.Record(svc.Pool.Name, id, est.RuntimeSeconds)
 	s.mu.Lock()
 	s.jobIndex[jobKey{pool: svc.Pool.Name, id: id}] = planTask{cp: cp, taskID: t.ID}
+	// The submission changed this site's queue mid-tick; drop its cached
+	// backlog so sibling tasks scored later this tick see the new depth.
+	delete(s.backlogCache, est.Site)
+	s.backlogGen++
 	s.mu.Unlock()
 	cp.update(t.ID, func(a *Assignment) {
 		a.CondorID = id
@@ -678,6 +726,8 @@ func (s *Scheduler) Reschedule(cp *ConcretePlan, taskID string, exclude []string
 			_ = svc.Pool.Remove(a.CondorID)
 			s.mu.Lock()
 			delete(s.jobIndex, jobKey{pool: svc.Pool.Name, id: a.CondorID})
+			delete(s.backlogCache, a.Site)
+			s.backlogGen++
 			s.mu.Unlock()
 		}
 	}

@@ -201,6 +201,14 @@ func (n *Node) Remove(t *Task) {
 	}
 }
 
+// TaskCount returns the number of tasks placed on the node without
+// allocating — the negotiator's free-machine validation probe.
+func (n *Node) TaskCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.tasks)
+}
+
 // Tasks returns a snapshot of the tasks currently placed on the node.
 func (n *Node) Tasks() []*Task {
 	n.mu.Lock()
