@@ -1,12 +1,15 @@
 GO ?= go
 
-.PHONY: build test bench bench-json sim fmt vet
+.PHONY: build test test-race bench bench-json sim fmt vet
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
 
 # Full benchmark sweep (figures, ablations, micro, fairness).
 bench:

@@ -1,6 +1,7 @@
 // Command gae-monitor surfaces the "Grid weather" a running gae-server
 // observes: per-site load and occupancy from the MonALISA repository,
-// metric series, job state-change events, and the replica catalog.
+// metric series, job state-change events, and the replica catalog — all
+// through the typed gae.Client.
 //
 // Examples:
 //
@@ -18,15 +19,17 @@ import (
 	"log"
 	"os"
 	"strconv"
+	"time"
 
-	"repro/internal/clarens"
+	"repro/pkg/gae"
 )
 
 func main() {
 	var (
-		server = flag.String("server", "http://localhost:8080", "Clarens endpoint")
-		user   = flag.String("user", "alice", "user name")
-		pass   = flag.String("pass", "secret", "password")
+		server  = flag.String("server", "http://localhost:8080", "Clarens endpoint")
+		user    = flag.String("user", "alice", "user name")
+		pass    = flag.String("pass", "secret", "password")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -34,90 +37,65 @@ func main() {
 		usage()
 	}
 	ctx := context.Background()
-	c := clarens.NewClient(*server)
-	if err := c.Login(ctx, *user, *pass); err != nil {
+	c, err := gae.Dial(ctx, *server,
+		gae.WithCredentials(*user, *pass), gae.WithTimeout(*timeout))
+	if err != nil {
 		log.Fatalf("gae-monitor: %v", err)
 	}
+	defer c.Close(ctx)
 	switch cmd := args[0]; cmd {
 	case "sites":
-		rows, err := c.CallArray(ctx, "monitor.sites")
+		rows, err := c.Weather(ctx)
 		fatalIf(err)
 		fmt.Printf("%-12s %8s %8s %6s\n", "site", "load", "running", "free")
-		for _, r := range rows {
-			m, ok := r.(map[string]any)
-			if !ok {
-				continue
-			}
-			fmt.Printf("%-12v %8.2f %8.0f %6.0f\n",
-				m["site"], num(m["load"]), num(m["running"]), num(m["free"]))
+		for _, w := range rows {
+			fmt.Printf("%-12s %8.2f %8.0f %6.0f\n", w.Site, w.Load, w.Running, w.Free)
 		}
 	case "metrics":
-		rows, err := c.CallArray(ctx, "monitor.metrics")
+		rows, err := c.Metrics(ctx)
 		fatalIf(err)
 		for _, r := range rows {
 			fmt.Println(r)
 		}
 	case "latest":
 		need(args, 3)
-		v, err := c.CallFloat(ctx, "monitor.latest", args[1], args[2])
+		v, err := c.Latest(ctx, args[1], args[2])
 		fatalIf(err)
 		fmt.Printf("%s/%s = %g\n", args[1], args[2], v)
 	case "series":
 		need(args, 4)
 		since, err := strconv.ParseFloat(args[3], 64)
 		fatalIf(err)
-		rows, err := c.CallArray(ctx, "monitor.series", args[1], args[2], since)
+		pts, err := c.Series(ctx, args[1], args[2], since)
 		fatalIf(err)
-		for _, r := range rows {
-			m, ok := r.(map[string]any)
-			if !ok {
-				continue
-			}
-			fmt.Printf("%v  %g\n", m["t"], num(m["value"]))
+		for _, p := range pts {
+			fmt.Printf("%v  %g\n", p.Time, p.Value)
 		}
 	case "events":
 		need(args, 3)
 		since, err := strconv.ParseFloat(args[2], 64)
 		fatalIf(err)
-		rows, err := c.CallArray(ctx, "monitor.events", args[1], since)
+		evs, err := c.Events(ctx, args[1], since)
 		fatalIf(err)
-		for _, r := range rows {
-			m, ok := r.(map[string]any)
-			if !ok {
-				continue
-			}
-			fmt.Printf("%v  [%v] %v\n", m["t"], m["kind"], m["detail"])
+		for _, e := range evs {
+			fmt.Printf("%v  [%s] %s\n", e.Time, e.Kind, e.Detail)
 		}
 	case "datasets":
-		rows, err := c.CallArray(ctx, "replica.datasets")
+		rows, err := c.Datasets(ctx)
 		fatalIf(err)
 		for _, r := range rows {
 			fmt.Println(r)
 		}
 	case "replicas":
 		need(args, 2)
-		rows, err := c.CallArray(ctx, "replica.locations", args[1])
+		locs, err := c.Replicas(ctx, args[1])
 		fatalIf(err)
-		for _, r := range rows {
-			m, ok := r.(map[string]any)
-			if !ok {
-				continue
-			}
-			fmt.Printf("%-12v %8.0f MB\n", m["site"], num(m["size_mb"]))
+		for _, l := range locs {
+			fmt.Printf("%-12s %8.0f MB\n", l.Site, l.SizeMB)
 		}
 	default:
 		usage()
 	}
-}
-
-func num(v any) float64 {
-	switch x := v.(type) {
-	case float64:
-		return x
-	case int:
-		return float64(x)
-	}
-	return 0
 }
 
 func need(args []string, n int) {

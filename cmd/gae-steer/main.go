@@ -1,5 +1,6 @@
 // Command gae-steer is the advanced user's console: it lists, inspects,
-// and controls jobs through a running gae-server's Steering Service.
+// and controls jobs through a running gae-server's Steering Service,
+// using the typed gae.Client over the XML-RPC transport.
 //
 // Examples:
 //
@@ -18,17 +19,18 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"sort"
 	"strconv"
+	"time"
 
-	"repro/internal/clarens"
+	"repro/pkg/gae"
 )
 
 func main() {
 	var (
-		server = flag.String("server", "http://localhost:8080", "Clarens endpoint")
-		user   = flag.String("user", "alice", "user name")
-		pass   = flag.String("pass", "secret", "password")
+		server  = flag.String("server", "http://localhost:8080", "Clarens endpoint")
+		user    = flag.String("user", "alice", "user name")
+		pass    = flag.String("pass", "secret", "password")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -36,74 +38,79 @@ func main() {
 		usage()
 	}
 	ctx := context.Background()
-	c := clarens.NewClient(*server)
-	if err := c.Login(ctx, *user, *pass); err != nil {
+	c, err := gae.Dial(ctx, *server,
+		gae.WithCredentials(*user, *pass), gae.WithTimeout(*timeout))
+	if err != nil {
 		log.Fatalf("gae-steer: %v", err)
 	}
+	defer c.Close(ctx)
 	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "jobs":
-		jobs, err := c.CallArray(ctx, "steering.jobs")
+		jobs, err := c.Jobs(ctx)
 		fatalIf(err)
 		for _, j := range jobs {
 			fmt.Println(j)
 		}
 	case "status":
 		needRef(rest)
-		st, err := c.CallStruct(ctx, "steering.status", rest[0], rest[1])
+		st, err := c.TaskStatus(ctx, rest[0], rest[1])
 		fatalIf(err)
-		printStruct(st, "")
+		printStatus(st)
 	case "kill", "pause", "resume":
 		needRef(rest)
-		_, err := c.Call(ctx, "steering."+cmd, rest[0], rest[1])
+		var err error
+		switch cmd {
+		case "kill":
+			err = c.Kill(ctx, rest[0], rest[1])
+		case "pause":
+			err = c.Pause(ctx, rest[0], rest[1])
+		case "resume":
+			err = c.Resume(ctx, rest[0], rest[1])
+		}
 		fatalIf(err)
 		fmt.Printf("%s ok\n", cmd)
 	case "move":
 		needRef(rest)
-		callArgs := []any{rest[0], rest[1]}
+		site := ""
 		if len(rest) >= 3 {
-			callArgs = append(callArgs, rest[2])
+			site = rest[2]
 		}
-		res, err := c.CallStruct(ctx, "steering.move", callArgs...)
+		res, err := c.Move(ctx, rest[0], rest[1], site)
 		fatalIf(err)
-		fmt.Printf("moved to %v (condor id %v)\n", res["site"], res["condorid"])
+		fmt.Printf("moved to %s (condor id %d)\n", res.Site, res.CondorID)
 	case "setprio":
 		if len(rest) != 3 {
 			usage()
 		}
 		prio, err := strconv.Atoi(rest[2])
 		fatalIf(err)
-		_, err = c.Call(ctx, "steering.setpriority", rest[0], rest[1], prio)
-		fatalIf(err)
+		fatalIf(c.SetPriority(ctx, rest[0], rest[1], prio))
 		fmt.Println("priority set")
 	case "estimate":
 		needRef(rest)
-		sec, err := c.CallFloat(ctx, "steering.estimate", rest[0], rest[1])
+		sec, err := c.EstimateCompletion(ctx, rest[0], rest[1])
 		fatalIf(err)
 		fmt.Printf("estimated completion in %.0f s\n", sec)
 	case "notifications":
-		ns, err := c.CallArray(ctx, "steering.notifications")
+		ns, err := c.Notifications(ctx)
 		fatalIf(err)
 		if len(ns) == 0 {
 			fmt.Println("(none)")
 		}
 		for _, n := range ns {
-			m, ok := n.(map[string]any)
-			if !ok {
-				continue
-			}
-			fmt.Printf("[%v] %v\n", m["kind"], m["message"])
+			fmt.Printf("[%s] %s\n", n.Kind, n.Message)
 		}
 	case "preference":
+		var pref string
 		var err error
-		var res any
 		if len(rest) == 0 {
-			res, err = c.Call(ctx, "steering.preference")
+			pref, err = c.Preference(ctx)
 		} else {
-			res, err = c.Call(ctx, "steering.preference", rest[0])
+			pref, err = c.SetPreference(ctx, rest[0])
 		}
 		fatalIf(err)
-		fmt.Printf("optimizer preference: %v\n", res)
+		fmt.Printf("optimizer preference: %s\n", pref)
 	default:
 		usage()
 	}
@@ -121,20 +128,19 @@ func fatalIf(err error) {
 	}
 }
 
-func printStruct(m map[string]any, indent string) {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+func printStatus(st gae.SteeringStatus) {
+	fmt.Printf("plan: %s\ntask: %s\nowner: %s\nsite: %s\ncondorid: %d\nstate: %s\nattempts: %d\n",
+		st.Plan, st.Task, st.Owner, st.Site, st.CondorID, st.State, st.Attempts)
+	if st.Job == nil {
+		return
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		if sub, ok := m[k].(map[string]any); ok {
-			fmt.Printf("%s%s:\n", indent, k)
-			printStruct(sub, indent+"  ")
-			continue
-		}
-		fmt.Printf("%s%s: %v\n", indent, k, m[k])
-	}
+	j := st.Job
+	fmt.Printf("job:\n  status: %s\n  node: %s\n  progress: %.2f\n  queue_position: %d\n",
+		j.Status, j.Node, j.Progress, j.QueuePosition)
+	fmt.Printf("  wallclock_seconds: %.0f\n  elapsed_seconds: %.0f\n  remaining_estimate: %.0f\n",
+		j.WallclockSeconds, j.ElapsedSeconds, j.RemainingEstimate)
+	fmt.Printf("  cpu_seconds: %.0f\n  input_mb: %.0f\n  output_mb: %.0f\n",
+		j.CPUSeconds, j.InputMB, j.OutputMB)
 }
 
 func usage() {

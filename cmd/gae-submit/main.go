@@ -1,7 +1,7 @@
 // Command gae-submit sends an abstract job plan to a running gae-server
 // and optionally watches it to completion.
 //
-// The plan file is JSON:
+// The plan file is JSON matching gae.PlanSpec:
 //
 //	{
 //	  "name": "analysis-1",
@@ -27,7 +27,7 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/clarens"
+	"repro/pkg/gae"
 )
 
 func main() {
@@ -38,6 +38,7 @@ func main() {
 		planPath = flag.String("plan", "", "path to a JSON job plan (required)")
 		watch    = flag.Bool("watch", false, "poll plan status until done")
 		interval = flag.Duration("interval", 2*time.Second, "watch poll interval")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
 	)
 	flag.Parse()
 	if *planPath == "" {
@@ -48,17 +49,19 @@ func main() {
 	if err != nil {
 		log.Fatalf("gae-submit: %v", err)
 	}
-	var plan map[string]any
+	var plan gae.PlanSpec
 	if err := json.Unmarshal(raw, &plan); err != nil {
 		log.Fatalf("gae-submit: parsing %s: %v", *planPath, err)
 	}
 
 	ctx := context.Background()
-	c := clarens.NewClient(*server)
-	if err := c.Login(ctx, *user, *pass); err != nil {
+	c, err := gae.Dial(ctx, *server,
+		gae.WithCredentials(*user, *pass), gae.WithTimeout(*timeout))
+	if err != nil {
 		log.Fatalf("gae-submit: %v", err)
 	}
-	name, err := c.CallString(ctx, "scheduler.submit", plan)
+	defer c.Close(ctx)
+	name, err := c.Submit(ctx, plan)
 	if err != nil {
 		log.Fatalf("gae-submit: submit: %v", err)
 	}
@@ -67,13 +70,13 @@ func main() {
 		return
 	}
 	for {
-		status, err := c.CallStruct(ctx, "scheduler.plan", name)
+		status, err := c.Plan(ctx, name)
 		if err != nil {
 			log.Fatalf("gae-submit: status: %v", err)
 		}
 		printStatus(status)
-		if done, _ := status["done"].(bool); done {
-			if ok, _ := status["succeeded"].(bool); ok {
+		if status.Done {
+			if status.Succeeded {
 				fmt.Println("plan completed successfully")
 				return
 			}
@@ -84,15 +87,10 @@ func main() {
 	}
 }
 
-func printStatus(status map[string]any) {
-	tasks, _ := status["tasks"].([]any)
-	fmt.Printf("plan %s:", status["name"])
-	for _, t := range tasks {
-		m, ok := t.(map[string]any)
-		if !ok {
-			continue
-		}
-		fmt.Printf("  %s=%s@%v", m["task"], m["state"], m["site"])
+func printStatus(status gae.PlanStatus) {
+	fmt.Printf("plan %s:", status.Name)
+	for _, t := range status.Tasks {
+		fmt.Printf("  %s=%s@%s", t.Task, t.State, t.Site)
 	}
 	fmt.Println()
 }

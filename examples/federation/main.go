@@ -19,6 +19,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/scheduler"
 	"repro/internal/simgrid"
+	"repro/internal/xmlrpc"
+	"repro/pkg/gae"
 )
 
 func main() {
@@ -76,15 +78,23 @@ func main() {
 	fmt.Printf("discovered %s at %s via P2P lookup\n", svc, info.Endpoint)
 	sc := clarens.NewClient(info.Endpoint)
 	sc.SetToken(c.Token())
-	est, err := sc.CallStruct(ctx, svc+".runtime", map[string]any{
-		"queue": "short", "partition": "gae", "nodes": 1, "job_type": "batch",
-		"req_cpu_hours": 90.0 / 3600,
+	profile, err := xmlrpc.Marshal(gae.TaskProfile{
+		Queue: "short", Partition: "gae", Nodes: 1, JobType: "batch",
+		ReqHours: 90.0 / 3600,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("site-local runtime estimate: %.0fs from %v similar task(s) [%v]\n",
-		est["seconds"], est["similar"], est["statistic"])
+	raw, err := sc.CallStruct(ctx, svc+".runtime", profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var est gae.RuntimeEstimate
+	if err := xmlrpc.Unmarshal(raw, &est); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("site-local runtime estimate: %.0fs from %d similar task(s) [%s]\n",
+		est.Seconds, est.Similar, est.Statistic)
 
 	// And the reverse: a client attached to a site host finds the central
 	// steering service.

@@ -1,11 +1,14 @@
 // Quickstart: build a two-site Grid Analysis Environment in-process,
 // submit a small job plan, let the simulated grid run it, and query the
-// paper's three resource-management services along the way.
+// paper's resource-management services along the way through the typed
+// gae.Client (local transport — the same client gae.Dial returns for a
+// remote server).
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -16,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A deployment: two sites, one link, one user.
 	gae := core.New(core.Config{
 		Seed: 1,
@@ -45,6 +49,10 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The typed client: every paper service behind one API, no
+	// serialization on the local transport.
+	client := gae.Client("alice")
+
 	// The scheduler consulted every site's estimators and MonALISA load.
 	a, _ := cp.Assignment("analysis")
 	fmt.Printf("scheduler placed %q at %s\n", "analysis", a.Site)
@@ -60,13 +68,13 @@ func main() {
 		if cur.CondorID == 0 {
 			continue
 		}
-		info, err := gae.JobMon.Manager.Get(cur.Site, cur.CondorID)
+		info, err := client.Job(ctx, cur.Site, cur.CondorID)
 		if err != nil {
 			continue
 		}
 		fmt.Printf("t=%3.0fs status=%-9s progress=%3.0f%% wallclock=%.0fs queuepos=%d\n",
 			gae.Now().Sub(time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)).Seconds(),
-			info.Status, info.Progress*100, info.WallClock.Seconds(), info.QueuePosition)
+			info.Status, info.Progress*100, info.WallclockSeconds, info.QueuePosition)
 	}
 
 	// Completion propagates through the execution service's harvest and
@@ -77,7 +85,11 @@ func main() {
 
 	// The steering service collected the execution state.
 	gae.Run(15 * time.Second)
-	for _, n := range gae.Steering.Notifications("alice") {
+	ns, err := client.Notifications(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range ns {
 		fmt.Printf("notification [%s]: %s\n", n.Kind, n.Message)
 	}
 	site := gae.Grid.Site(a.Site)
@@ -86,7 +98,7 @@ func main() {
 	}
 
 	// The estimator service answers what-if questions.
-	est, err := gae.Transfer.Estimate("caltech", "nust", 500)
+	est, err := client.EstimateTransfer(ctx, "caltech", "nust", 500)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,12 +16,33 @@ type Client struct {
 	*xmlrpc.Client
 }
 
-// NewClient creates a client for a Clarens endpoint.
+// DefaultTimeout bounds every HTTP request of a new client. Use
+// SetTimeout (or a context deadline on individual calls) to change it.
+const DefaultTimeout = 30 * time.Second
+
+// NewClient creates a client for a Clarens endpoint with DefaultTimeout.
 func NewClient(endpoint string) *Client {
 	c := xmlrpc.NewClient(endpoint)
-	c.HTTP = &http.Client{Timeout: 30 * time.Second}
+	c.HTTP = &http.Client{Timeout: DefaultTimeout}
 	c.Headers = make(map[string]string)
 	return &Client{Client: c}
+}
+
+// NewClientTimeout creates a client whose HTTP requests are bounded by
+// timeout (0 disables the bound; per-call contexts still apply).
+func NewClientTimeout(endpoint string, timeout time.Duration) *Client {
+	c := NewClient(endpoint)
+	c.SetTimeout(timeout)
+	return c
+}
+
+// SetTimeout rebounds every future HTTP request. A timeout of 0 removes
+// the bound, leaving cancellation to per-call contexts. Like SetToken
+// and the Headers map, it is part of client configuration: call it
+// before the client is shared between goroutines (typically right after
+// construction), not concurrently with Call.
+func (c *Client) SetTimeout(timeout time.Duration) {
+	c.HTTP = &http.Client{Timeout: timeout}
 }
 
 // Login authenticates and attaches the session token to future calls.

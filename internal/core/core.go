@@ -28,6 +28,7 @@ import (
 	"repro/internal/scheduler"
 	"repro/internal/simgrid"
 	"repro/internal/steering"
+	"repro/pkg/gae"
 )
 
 // SiteSpec describes one computing site of the deployment.
@@ -273,17 +274,20 @@ func (g *GAE) userOf(ctx context.Context) string {
 // registerServices hosts the GAE services on the Clarens server and
 // installs the paper's access policy: monitoring and estimates are
 // readable by any authenticated user; steering requires authentication
-// (per-job ownership is enforced by the Session Manager).
+// (per-job ownership is enforced by the Session Manager). The services
+// are the same typed gae contract implementations local clients use,
+// bound to the wire by the generic handler adapter.
 func (g *GAE) registerServices() {
 	srv := g.Clarens
-	srv.RegisterService("jobmon", "Job Monitoring Service (JMExecutable)", g.JobMon.Methods())
-	srv.RegisterService("steering", "Steering Service", g.Steering.Methods(g.userOf))
-	srv.RegisterService("estimator", "Estimator Service (runtime, queue time, transfer time)", g.estimatorMethods())
-	srv.RegisterService("quota", "Quota and Accounting Service", g.quotaMethods())
-	srv.RegisterService("scheduler", "Sphinx-like scheduling middleware", g.schedulerMethods())
-	srv.RegisterService("replica", "Replica catalog (data location service)", g.replicaMethods())
-	srv.RegisterService("monitor", "MonALISA repository (Grid weather)", g.monitorMethods())
-	srv.RegisterService("state", "Analysis-session state store", g.stateMethods())
+	svcs := g.services(g.userOf)
+	srv.RegisterService("jobmon", "Job Monitoring Service (JMExecutable)", gae.JobMonHandlers(svcs.JobMon))
+	srv.RegisterService("steering", "Steering Service", gae.SteeringHandlers(svcs.Steering))
+	srv.RegisterService("estimator", "Estimator Service (runtime, queue time, transfer time)", gae.EstimatorHandlers(svcs.Estimator))
+	srv.RegisterService("quota", "Quota and Accounting Service", gae.QuotaHandlers(svcs.Quota))
+	srv.RegisterService("scheduler", "Sphinx-like scheduling middleware", gae.SchedulerHandlers(svcs.Scheduler))
+	srv.RegisterService("replica", "Replica catalog (data location service)", gae.ReplicaHandlers(svcs.Replica))
+	srv.RegisterService("monitor", "MonALISA repository (Grid weather)", gae.MonitorHandlers(svcs.Monitor))
+	srv.RegisterService("state", "Analysis-session state store", gae.StateHandlers(svcs.State))
 	srv.ACL.Allow("authenticated", "jobmon.*")
 	srv.ACL.Allow("authenticated", "steering.*")
 	srv.ACL.Allow("authenticated", "estimator.*")

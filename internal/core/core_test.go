@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/simgrid"
 	"repro/internal/workload"
 	"repro/internal/xmlrpc"
+	"repro/pkg/gae"
 )
 
 // twoSiteConfig is the canonical test deployment: two single-node sites
@@ -415,19 +417,36 @@ func TestSchedulerSubmitOverRPC(t *testing.T) {
 	}
 }
 
-func TestPlanToStructRoundTrip(t *testing.T) {
+func TestPlanSpecRoundTrip(t *testing.T) {
 	plan := primePlan("alice", "round", 50)
 	plan.Tasks[0].DependsOn = nil
-	m := PlanToStruct(plan)
-	got, err := planFromStruct(m, "alice")
+	spec := PlanSpecOf(plan)
+	got, err := planFromSpec(spec, "alice")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Name != plan.Name || len(got.Tasks) != 1 {
+	if got.Name != plan.Name || got.Owner != "alice" || len(got.Tasks) != 1 {
 		t.Fatalf("round trip = %+v", got)
 	}
 	if got.Tasks[0].CPUSeconds != 50 || got.Tasks[0].OutputFile != "out.dat" {
 		t.Fatalf("task round trip = %+v", got.Tasks[0])
+	}
+	// The spec survives the typed wire codec too — what scheduler.submit
+	// actually receives.
+	w, err := xmlrpc.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back gae.PlanSpec
+	if err := xmlrpc.Unmarshal(w, &back); err != nil {
+		t.Fatal(err)
+	}
+	// A nil dependency list rides the wire as an empty array.
+	if len(back.Tasks) == 1 && len(back.Tasks[0].DependsOn) == 0 {
+		back.Tasks[0].DependsOn = nil
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Fatalf("wire round trip:\n in=%+v\nout=%+v", spec, back)
 	}
 }
 

@@ -5,9 +5,8 @@ import (
 	"fmt"
 
 	"repro/internal/clarens"
-	"repro/internal/estimator"
-	"repro/internal/jobmon"
 	"repro/internal/xmlrpc"
+	"repro/pkg/gae"
 )
 
 // Federation is the paper's actual deployment shape: "The Clarens web
@@ -47,75 +46,28 @@ func NewFederation(cfg Config) *Federation {
 	return f
 }
 
-// registerSiteServices hosts the site-local service set.
+// registerSiteServices hosts the site-local service set: the central
+// deployment's typed contracts curried to one site and bound to the wire
+// by the same generic handler adapter the central host uses.
 func (f *Federation) registerSiteServices(host *clarens.Server, site string) {
-	g := f.Central
+	svcs := f.Central.services(f.Central.userOf)
 	svcName := "estimator-" + site
 	host.RegisterService(svcName, "site-local runtime estimator", map[string]xmlrpc.Handler{
-		"runtime": func(_ context.Context, args []any) (any, error) {
-			p := xmlrpc.Params(args)
-			spec, err := p.Struct(0)
-			if err != nil {
-				return nil, err
-			}
-			svc, ok := g.Scheduler.SiteServicesFor(site)
-			if !ok {
-				return nil, xmlrpc.NewFault(xmlrpc.FaultApplication, "site %q not registered", site)
-			}
-			est, err := svc.Runtime.Estimate(taskRecordFromStruct(spec))
-			if err != nil {
-				return nil, xmlrpc.NewFault(xmlrpc.FaultApplication, "%v", err)
-			}
-			return map[string]any{
-				"seconds":   est.Seconds,
-				"similar":   est.Similar,
-				"statistic": est.Statistic.String(),
-			}, nil
-		},
-		"queuetime": func(_ context.Context, args []any) (any, error) {
-			p := xmlrpc.Params(args)
-			id, err := p.Int(0)
-			if err != nil {
-				return nil, err
-			}
-			pool, ok := g.Pool(site)
-			if !ok {
-				return nil, xmlrpc.NewFault(xmlrpc.FaultApplication, "no pool at %q", site)
-			}
-			qt := &estimator.QueueTimeEstimator{Pool: pool, DB: g.Scheduler.EstimateDB()}
-			est, err := qt.Estimate(id)
-			if err != nil {
-				return nil, xmlrpc.NewFault(xmlrpc.FaultApplication, "%v", err)
-			}
-			return map[string]any{"seconds": est.Seconds, "tasks_ahead": est.TasksAhead}, nil
-		},
+		"runtime": gae.Handler1(func(ctx context.Context, task gae.TaskProfile) (gae.RuntimeEstimate, error) {
+			return svcs.Estimator.EstimateRuntime(ctx, site, task)
+		}),
+		"queuetime": gae.Handler1(func(ctx context.Context, id int) (gae.QueueEstimate, error) {
+			return svcs.Estimator.EstimateQueueTime(ctx, site, id)
+		}),
 	})
 	jmName := "jobmon-" + site
 	host.RegisterService(jmName, "site-local job monitoring", map[string]xmlrpc.Handler{
-		"status": func(_ context.Context, args []any) (any, error) {
-			p := xmlrpc.Params(args)
-			id, err := p.Int(0)
-			if err != nil {
-				return nil, err
-			}
-			info, err := g.JobMon.Manager.Get(site, id)
-			if err != nil {
-				return nil, xmlrpc.NewFault(xmlrpc.FaultApplication, "%v", err)
-			}
-			return info.Status.String(), nil
-		},
-		"info": func(_ context.Context, args []any) (any, error) {
-			p := xmlrpc.Params(args)
-			id, err := p.Int(0)
-			if err != nil {
-				return nil, err
-			}
-			info, err := g.JobMon.Manager.Get(site, id)
-			if err != nil {
-				return nil, xmlrpc.NewFault(xmlrpc.FaultApplication, "%v", err)
-			}
-			return jobmon.InfoToStruct(info), nil
-		},
+		"status": gae.Handler1(func(ctx context.Context, id int) (string, error) {
+			return svcs.JobMon.JobStatus(ctx, site, id)
+		}),
+		"info": gae.Handler1(func(ctx context.Context, id int) (gae.JobInfo, error) {
+			return svcs.JobMon.Job(ctx, site, id)
+		}),
 	})
 	host.ACL.Allow("authenticated", svcName+".*")
 	host.ACL.Allow("authenticated", jmName+".*")
@@ -143,6 +95,12 @@ func (f *Federation) Start() (string, error) {
 		host.AddPeer(central)
 	}
 	return central, nil
+}
+
+// Client returns a local-transport gae.Client on the central deployment
+// acting as user — the typed equivalent of calling the central host.
+func (f *Federation) Client(user string) *gae.Client {
+	return f.Central.Client(user)
 }
 
 // URL returns a started host's endpoint ("central" or a site name).

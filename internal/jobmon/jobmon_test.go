@@ -14,6 +14,7 @@ import (
 	"repro/internal/monalisa"
 	"repro/internal/simgrid"
 	"repro/internal/xmlrpc"
+	"repro/pkg/gae"
 )
 
 // fixture: one-site grid with a pool and a jobmon service.
@@ -166,7 +167,7 @@ func TestManagerList(t *testing.T) {
 	}
 }
 
-func TestInfoToStructFields(t *testing.T) {
+func TestInfoDTOFields(t *testing.T) {
 	g, pool, _, svc := newFixture(t)
 	id := submit(t, pool, 100, 3)
 	g.Engine.RunFor(10 * time.Second)
@@ -174,15 +175,19 @@ func TestInfoToStructFields(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := InfoToStruct(info)
-	// Every paper-mandated field must be present.
+	w, err := xmlrpc.Marshal(InfoDTO(info))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := w.(map[string]any)
+	// Every paper-mandated field must keep its wire name.
 	for _, key := range []string{
 		"status", "remaining_estimate", "elapsed_seconds", "estimated_runtime",
 		"queue_position", "priority", "submit_time", "start_time",
 		"cpu_seconds", "input_mb", "output_mb", "owner", "env",
 	} {
 		if _, ok := m[key]; !ok {
-			t.Errorf("InfoToStruct missing %q", key)
+			t.Errorf("InfoDTO wire struct missing %q", key)
 		}
 	}
 	if m["owner"] != "alice" || m["priority"] != 3 || m["env"] != "MODE=test" {
@@ -192,7 +197,7 @@ func TestInfoToStructFields(t *testing.T) {
 		t.Error("running job has completion_time")
 	}
 	// The struct must be XML-RPC encodable as-is.
-	if _, err := xmlrpc.EncodeResponse(m); err != nil {
+	if _, err := xmlrpc.EncodeResponse(w); err != nil {
 		t.Fatalf("struct not encodable: %v", err)
 	}
 }
@@ -202,7 +207,7 @@ func rpcFixture(t *testing.T) (*simgrid.Grid, *condor.Pool, *clarens.Client) {
 	t.Helper()
 	g, pool, _, svc := newFixture(t)
 	srv := clarens.NewServer("host", nil)
-	srv.RegisterService("jobmon", "job monitoring service", svc.Methods())
+	srv.RegisterService("jobmon", "job monitoring service", gae.JobMonHandlers(svc.API()))
 	srv.ACL.Allow("*", "jobmon.*") // monitoring data is world-readable
 	hs := httptest.NewServer(srv)
 	t.Cleanup(hs.Close)

@@ -189,6 +189,9 @@ func encodeInt(buf *bytes.Buffer, x int64) error {
 }
 
 // escapeInto writes s with the five XML predefined entities escaped.
+// Carriage returns become character references: a literal CR in content
+// would be folded to LF by the parser's line-ending normalization, while
+// the reference survives the round trip.
 func escapeInto(buf *bytes.Buffer, s string) {
 	for _, r := range s {
 		switch r {
@@ -202,6 +205,8 @@ func escapeInto(buf *bytes.Buffer, s string) {
 			buf.WriteString("&apos;")
 		case '"':
 			buf.WriteString("&quot;")
+		case '\r':
+			buf.WriteString("&#13;")
 		default:
 			buf.WriteRune(r)
 		}

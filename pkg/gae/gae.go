@@ -1,0 +1,171 @@
+// Package gae is the public, typed API of the Grid Analysis Environment:
+// one Go interface per paper service, request/response structs instead of
+// map[string]any, and a single Client that satisfies every interface over
+// two transports.
+//
+// # Services
+//
+// The paper's resource-management services map one-to-one onto the
+// interfaces in this package: Scheduler (plan submission and tracking),
+// Steering (job control), JobMon (the JMExecutable monitoring view),
+// Estimator (runtime / queue-time / transfer-time predictions), Quota
+// (credits and cost quotes), Replica (the data location service), Monitor
+// (MonALISA "Grid weather"), and State (per-user analysis-session state).
+//
+// # Local construction
+//
+// A process that embeds the deployment gets a zero-serialization client
+// whose calls go straight into the wired services:
+//
+//	g := core.New(cfg)
+//	client := g.Client("alice") // *gae.Client acting as alice
+//	sites, err := client.Sites(ctx)
+//
+// # Remote construction
+//
+// A process talking to a running gae-server dials the Clarens XML-RPC
+// endpoint; the same methods now ride the wire with auth, per-request
+// context, and a configurable HTTP timeout:
+//
+//	client, err := gae.Dial(ctx, "http://localhost:8080",
+//		gae.WithCredentials("alice", "secret"),
+//		gae.WithTimeout(10*time.Second))
+//	defer client.Close(ctx)
+//	sites, err := client.Sites(ctx)
+//
+// Both constructions yield the same *Client, so libraries written against
+// the interfaces (or against *Client) are transport-agnostic. The
+// transport-parity test suite pins both paths to identical observable
+// behavior.
+package gae
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrNoSession is returned by methods that need an authenticated caller
+// when none is attached to the context. Over the wire it surfaces as an
+// XML-RPC authentication fault.
+var ErrNoSession = errors.New("gae: no authenticated session")
+
+// UserResolver maps a request context to the acting user name ("" for
+// anonymous). Server-side bindings resolve the Clarens session; local
+// clients use a fixed identity.
+type UserResolver func(ctx context.Context) string
+
+// Scheduler is the Sphinx-like scheduling middleware contract: abstract
+// plan submission, concrete plan tracking, and the site inventory.
+type Scheduler interface {
+	// Submit validates and schedules a plan, returning its name. The plan
+	// owner is the acting user; clients cannot submit on another account.
+	Submit(ctx context.Context, plan PlanSpec) (string, error)
+	// Plan reports a submitted plan's per-task assignments and outcome.
+	Plan(ctx context.Context, name string) (PlanStatus, error)
+	// Sites lists the deployment's execution sites, sorted.
+	Sites(ctx context.Context) ([]string, error)
+}
+
+// Steering is the Steering Service contract: inspect and control the
+// acting user's tasks (per-task ownership is enforced server-side).
+type Steering interface {
+	// Jobs lists the acting user's watched tasks as "plan/task" refs.
+	Jobs(ctx context.Context) ([]string, error)
+	// TaskStatus returns the combined assignment + live monitoring view.
+	TaskStatus(ctx context.Context, plan, task string) (SteeringStatus, error)
+	Kill(ctx context.Context, plan, task string) error
+	Pause(ctx context.Context, plan, task string) error
+	Resume(ctx context.Context, plan, task string) error
+	// Move redirects a task; an empty site lets the scheduler choose.
+	Move(ctx context.Context, plan, task, site string) (MoveResult, error)
+	SetPriority(ctx context.Context, plan, task string, priority int) error
+	// EstimateCompletion predicts the seconds until the task finishes.
+	EstimateCompletion(ctx context.Context, plan, task string) (float64, error)
+	// Notifications drains the acting user's queued steering messages.
+	Notifications(ctx context.Context) ([]Notification, error)
+	// Preference reads the optimizer preference; SetPreference changes it
+	// ("fast" or "cheap") and echoes the applied value.
+	Preference(ctx context.Context) (string, error)
+	SetPreference(ctx context.Context, preference string) (string, error)
+}
+
+// JobMon is the Job Monitoring Service contract (the JMExecutable).
+type JobMon interface {
+	// Job returns the full monitoring snapshot of one job.
+	Job(ctx context.Context, pool string, id int) (JobInfo, error)
+	// JobStatus returns just the job status string.
+	JobStatus(ctx context.Context, pool string, id int) (string, error)
+	// JobProgress returns the completion fraction in [0,1].
+	JobProgress(ctx context.Context, pool string, id int) (float64, error)
+	// JobWallclock returns accumulated execution seconds.
+	JobWallclock(ctx context.Context, pool string, id int) (float64, error)
+	// JobElapsed returns seconds since submission.
+	JobElapsed(ctx context.Context, pool string, id int) (float64, error)
+	// JobRemaining returns the estimated seconds left.
+	JobRemaining(ctx context.Context, pool string, id int) (float64, error)
+	// JobQueuePosition returns the 1-based queue slot (0 = not queued).
+	JobQueuePosition(ctx context.Context, pool string, id int) (int, error)
+	// JobList returns every job at an execution service.
+	JobList(ctx context.Context, pool string) ([]JobInfo, error)
+	// Pools lists the watched execution services.
+	Pools(ctx context.Context) ([]string, error)
+}
+
+// Estimator is the Estimator Service contract.
+type Estimator interface {
+	// EstimateRuntime predicts a task's runtime at a site from that
+	// site's decentralized history.
+	EstimateRuntime(ctx context.Context, site string, task TaskProfile) (RuntimeEstimate, error)
+	// EstimateQueueTime predicts how long a queued job waits to start.
+	EstimateQueueTime(ctx context.Context, site string, condorID int) (QueueEstimate, error)
+	// EstimateTransfer predicts moving sizeMB between two sites.
+	EstimateTransfer(ctx context.Context, src, dst string, sizeMB float64) (TransferEstimate, error)
+}
+
+// Quota is the Quota and Accounting Service contract.
+type Quota interface {
+	// Balance returns the acting user's credits.
+	Balance(ctx context.Context) (float64, error)
+	// Cost quotes the credits cpuSeconds plus mb of transfer would cost.
+	Cost(ctx context.Context, site string, cpuSeconds, mb float64) (float64, error)
+	// Cheapest picks the lowest-cost candidate site for the usage.
+	Cheapest(ctx context.Context, sites []string, cpuSeconds, mb float64) (CostQuote, error)
+}
+
+// Replica is the replica catalog (data location service) contract.
+type Replica interface {
+	// Datasets lists the catalog's dataset names.
+	Datasets(ctx context.Context) ([]string, error)
+	// Replicas lists a dataset's replica locations.
+	Replicas(ctx context.Context, dataset string) ([]ReplicaLocation, error)
+	// RegisterReplica records a replica of dataset at site.
+	RegisterReplica(ctx context.Context, dataset, site string, sizeMB float64) error
+	// BestReplica picks the replica closest (by measured transfer time)
+	// to a destination site.
+	BestReplica(ctx context.Context, dataset, dstSite string) (ReplicaChoice, error)
+}
+
+// Monitor is the MonALISA repository contract — the "Grid weather".
+type Monitor interface {
+	// Latest returns a metric's most recent value.
+	Latest(ctx context.Context, source, name string) (float64, error)
+	// Series returns samples from the last sinceSeconds seconds.
+	Series(ctx context.Context, source, name string, sinceSeconds float64) ([]MetricPoint, error)
+	// Metrics lists all known series as "source/name" strings.
+	Metrics(ctx context.Context) ([]string, error)
+	// Events returns job state changes since sinceSeconds ago ("" source
+	// selects every source).
+	Events(ctx context.Context, source string, sinceSeconds float64) ([]GridEvent, error)
+	// Weather returns the per-site load / running / free snapshot.
+	Weather(ctx context.Context) ([]SiteWeather, error)
+}
+
+// State is the per-user analysis-session state store contract. Keys are
+// private to the acting user.
+type State interface {
+	SetState(ctx context.Context, key, value string) error
+	GetState(ctx context.Context, key string) (string, error)
+	StateKeys(ctx context.Context) ([]string, error)
+	// DeleteState removes a key, reporting whether it existed.
+	DeleteState(ctx context.Context, key string) (bool, error)
+}
