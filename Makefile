@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race bench bench-json sim fmt vet
+.PHONY: build test test-race bench bench-json bench-smoke sim fmt vet
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,14 @@ bench:
 # One-iteration sweep parsed into the repo's perf-trajectory JSON
 # (ns/op, allocs/op, and b.ReportMetric custom metrics per benchmark).
 # Bump BENCH_OUT per PR so the trajectory accumulates.
-BENCH_OUT ?= BENCH_2.json
+BENCH_OUT ?= BENCH_3.json
 bench-json:
 	$(GO) run ./cmd/gae-benchjson -out $(BENCH_OUT)
+
+# Short-run scenario smoke: exercises the discrete-event engine end to
+# end (tick and event drivers) without the full sweep.
+bench-smoke:
+	$(GO) test -run xxx -bench Scenario -benchtime 1x .
 
 # Replay a fairness scenario; override with e.g.
 #   make sim SCENARIO=bursty-tenant SIMFLAGS=-fairshare=false

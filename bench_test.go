@@ -365,6 +365,97 @@ func BenchmarkCondorNegotiation(b *testing.B) {
 	}
 }
 
+// --- Scenario: end-to-end simulation throughput, tick vs event driver ------
+//
+// The discrete-event engine's headline numbers. Each scenario runs the
+// identical seeded workload under the legacy fixed-tick driver and the
+// event driver (the equivalence suite pins that their traces are
+// identical) and reports simulated-seconds-per-wall-second and the number
+// of engine events dispatched. Sparse long-horizon is the case the
+// event engine exists for: the tick driver pays for every one of the
+// million boundaries, the event driver only for the ~hundred that carry
+// work — BENCH_3.json records the ≥10x gap.
+
+func scenarioDrivers(b *testing.B, simSeconds float64, run func(d simgrid.Driver) *simgrid.Engine) {
+	for _, d := range []struct {
+		name   string
+		driver simgrid.Driver
+	}{
+		{"driver=tick", simgrid.DriverTick},
+		{"driver=event", simgrid.DriverEvent},
+	} {
+		b.Run(d.name, func(b *testing.B) {
+			var events int64
+			for i := 0; i < b.N; i++ {
+				events = run(d.driver).Events()
+			}
+			b.ReportMetric(simSeconds*float64(b.N)/b.Elapsed().Seconds(), "sim_s/wall_s")
+			b.ReportMetric(float64(events), "events")
+		})
+	}
+}
+
+func BenchmarkScenarioSparseLongHorizon(b *testing.B) {
+	// A trickle of batch jobs across a monitored three-site grid over
+	// ~11.5 simulated days: long stretches where nothing happens at all.
+	const horizon = 1_000_000.0
+	scenarioDrivers(b, horizon, func(d simgrid.Driver) *simgrid.Engine {
+		g := simgrid.NewGrid(time.Second, 1)
+		g.Engine.SetDriver(d)
+		repo := monalisa.NewRepository()
+		var pools []*condor.Pool
+		for s := 0; s < 3; s++ {
+			name := fmt.Sprintf("site%d", s)
+			site := g.AddSite(name)
+			pool := condor.NewPool(name, g, site)
+			for i := 0; i < 8; i++ {
+				pool.AddMachine(site.AddNode(g.Engine, fmt.Sprintf("%s-n%d", name, i), 1, simgrid.ConstantLoad(0.2)), nil)
+			}
+			pools = append(pools, pool)
+		}
+		monalisa.NewFarmMonitor(repo, g, 600*time.Second)
+		for j := 0; j < 24; j++ {
+			j := j
+			g.Engine.Schedule(time.Duration(j)*40000*time.Second, func(time.Time) {
+				ad := classad.New().
+					Set(condor.AttrOwner, "trickle").
+					Set(condor.AttrCpuSeconds, 3000.0)
+				if _, err := pools[j%len(pools)].Submit(ad); err != nil {
+					b.Error(err)
+				}
+			})
+		}
+		g.Engine.RunFor(time.Duration(horizon) * time.Second)
+		return g.Engine
+	})
+}
+
+func BenchmarkScenarioDenseBurst(b *testing.B) {
+	// A thousand short jobs slam one 64-machine pool at once: nearly every
+	// boundary carries work, so this bounds the event engine's overhead in
+	// the regime the tick loop was built for.
+	const horizon = 2_000.0
+	scenarioDrivers(b, horizon, func(d simgrid.Driver) *simgrid.Engine {
+		g := simgrid.NewGrid(time.Second, 1)
+		g.Engine.SetDriver(d)
+		site := g.AddSite("s")
+		pool := condor.NewPool("s", g, site)
+		for i := 0; i < 64; i++ {
+			pool.AddMachine(site.AddNode(g.Engine, fmt.Sprintf("n%02d", i), 1, simgrid.IdleLoad()), nil)
+		}
+		for j := 0; j < 1000; j++ {
+			ad := classad.New().
+				Set(condor.AttrOwner, fmt.Sprintf("u%d", j%7)).
+				Set(condor.AttrCpuSeconds, float64(30+j%90))
+			if _, err := pool.Submit(ad); err != nil {
+				b.Fatal(err)
+			}
+		}
+		g.Engine.RunFor(time.Duration(horizon) * time.Second)
+		return g.Engine
+	})
+}
+
 // --- Ablation: history size → estimator accuracy (learning curve) ---------
 
 func BenchmarkAblationHistorySize(b *testing.B) {

@@ -1,0 +1,177 @@
+package condor
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/classad"
+	"repro/internal/fairshare"
+	"repro/internal/simgrid"
+)
+
+// The tick-vs-event equivalence suite: identically seeded scenarios must
+// produce byte-identical job traces (every state transition with its
+// timestamp), assignments, and accounting under the legacy fixed-tick
+// driver and the discrete-event driver. This is the contract that lets
+// RunFor skip idle boundaries: nothing observable may depend on visiting
+// them.
+
+// driverTrace is one run's complete observable footprint.
+type driverTrace struct {
+	events   []Event
+	outcomes []JobInfo
+}
+
+func (tr *driverTrace) diff(other *driverTrace) string {
+	if len(tr.events) != len(other.events) {
+		return fmt.Sprintf("event count %d vs %d", len(tr.events), len(other.events))
+	}
+	for i := range tr.events {
+		if tr.events[i] != other.events[i] {
+			return fmt.Sprintf("event %d: %+v vs %+v", i, tr.events[i], other.events[i])
+		}
+	}
+	if len(tr.outcomes) != len(other.outcomes) {
+		return fmt.Sprintf("job count %d vs %d", len(tr.outcomes), len(other.outcomes))
+	}
+	for i := range tr.outcomes {
+		a, b := tr.outcomes[i], other.outcomes[i]
+		if a != b {
+			return fmt.Sprintf("job %s/%d: %+v vs %+v", a.Pool, a.ID, a, b)
+		}
+	}
+	return ""
+}
+
+// collectOutcomes snapshots every job of every pool, in pool order.
+func collectOutcomes(t *testing.T, pools ...*Pool) []JobInfo {
+	t.Helper()
+	var out []JobInfo
+	for _, p := range pools {
+		infos, err := p.Jobs()
+		if err != nil {
+			t.Fatalf("jobs: %v", err)
+		}
+		out = append(out, infos...)
+	}
+	return out
+}
+
+// runDriverParityScenario replays the golden-parity workload (flocking,
+// fair-share ordering, Requirements constraints, checkpoint-complete
+// migrants, fault injection) under the given driver, with submissions
+// arriving through engine timers so both drivers see the identical input
+// schedule.
+func runDriverParityScenario(t *testing.T, seed int64, driver simgrid.Driver) *driverTrace {
+	t.Helper()
+	g := simgrid.NewGrid(time.Second, 1)
+	g.Engine.SetDriver(driver)
+	siteA, siteB := g.AddSite("siteA"), g.AddSite("siteB")
+	poolA, poolB := NewPool("poolA", g, siteA), NewPool("poolB", g, siteB)
+	poolA.EnableFlocking(poolB)
+	poolB.EnableFlocking(poolA)
+
+	for i := 0; i < 10; i++ {
+		arch := "x86"
+		if i%3 == 0 {
+			arch = "sparc"
+		}
+		load := simgrid.ConstantLoad(float64(i%5) / 10)
+		adA := classad.New().Set("Arch", arch).Set("Disk", 100+40*i)
+		poolA.AddMachine(siteA.AddNode(g.Engine, fmt.Sprintf("a%02d", i), float64(1+i%3), load), adA)
+		adB := classad.New().Set("Arch", arch).Set("Disk", 80+60*i)
+		adB.MustSetExpr(AttrRequirements, "TARGET.ImageSize <= 320")
+		poolB.AddMachine(siteB.AddNode(g.Engine, fmt.Sprintf("b%02d", i), float64(1+i%4), load), adB)
+	}
+
+	for _, p := range []*Pool{poolA, poolB} {
+		mgr := fairshare.NewManager(fairshare.Config{
+			Clock:    g.Engine.Clock(),
+			HalfLife: time.Minute,
+		})
+		p.SetFairShare(mgr)
+	}
+
+	tr := &driverTrace{}
+	for _, p := range []*Pool{poolA, poolB} {
+		p.Subscribe(func(e Event) { tr.events = append(tr.events, e) })
+	}
+
+	pools := []*Pool{poolA, poolB}
+	for _, s := range parityWorkload(seed) {
+		s := s
+		g.Engine.Schedule(time.Duration(s.tick)*time.Second, func(time.Time) {
+			var err error
+			if s.ckptCPU > 0 {
+				_, err = pools[s.pool].SubmitCheckpointed(s.ad.Clone(), s.ckptCPU)
+			} else {
+				_, err = pools[s.pool].Submit(s.ad.Clone())
+			}
+			if err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		})
+	}
+	g.Engine.RunFor(400 * time.Second)
+	tr.outcomes = collectOutcomes(t, poolA, poolB)
+	return tr
+}
+
+// TestDriverEquivalenceParitySeeds pins the refactor's core promise on
+// the condor parity seeds: the event driver reproduces the tick driver's
+// traces transition for transition.
+func TestDriverEquivalenceParitySeeds(t *testing.T) {
+	for _, seed := range []int64{7, 42, 216} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			tick := runDriverParityScenario(t, seed, simgrid.DriverTick)
+			ev := runDriverParityScenario(t, seed, simgrid.DriverEvent)
+			if d := tick.diff(ev); d != "" {
+				t.Fatalf("tick and event drivers diverged: %s", d)
+			}
+			if len(tick.events) == 0 {
+				t.Fatal("scenario produced no events; equivalence test is vacuous")
+			}
+		})
+	}
+}
+
+// TestDriverEquivalenceSparseLongHorizon is the sparse case the refactor
+// exists for: a long-horizon run with a handful of long jobs. The event
+// driver must visit orders of magnitude fewer boundaries while producing
+// the identical trace.
+func TestDriverEquivalenceSparseLongHorizon(t *testing.T) {
+	run := func(driver simgrid.Driver) (*driverTrace, int64) {
+		g := simgrid.NewGrid(time.Second, 1)
+		g.Engine.SetDriver(driver)
+		site := g.AddSite("s")
+		pool := NewPool("s", g, site)
+		for i := 0; i < 16; i++ {
+			pool.AddMachine(site.AddNode(g.Engine, fmt.Sprintf("n%02d", i), 1, simgrid.ConstantLoad(0.25)), nil)
+		}
+		tr := &driverTrace{}
+		pool.Subscribe(func(e Event) { tr.events = append(tr.events, e) })
+		for i := 0; i < 8; i++ {
+			if _, err := pool.Submit(classad.New().Set(AttrOwner, "u").Set(AttrCpuSeconds, 50000.0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g.Engine.RunFor(200000 * time.Second)
+		tr.outcomes = collectOutcomes(t, pool)
+		return tr, g.Engine.Ticks()
+	}
+	tick, tickBoundaries := run(simgrid.DriverTick)
+	ev, evBoundaries := run(simgrid.DriverEvent)
+	if d := tick.diff(ev); d != "" {
+		t.Fatalf("tick and event drivers diverged: %s", d)
+	}
+	for _, o := range tick.outcomes {
+		if o.Status != StatusCompleted {
+			t.Fatalf("job %d not completed (%v); scenario broken", o.ID, o.Status)
+		}
+	}
+	if evBoundaries*100 > tickBoundaries {
+		t.Fatalf("event driver visited %d boundaries vs %d ticks — expected ≥100x sparser", evBoundaries, tickBoundaries)
+	}
+}

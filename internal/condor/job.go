@@ -119,6 +119,11 @@ type job struct {
 	cpuBase float64  // CPU-seconds carried over from a checkpoint
 	ckptCPU float64  // last checkpointed CPU-seconds
 
+	// failAfter caches AttrFailAfter: >0 means the job needs per-tick
+	// supervision while running so fault injection trips at the same
+	// boundary the legacy per-tick harvest would have caught.
+	failAfter float64
+
 	// usageRecorded is the locally-executed CPU already reported to the
 	// fair-share sink, so accrual stays incremental and exactly-once.
 	usageRecorded float64

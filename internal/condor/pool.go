@@ -22,8 +22,15 @@ var ErrPoolDown = fmt.Errorf("condor: execution service unavailable")
 var ErrNoSuchJob = fmt.Errorf("condor: no such job")
 
 // Pool is one site's execution service: a schedd (queue) plus a negotiator
-// (matchmaker) over the site's machines. Register the pool as an engine
-// actor; each tick runs one negotiation cycle and harvests completions.
+// (matchmaker) over the site's machines. The pool is event-driven: it
+// asks the engine for a wakeup when there is work to do — a job was
+// submitted, a machine was freed, a running task completed — and keeps a
+// periodic (once-per-tick) wakeup only while it must re-examine state
+// that changes with time: idle jobs waiting for a match (machine loads,
+// and hence Requirements like `LoadAvg < 0.5`, vary every tick) and
+// running jobs that need per-tick supervision (fault injection via
+// AttrFailAfter, or incremental fair-share usage accrual). A drained pool
+// with no queue costs the simulation nothing.
 //
 // The negotiation hot path is indexed: free machines are maintained
 // incrementally in per-architecture buckets as jobs start and finish
@@ -41,6 +48,7 @@ type Pool struct {
 
 	grid *simgrid.Grid
 	site *simgrid.Site
+	wake *simgrid.Wake
 
 	mu       sync.Mutex
 	machines []*machine
@@ -121,8 +129,17 @@ func NewPool(name string, grid *simgrid.Grid, site *simgrid.Site) *Pool {
 		jobs:        make(map[int]*job),
 		freeBuckets: make(map[string][]*machine),
 	}
-	grid.Engine.AddActor(p)
+	p.wake = grid.Engine.Register(p.onWake)
 	return p
+}
+
+// requestWake asks for a negotiation/harvest pass at the earliest legal
+// boundary: the current one if this pool's turn is still ahead in the
+// boundary being processed (e.g. a completion deadline fired on a node
+// registered before the pool), the next one otherwise — exactly when the
+// legacy per-tick loop would next have reached the pool.
+func (p *Pool) requestWake() {
+	p.wake.Request(p.grid.Engine.Now())
 }
 
 // Site returns the site this pool executes on.
@@ -215,6 +232,9 @@ func (p *Pool) SetFairShare(pol fairshare.Ranker) {
 	p.fair = pol
 	p.fairSink, _ = pol.(fairshare.Sink)
 	p.fairStart, _ = pol.(fairshare.StartObserver)
+	if p.fairSink != nil {
+		p.requestWake() // running jobs now need per-tick usage accrual
+	}
 }
 
 // Subscribe registers a listener for job state transitions. Listeners run
@@ -238,7 +258,8 @@ func (p *Pool) Fail() {
 	}
 }
 
-// Recover brings a failed service back; suspended-by-failure jobs resume.
+// Recover brings a failed service back; suspended-by-failure jobs resume
+// and the pool re-arms its engine wakeup.
 func (p *Pool) Recover() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -248,6 +269,7 @@ func (p *Pool) Recover() {
 			j.task.Resume()
 		}
 	}
+	p.requestWake()
 }
 
 // Healthy reports whether the execution service answers requests — the
@@ -284,12 +306,14 @@ func (p *Pool) Submit(ad *classad.Ad) (int, error) {
 		submitTime: p.grid.Engine.Now(),
 	}
 	j.owner = j.ad.Str(AttrOwner, "")
+	j.failAfter = j.ad.Float(AttrFailAfter, 0)
 	j.matcher = classad.NewMatcher(j.ad)
 	j.reqArch, _ = j.ad.ReqStringConstraint("Arch")
 	j.reqOpSys, _ = j.ad.ReqStringConstraint("OpSys")
 	p.jobs[id] = j
 	p.active = append(p.active, id)
 	p.emitLocked(j, 0, StatusIdle)
+	p.requestWake()
 	return id, nil
 }
 
@@ -422,6 +446,7 @@ func (p *Pool) Resume(id int) error {
 		}
 		j.task.Resume()
 		p.setStatusLocked(j, StatusRunning)
+		p.requestWake() // the job may need per-tick supervision again
 		return nil
 	})
 }
@@ -449,6 +474,7 @@ func (p *Pool) SetPriority(id, prio int) error {
 		}
 		j.priority = prio
 		j.ad.Set(AttrPriority, prio)
+		p.requestWake() // queue order changed; re-negotiate next boundary
 		return nil
 	})
 }
@@ -490,8 +516,11 @@ func (p *Pool) transition(id int, fn func(*job) error) error {
 	return fn(j)
 }
 
-// OnTick runs one negotiation cycle and harvests task completions/faults.
-func (p *Pool) OnTick(now time.Time, dt time.Duration) {
+// onWake runs one negotiation cycle and harvests task completions/faults,
+// then re-arms the periodic wakeup if the queue still needs per-tick
+// attention. A failed (down) pool does not re-arm: Recover requests a
+// fresh wakeup.
+func (p *Pool) onWake(now time.Time) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.drainReleasesLocked()
@@ -500,6 +529,30 @@ func (p *Pool) OnTick(now time.Time, dt time.Duration) {
 	}
 	p.harvestLocked(now)
 	p.negotiateLocked(now)
+	if p.needsTickLocked() {
+		p.wake.Request(now.Add(p.grid.Engine.Tick()))
+	}
+}
+
+// needsTickLocked reports whether the pool must run again at the very
+// next boundary: idle jobs re-negotiate every tick (machine loads — and
+// Requirements that reference them — change with time), and running jobs
+// need per-tick supervision only for fault injection or incremental
+// fair-share accrual. Completions alone need no polling; they arrive as
+// wakeups from the tasks' own completion deadlines.
+func (p *Pool) needsTickLocked() bool {
+	for _, id := range p.active {
+		j := p.jobs[id]
+		switch j.status {
+		case StatusIdle:
+			return true
+		case StatusRunning:
+			if p.fairSink != nil || j.failAfter > 0 {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // harvestLocked promotes finished tasks to Completed and applies fault
@@ -520,7 +573,7 @@ func (p *Pool) harvestLocked(now time.Time) {
 			continue
 		}
 		p.accrueUsageLocked(j)
-		if fail := j.ad.Float(AttrFailAfter, 0); fail > 0 && p.cpuSecondsLocked(j) >= fail {
+		if fail := j.failAfter; fail > 0 && p.cpuSecondsLocked(j) >= fail {
 			j.task.Kill()
 			p.detachLocked(j)
 			j.completionTime = now
@@ -821,6 +874,9 @@ func (p *Pool) releaseClaimLocked(j *job) {
 	o.relMu.Lock()
 	o.pendingRel = append(o.pendingRel, m)
 	o.relMu.Unlock()
+	// Wake the owner so the queued release folds back into its free set
+	// even if it has nothing else scheduled.
+	o.requestWake()
 }
 
 // drainReleasesLocked folds queued foreign releases into the free
@@ -953,6 +1009,10 @@ func (p *Pool) startLocked(j *job, m *machine, now time.Time) {
 		p.mu.Lock()
 		p.releaseClaimLocked(j)
 		p.mu.Unlock()
+		// Completion deadline fired: harvest at this boundary if the
+		// pool's turn is still ahead, otherwise at the next one — the
+		// same tick the legacy per-tick harvest would have seen it.
+		p.requestWake()
 	})
 	j.node = m.node
 	m.node.Place(j.task)

@@ -120,6 +120,9 @@ type Collector struct {
 	mu     sync.Mutex
 	pools  map[string]*condor.Pool
 	events []condor.Event
+	// notify, when set, is called after an event is queued so the owning
+	// service can request an engine wakeup to drain it.
+	notify func()
 }
 
 // NewCollector creates a collector backed by db.
@@ -135,7 +138,11 @@ func (c *Collector) Watch(pool *condor.Pool) {
 	pool.Subscribe(func(e condor.Event) {
 		c.mu.Lock()
 		c.events = append(c.events, e)
+		notify := c.notify
 		c.mu.Unlock()
+		if notify != nil {
+			notify()
+		}
 	})
 }
 
@@ -159,11 +166,11 @@ func (c *Collector) Pool(name string) (*condor.Pool, bool) {
 	return p, ok
 }
 
-// OnTick drains queued execution-service events: every transition is
+// Drain flushes queued execution-service events: every transition is
 // published to MonALISA ("sends an update to MonALISA whenever the state
 // of a job changes"), and terminal transitions store the job's final
 // snapshot in the DBManager.
-func (c *Collector) OnTick(now time.Time, dt time.Duration) {
+func (c *Collector) Drain() {
 	c.mu.Lock()
 	events := c.events
 	c.events = nil
@@ -243,15 +250,19 @@ type Service struct {
 	Collector *Collector
 	Manager   *Manager
 	// PollInterval controls how often running-job progress is published
-	// to MonALISA.
+	// to MonALISA. It is re-read at every poll, so changes apply from the
+	// next one.
 	PollInterval time.Duration
 
-	repo    *monalisa.Repository
-	elapsed time.Duration
+	drainWake *simgrid.Wake
+	repo      *monalisa.Repository
 }
 
 // NewService assembles a Job Monitoring Service and registers it with the
-// grid engine so its collector drains events each tick.
+// grid engine. The service is event-driven: a pool transition wakes its
+// collector at the next legal boundary (exactly when the legacy per-tick
+// drain would have seen it), and running-job progress publication runs
+// on a PollInterval poller.
 func NewService(grid *simgrid.Grid, repo *monalisa.Repository) *Service {
 	db := NewDBManager(repo)
 	col := NewCollector(db, repo)
@@ -262,25 +273,24 @@ func NewService(grid *simgrid.Grid, repo *monalisa.Repository) *Service {
 		PollInterval: 5 * time.Second,
 		repo:         repo,
 	}
-	grid.Engine.AddActor(s)
+	s.drainWake = grid.Engine.Register(func(time.Time) { s.Collector.Drain() })
+	col.notify = func() { s.drainWake.Request(grid.Engine.Now()) }
+	if repo != nil {
+		// Registered after the drain wake, so a poll landing on the same
+		// boundary as queued events publishes post-drain state — the
+		// legacy drain-then-publish order within one tick.
+		grid.Engine.NewPoller(func() time.Duration { return s.PollInterval }, s.publishProgress)
+	}
 	return s
 }
 
 // Watch attaches an execution service.
 func (s *Service) Watch(pool *condor.Pool) { s.Collector.Watch(pool) }
 
-// OnTick drains collector events and periodically publishes running-job
-// progress.
-func (s *Service) OnTick(now time.Time, dt time.Duration) {
-	s.Collector.OnTick(now, dt)
-	if s.repo == nil {
-		return
-	}
-	s.elapsed += dt
-	if s.elapsed < s.PollInterval {
-		return
-	}
-	s.elapsed = 0
+// publishProgress publishes running-job progress and queue depths to
+// MonALISA; the engine's Poller invokes it on the PollInterval cadence.
+func (s *Service) publishProgress(now time.Time) {
+	s.Collector.Drain()
 	for _, name := range s.Collector.Pools() {
 		pool, ok := s.Collector.Pool(name)
 		if !ok {

@@ -10,11 +10,15 @@ import (
 // and publishes LoadAvg, RunningJobs and FreeNodes series — the "Grid
 // weather" the paper's scheduler and optimizer consult. It plays the role
 // of the MonALISA agents that run on each farm.
+//
+// The monitor is event-driven: the engine wakes it exactly at sample
+// boundaries (the interval rounded up to whole ticks), so between samples
+// it costs the simulation nothing.
 type FarmMonitor struct {
 	repo     *Repository
 	grid     *simgrid.Grid
 	interval time.Duration
-	elapsed  time.Duration
+	wake     *simgrid.Wake
 }
 
 // NewFarmMonitor registers a monitor with the grid's engine; samples are
@@ -23,22 +27,19 @@ func NewFarmMonitor(repo *Repository, grid *simgrid.Grid, interval time.Duration
 	if interval <= 0 {
 		interval = 30 * time.Second
 	}
-	m := &FarmMonitor{repo: repo, grid: grid, interval: interval}
-	grid.Engine.AddActor(m)
+	m := &FarmMonitor{repo: repo, grid: grid, interval: grid.Engine.AlignTicks(interval)}
+	m.wake = grid.Engine.Register(m.onWake)
 	// Publish an initial sample so consumers never observe an empty
 	// repository at simulation start.
 	m.sample(grid.Engine.Now())
+	m.wake.Request(grid.Engine.Now().Add(m.interval))
 	return m
 }
 
-// OnTick implements simgrid.Actor.
-func (m *FarmMonitor) OnTick(now time.Time, dt time.Duration) {
-	m.elapsed += dt
-	if m.elapsed < m.interval {
-		return
-	}
-	m.elapsed = 0
+// onWake publishes one sample and schedules the next.
+func (m *FarmMonitor) onWake(now time.Time) {
 	m.sample(now)
+	m.wake.Request(now.Add(m.interval))
 }
 
 func (m *FarmMonitor) sample(now time.Time) {
@@ -47,7 +48,7 @@ func (m *FarmMonitor) sample(now time.Time) {
 		m.repo.Publish(site.Name, MetricRunningJobs, now, float64(site.RunningTasks()))
 		free := 0
 		for _, n := range site.Nodes() {
-			if len(n.Tasks()) == 0 {
+			if n.TaskCount() == 0 {
 				free++
 			}
 		}

@@ -27,6 +27,7 @@ type SiteServices struct {
 // Scheduler is the Sphinx-like middleware.
 type Scheduler struct {
 	grid     *simgrid.Grid
+	wake     *simgrid.Wake
 	repo     *monalisa.Repository
 	estDB    *estimator.EstimateDB
 	transfer *estimator.TransferEstimator
@@ -132,7 +133,7 @@ func New(cfg Config) *Scheduler {
 		jobIndex:        make(map[jobKey]planTask),
 		backlogCache:    make(map[string]float64),
 	}
-	cfg.Grid.Engine.AddActor(s)
+	s.wake = cfg.Grid.Engine.Register(s.onWake)
 	return s
 }
 
@@ -151,15 +152,17 @@ func (s *Scheduler) RegisterSite(site string, svc *SiteServices) {
 	s.mu.Lock()
 	s.sites[site] = svc
 	s.mu.Unlock()
-	// Queue pool events; they are processed on the next tick to avoid
-	// re-entering the pool from inside its own lock. Any event means the
-	// site's queue changed, so its cached backlog is stale immediately.
+	// Queue pool events; they are processed at the scheduler's next
+	// engine wakeup to avoid re-entering the pool from inside its own
+	// lock. Any event means the site's queue changed, so its cached
+	// backlog is stale immediately.
 	svc.Pool.Subscribe(func(e condor.Event) {
 		s.mu.Lock()
 		s.events = append(s.events, e)
 		delete(s.backlogCache, site)
 		s.backlogGen++
 		s.mu.Unlock()
+		s.wake.Request(s.grid.Engine.Now())
 	})
 }
 
@@ -217,9 +220,12 @@ func (s *Scheduler) Submit(plan *JobPlan) (*ConcretePlan, error) {
 	return cp, nil
 }
 
-// OnTick processes queued execution-service events, then launches any
-// newly unblocked tasks.
-func (s *Scheduler) OnTick(now time.Time, dt time.Duration) {
+// onWake processes queued execution-service events, then launches any
+// newly unblocked tasks. The scheduler is purely event-driven: it wakes
+// only when a watched pool reports a transition (assignment state can
+// change no other way between wakeups — direct API calls do their own
+// launching), so an idle grid schedules nothing.
+func (s *Scheduler) onWake(now time.Time) {
 	s.drainEvents()
 	s.pump()
 }

@@ -10,24 +10,55 @@
 // service) interacts with the grid only through these types, so swapping
 // in real hardware would be a matter of reimplementing these interfaces.
 //
-// Time is driven by a vtime.SimClock advanced in fixed ticks; all
-// randomness flows from a single seeded source, making every experiment
-// reproducible bit for bit.
+// Time is kept by a vtime.SimClock with a fixed tick as the simulation's
+// time resolution: every observable action (timer firing, task
+// completion, negotiation pass, monitor sample) lands on a tick-grid
+// boundary. The engine is event-driven — it keeps a priority queue of
+// scheduled events and jumps the clock straight from boundary to
+// boundary, skipping grid points where nothing is scheduled — so cost
+// scales with work performed, not with simulated duration. The legacy
+// fixed-tick driver (visit every boundary; see Driver) and the Actor
+// compatibility layer (a registered actor becomes a self-rescheduling
+// once-per-tick event) are retained, and both drivers produce identical
+// traces by construction. All randomness flows from a single seeded
+// source, making every experiment reproducible bit for bit.
 package simgrid
 
 import (
+	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
 	"reflect"
-	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/vtime"
 )
 
+// Driver selects how RunFor and RunUntil advance the simulation.
+type Driver int
+
+const (
+	// DriverEvent jumps the clock from scheduled event to scheduled
+	// event, skipping tick boundaries where nothing is due. This is the
+	// default: sparse scenarios cost what their events cost, not what
+	// their duration costs.
+	DriverEvent Driver = iota
+	// DriverTick visits every tick boundary, due events or not — the
+	// legacy fixed-tick loop. Traces are identical to DriverEvent (the
+	// extra boundaries are empty); the tick-vs-event equivalence suite
+	// pins that property.
+	DriverTick
+)
+
 // Actor is a component that evolves with simulated time. OnTick is called
 // once per engine step with the post-advance time and the tick duration.
+//
+// Actor is the compatibility layer over the event queue: AddActor wraps
+// the actor in a self-rescheduling once-per-tick event, so legacy
+// per-tick components keep working under either driver (at the cost of
+// forcing every boundary to be visited while registered).
 type Actor interface {
 	OnTick(now time.Time, dt time.Duration)
 }
@@ -38,24 +69,80 @@ type ActorFunc func(now time.Time, dt time.Duration)
 // OnTick implements Actor.
 func (f ActorFunc) OnTick(now time.Time, dt time.Duration) { f(now, dt) }
 
-// Engine owns the simulated clock, the registered actors, and a timer
-// queue. A default tick of one second matches the resolution of the
-// paper's figures (seconds on every axis).
+// event is one scheduled callback in the engine's queue.
+type event struct {
+	fireAt time.Time // grid-aligned boundary at which the event runs
+	order  int       // component order; orderTimer for Schedule timers
+	at     time.Time // originally requested time (pre-quantization), for timer ordering
+	seq    int64     // scheduling sequence, final tiebreak
+	fn     func(now time.Time)
+	wake   *Wake // non-nil for component wake events
+}
+
+// orderTimer sorts Schedule timers ahead of every registered component at
+// a boundary, mirroring the legacy Step order (timers first, then actors
+// in registration order).
+const orderTimer = -1
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if !a.fireAt.Equal(b.fireAt) {
+		return a.fireAt.Before(b.fireAt)
+	}
+	if a.order != b.order {
+		return a.order < b.order
+	}
+	if !a.at.Equal(b.at) {
+		return a.at.Before(b.at)
+	}
+	return a.seq < b.seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine owns the simulated clock and the event queue. A default tick of
+// one second matches the resolution of the paper's figures (seconds on
+// every axis); the tick is the simulation's time resolution — every event
+// fires on a multiple of it.
 type Engine struct {
 	mu     sync.Mutex
 	clock  *vtime.SimClock
+	start  time.Time
 	tick   time.Duration
 	rng    *rand.Rand
-	actors []Actor
-	timers []*timer
-	seq    int64 // tiebreak for deterministic timer ordering
-	ticks  int64
+	driver Driver
+
+	eq        eventHeap
+	seq       int64
+	nextOrder int
+
+	// cursor: position within the boundary currently being processed, so
+	// wake requests made mid-boundary land on the same boundary exactly
+	// when the legacy per-tick actor order would have reached them.
+	processing bool
+	curAt      time.Time
+	curOrder   int
+
+	ticks  int64 // boundaries visited
+	events int64 // events dispatched
+
+	actors []actorEntry
 }
 
-type timer struct {
-	at  time.Time
-	seq int64
-	fn  func(now time.Time)
+type actorEntry struct {
+	actor Actor
+	wake  *Wake
 }
 
 // NewEngine creates an engine with the given tick and RNG seed. A zero or
@@ -64,8 +151,10 @@ func NewEngine(tick time.Duration, seed int64) *Engine {
 	if tick <= 0 {
 		tick = time.Second
 	}
+	clock := vtime.NewSimClock(time.Time{})
 	return &Engine{
-		clock: vtime.NewSimClock(time.Time{}),
+		clock: clock,
+		start: clock.Now(),
 		tick:  tick,
 		rng:   rand.New(rand.NewSource(seed)),
 	}
@@ -78,38 +167,225 @@ func (e *Engine) Clock() *vtime.SimClock { return e.clock }
 // Now returns the current simulated time.
 func (e *Engine) Now() time.Time { return e.clock.Now() }
 
-// Tick returns the engine step size.
+// Tick returns the engine's time resolution.
 func (e *Engine) Tick() time.Duration { return e.tick }
 
 // Rand returns the engine's deterministic random source. Callers must use
 // it only from the simulation goroutine.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// Ticks returns the number of steps executed so far.
+// SetDriver selects the RunFor/RunUntil clock-advance strategy. The
+// default is DriverEvent; DriverTick restores the legacy visit-every-tick
+// loop. Traces are identical either way.
+func (e *Engine) SetDriver(d Driver) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.driver = d
+}
+
+// Driver returns the current clock-advance strategy.
+func (e *Engine) Driver() Driver {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.driver
+}
+
+// Ticks returns the number of tick boundaries visited so far. Under
+// DriverTick this is the legacy step count; under DriverEvent only
+// boundaries with scheduled events are visited (plus one per Step call).
 func (e *Engine) Ticks() int64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.ticks
 }
 
-// AddActor registers an actor. Actors are invoked in registration order,
-// which is part of the deterministic contract.
-func (e *Engine) AddActor(a Actor) {
+// Events returns the number of events dispatched so far — the
+// discrete-event engine's work counter, reported by the scenario
+// benchmarks.
+func (e *Engine) Events() int64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.actors = append(e.actors, a)
+	return e.events
+}
+
+// AlignTicks rounds d up to a whole number of ticks (minimum one) — the
+// period a legacy elapsed-accumulator actor with threshold d would
+// effectively fire at.
+func (e *Engine) AlignTicks(d time.Duration) time.Duration {
+	k := (d + e.tick - 1) / e.tick
+	if k < 1 {
+		k = 1
+	}
+	return time.Duration(k) * e.tick
+}
+
+// gridCeilLocked returns the earliest tick-grid boundary at or after t.
+func (e *Engine) gridCeilLocked(t time.Time) time.Time {
+	d := t.Sub(e.start)
+	if d <= 0 {
+		return e.start
+	}
+	k := (d + e.tick - 1) / e.tick
+	return e.start.Add(time.Duration(k) * e.tick)
+}
+
+// Wake is a registered component's slot in the event queue. A component
+// holds one Wake and asks to be run at (or after) chosen instants; the
+// engine fires it at most once per tick boundary, ordered against other
+// components by registration order — exactly where the legacy tick loop
+// would have reached it. Requests coalesce: the earliest pending request
+// wins.
+type Wake struct {
+	e         *Engine
+	fn        func(now time.Time)
+	order     int
+	next      time.Time // earliest pending fire time; zero when none (guarded by e.mu)
+	lastFired time.Time
+	canceled  bool
+}
+
+// Register adds a component to the engine and returns its Wake. The
+// registration order is the component's position within a tick boundary,
+// matching where AddActor would have placed it in the legacy loop.
+func (e *Engine) Register(fn func(now time.Time)) *Wake {
+	if fn == nil {
+		panic("simgrid: Register with nil function")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	w := &Wake{e: e, fn: fn, order: e.nextOrder}
+	e.nextOrder++
+	return w
+}
+
+// Request asks for the component to run at the first legal tick boundary
+// at or after at. "Legal" preserves the legacy once-per-tick actor
+// semantics: a request for the current boundary is honored only if the
+// component's turn (its registration order) has not yet passed in the
+// boundary being processed and it has not already fired there; otherwise
+// it lands on the next boundary. Requests never postpone an
+// earlier-or-equal pending request.
+func (w *Wake) Request(at time.Time) {
+	e := w.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if w.canceled {
+		return
+	}
+	now := e.clock.Now()
+	fireAt := e.gridCeilLocked(at)
+	if !fireAt.After(now) {
+		if e.processing && now.Equal(e.curAt) && w.order > e.curOrder && !w.lastFired.Equal(now) {
+			fireAt = now
+		} else {
+			fireAt = now.Add(e.tick)
+		}
+	}
+	if !w.next.IsZero() && !w.next.After(fireAt) {
+		return
+	}
+	w.next = fireAt
+	e.seq++
+	heap.Push(&e.eq, &event{fireAt: fireAt, order: w.order, at: fireAt, seq: e.seq, wake: w})
+}
+
+// Cancel drops any pending request and disables the wake permanently.
+func (w *Wake) Cancel() {
+	w.e.mu.Lock()
+	defer w.e.mu.Unlock()
+	w.canceled = true
+	w.next = time.Time{}
+}
+
+// Poller runs a function on a periodic schedule driven by a Wake: the
+// engine wakes it only at poll boundaries, and the interval function is
+// re-read at every wakeup, so intervals configured after construction
+// (but before the simulation runs) take effect from the first poll and
+// later changes apply from the next one. The poll cadence matches the
+// legacy elapsed-accumulator actors: the interval rounds up to whole
+// ticks, counted from the previous poll.
+type Poller struct {
+	e        *Engine
+	w        *Wake
+	interval func() time.Duration
+	fn       func(now time.Time)
+	mu       sync.Mutex
+	last     time.Time
+}
+
+// NewPoller registers a periodic component. Its first wakeup lands on
+// the very next boundary (to pick up interval configuration made after
+// construction); polls then run every interval() from construction time.
+func (e *Engine) NewPoller(interval func() time.Duration, fn func(now time.Time)) *Poller {
+	if interval == nil || fn == nil {
+		panic("simgrid: NewPoller needs an interval source and a function")
+	}
+	p := &Poller{e: e, interval: interval, fn: fn, last: e.Now()}
+	p.w = e.Register(p.onWake)
+	p.w.Request(p.last.Add(e.tick))
+	return p
+}
+
+func (p *Poller) onWake(now time.Time) {
+	period := p.e.AlignTicks(p.interval())
+	p.mu.Lock()
+	due := p.last.Add(period)
+	if now.Before(due) {
+		p.mu.Unlock()
+		p.w.Request(due)
+		return
+	}
+	p.last = now
+	p.mu.Unlock()
+	p.w.Request(now.Add(period))
+	p.fn(now)
+}
+
+// horizonFor reports the instant up to which a component with the given
+// registration order is current: mid-boundary, components whose turn has
+// not yet come see state as of the previous boundary, exactly as they
+// would have in the legacy tick loop.
+func (e *Engine) horizonFor(order int) time.Time {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.clock.Now()
+	if e.processing && now.Equal(e.curAt) && order > e.curOrder {
+		return now.Add(-e.tick)
+	}
+	return now
+}
+
+// AddActor registers a legacy actor: it becomes a self-rescheduling
+// once-per-tick event, invoked at every boundary in registration order.
+// While any actor is registered, every tick boundary is visited, so the
+// event driver degrades gracefully to the legacy cadence.
+func (e *Engine) AddActor(a Actor) {
+	var w *Wake
+	w = e.Register(func(now time.Time) {
+		a.OnTick(now, e.tick)
+		w.Request(now.Add(e.tick))
+	})
+	e.mu.Lock()
+	e.actors = append(e.actors, actorEntry{actor: a, wake: w})
+	e.mu.Unlock()
+	w.Request(e.Now().Add(e.tick))
 }
 
 // RemoveActor unregisters a previously added actor. Pointer actors compare
 // by identity; ActorFunc values compare by code pointer.
 func (e *Engine) RemoveActor(a Actor) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	for i, x := range e.actors {
-		if sameActor(x, a) {
+	var w *Wake
+	for i, entry := range e.actors {
+		if sameActor(entry.actor, a) {
+			w = entry.wake
 			e.actors = append(e.actors[:i], e.actors[i+1:]...)
-			return
+			break
 		}
+	}
+	e.mu.Unlock()
+	if w != nil {
+		w.Cancel()
 	}
 }
 
@@ -127,71 +403,142 @@ func sameActor(a, b Actor) bool {
 	return a == b
 }
 
-// Schedule runs fn once the simulated clock has advanced by delay.
-// Non-positive delays fire on the next step. Timers with equal deadlines
-// fire in scheduling order.
+// Schedule runs fn once the simulated clock has advanced by delay,
+// quantized up to the next tick-grid boundary (the tick is the
+// simulation's time resolution). Timers with equal deadlines fire in
+// scheduling order, before any component due at the same boundary.
+//
+// A callback scheduled for the current instant — delay ≤ 0, whether
+// between boundaries or during event dispatch — never fires in the same
+// pass: it runs at the NEXT tick boundary. This is pinned by
+// TestScheduleCurrentInstantFiresNextBoundary and matches the legacy
+// fixed-tick behavior ("non-positive delays fire on the next step").
 func (e *Engine) Schedule(delay time.Duration, fn func(now time.Time)) {
 	if fn == nil {
 		panic("simgrid: Schedule with nil function")
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.seq++
-	e.timers = append(e.timers, &timer{at: e.clock.Now().Add(delay), seq: e.seq, fn: fn})
-}
-
-// Step advances the simulation by one tick: the clock moves, due timers
-// fire (in deadline, then scheduling order), then actors tick.
-func (e *Engine) Step() {
-	e.mu.Lock()
-	e.ticks++
-	e.clock.Advance(e.tick)
 	now := e.clock.Now()
-	var due []*timer
-	kept := e.timers[:0]
-	for _, t := range e.timers {
-		if !t.at.After(now) {
-			due = append(due, t)
-		} else {
-			kept = append(kept, t)
-		}
+	at := now.Add(delay)
+	fireAt := e.gridCeilLocked(at)
+	if !fireAt.After(now) {
+		fireAt = now.Add(e.tick)
 	}
-	e.timers = kept
-	actors := make([]Actor, len(e.actors))
-	copy(actors, e.actors)
-	e.mu.Unlock()
+	e.seq++
+	heap.Push(&e.eq, &event{fireAt: fireAt, order: orderTimer, at: at, seq: e.seq, fn: fn})
+}
 
-	sort.Slice(due, func(i, j int) bool {
-		if !due[i].at.Equal(due[j].at) {
-			return due[i].at.Before(due[j].at)
-		}
-		return due[i].seq < due[j].seq
-	})
-	for _, t := range due {
-		t.fn(now)
+// nextEventTime peeks the earliest pending boundary.
+func (e *Engine) nextEventTime() (time.Time, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.eq) == 0 {
+		return time.Time{}, false
 	}
-	for _, a := range actors {
-		a.OnTick(now, e.tick)
+	return e.eq[0].fireAt, true
+}
+
+// processBoundary advances the clock to t and dispatches every event due
+// there, in (time, order, requested-time, sequence) order. Events
+// scheduled during dispatch for the same boundary run in the same pass
+// when their component's turn is still ahead.
+func (e *Engine) processBoundary(t time.Time) {
+	e.clock.AdvanceTo(t)
+	e.mu.Lock()
+	e.processing, e.curAt, e.curOrder = true, t, math.MinInt
+	e.ticks++
+	e.mu.Unlock()
+	for {
+		e.mu.Lock()
+		if len(e.eq) == 0 || e.eq[0].fireAt.After(t) {
+			e.processing = false
+			e.mu.Unlock()
+			return
+		}
+		ev := heap.Pop(&e.eq).(*event)
+		fn := ev.fn
+		if ev.wake != nil {
+			w := ev.wake
+			if w.canceled || !w.next.Equal(ev.fireAt) {
+				e.mu.Unlock()
+				continue // superseded or canceled request
+			}
+			w.next = time.Time{}
+			w.lastFired = ev.fireAt
+			fn = w.fn
+		}
+		e.curOrder = ev.order
+		e.events++
+		e.mu.Unlock()
+		fn(t)
 	}
 }
 
-// RunFor advances the simulation by d (rounded up to whole ticks).
+// Step advances the simulation by exactly one tick, dispatching whatever
+// is due at that boundary — the legacy fixed-tick step.
+func (e *Engine) Step() {
+	e.processBoundary(e.Now().Add(e.tick))
+}
+
+// RunFor advances the simulation by d (rounded up to whole ticks). Under
+// DriverEvent the clock jumps from scheduled boundary to scheduled
+// boundary and then straight to the target; under DriverTick every
+// boundary is visited.
 func (e *Engine) RunFor(d time.Duration) {
 	steps := int64((d + e.tick - 1) / e.tick)
-	for i := int64(0); i < steps; i++ {
-		e.Step()
+	if e.Driver() == DriverTick {
+		for i := int64(0); i < steps; i++ {
+			e.Step()
+		}
+		return
 	}
+	target := e.Now().Add(time.Duration(steps) * e.tick)
+	for {
+		t, ok := e.nextEventTime()
+		if !ok || t.After(target) {
+			break
+		}
+		e.processBoundary(t)
+	}
+	e.clock.AdvanceTo(target)
 }
 
-// RunUntil steps the simulation until pred returns true, or fails after
-// max simulated time has elapsed.
+// RunUntil advances the simulation until pred returns true, or fails once
+// more than max simulated time has elapsed. pred is evaluated after every
+// processed boundary; state observed by pred only changes through events,
+// so skipping empty boundaries cannot delay detection.
 func (e *Engine) RunUntil(pred func() bool, max time.Duration) error {
-	deadline := e.clock.Now().Add(max)
+	deadline := e.Now().Add(max)
+	// The tick loop keeps stepping while now ≤ deadline, so the last
+	// boundary it processes — and where it leaves the clock on timeout —
+	// is the first grid boundary strictly after the deadline. The event
+	// driver must honor the same limit (not the raw deadline, which may
+	// lie off-grid) or the two drivers would diverge on events landing
+	// in that final overshoot step.
+	e.mu.Lock()
+	limit := e.gridCeilLocked(deadline)
+	if !limit.After(deadline) {
+		limit = limit.Add(e.tick)
+	}
+	e.mu.Unlock()
 	for !pred() {
-		if e.clock.Now().After(deadline) {
-			return fmt.Errorf("simgrid: condition not reached within %v (now %v)", max, e.clock.Now())
+		if e.Now().After(deadline) {
+			return fmt.Errorf("simgrid: condition not reached within %v (now %v)", max, e.Now())
 		}
-		e.Step()
+		if e.Driver() == DriverTick {
+			e.Step()
+			continue
+		}
+		t, ok := e.nextEventTime()
+		if !ok || t.After(limit) {
+			// Nothing left inside the window can change pred; jump to the
+			// overshoot boundary so the next iteration reports the timeout
+			// with the clock exactly where the tick driver would leave it.
+			e.clock.AdvanceTo(limit)
+			continue
+		}
+		e.processBoundary(t)
 	}
 	return nil
 }

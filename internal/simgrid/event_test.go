@@ -1,0 +1,417 @@
+package simgrid
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+// Tests for the discrete-event engine core: Schedule quantization and
+// same-instant semantics, event-driver boundary skipping, wake ordering,
+// and the event-driven node's accrual/deadline machinery.
+
+// TestScheduleCurrentInstantFiresNextBoundary pins the Schedule
+// semantics documented on the method: a callback scheduled for the
+// current instant — whether from outside the engine or during event
+// dispatch — fires at the NEXT tick boundary, never in the same pass.
+func TestScheduleCurrentInstantFiresNextBoundary(t *testing.T) {
+	e := NewEngine(time.Second, 1)
+	epoch := e.Now()
+
+	// From outside the engine.
+	var outsideAt time.Time
+	e.Schedule(0, func(now time.Time) { outsideAt = now })
+	e.Step()
+	if got := outsideAt.Sub(epoch); got != time.Second {
+		t.Fatalf("Schedule(0) outside dispatch fired at +%v, want +1s", got)
+	}
+
+	// From within event dispatch: the inner callback must not run in the
+	// same pass even though its deadline is the instant being processed.
+	var innerAt time.Time
+	e.Schedule(time.Second, func(now time.Time) {
+		e.Schedule(0, func(inner time.Time) { innerAt = inner })
+	})
+	e.Step() // fires the outer at +2s; inner is scheduled for "now"
+	if !innerAt.IsZero() {
+		t.Fatal("callback scheduled for the current instant ran in the same pass")
+	}
+	e.Step()
+	if got := innerAt.Sub(epoch); got != 3*time.Second {
+		t.Fatalf("same-instant callback fired at +%v, want +3s (next boundary)", got)
+	}
+}
+
+// TestScheduleQuantizesToGrid pins that sub-tick delays round up to the
+// next boundary — the tick is the simulation's time resolution — while
+// ordering among timers still follows the originally requested times.
+func TestScheduleQuantizesToGrid(t *testing.T) {
+	e := NewEngine(time.Second, 1)
+	var order []string
+	// 1.7s requested after 1.2s: both land on the +2s boundary, and fire
+	// in requested-time order even though both were quantized.
+	e.Schedule(1700*time.Millisecond, func(time.Time) { order = append(order, "late") })
+	e.Schedule(1200*time.Millisecond, func(time.Time) { order = append(order, "early") })
+	e.RunFor(3 * time.Second)
+	if len(order) != 2 || order[0] != "early" || order[1] != "late" {
+		t.Fatalf("quantized timer order = %v", order)
+	}
+}
+
+// TestEventDriverSkipsIdleBoundaries is the engine-level statement of the
+// refactor: with only a far-future timer scheduled, RunFor visits one
+// boundary instead of thousands, and the clock still lands exactly where
+// the tick driver would put it.
+func TestEventDriverSkipsIdleBoundaries(t *testing.T) {
+	e := NewEngine(time.Second, 1)
+	fired := time.Time{}
+	e.Schedule(10000*time.Second, func(now time.Time) { fired = now })
+	e.RunFor(20000 * time.Second)
+	if e.Ticks() != 1 {
+		t.Fatalf("event driver visited %d boundaries, want 1", e.Ticks())
+	}
+	if got := fired.Sub(NewEngine(time.Second, 1).Now()); got != 10000*time.Second {
+		t.Fatalf("timer fired at +%v, want +10000s", got)
+	}
+	if got := e.Now().Sub(fired); got != 10000*time.Second {
+		t.Fatalf("RunFor ended %v after the timer, want 10000s", got)
+	}
+}
+
+// TestWakeOncePerBoundary pins the Wake contract: repeated requests for
+// the same instant coalesce, and a component fires at most once per
+// boundary.
+func TestWakeOncePerBoundary(t *testing.T) {
+	e := NewEngine(time.Second, 1)
+	fires := 0
+	var w *Wake
+	w = e.Register(func(now time.Time) { fires++ })
+	w.Request(e.Now())
+	w.Request(e.Now())
+	w.Request(e.Now().Add(500 * time.Millisecond))
+	e.Step()
+	if fires != 1 {
+		t.Fatalf("coalesced requests fired %d times in one boundary, want 1", fires)
+	}
+	e.Step()
+	if fires != 1 {
+		t.Fatalf("wake re-fired without a new request (%d)", fires)
+	}
+}
+
+// TestWakeRequestDuringOwnFiring pins the periodic-component idiom: a
+// wake that re-requests itself from its own callback fires once per
+// requested period.
+func TestWakeRequestDuringOwnFiring(t *testing.T) {
+	e := NewEngine(time.Second, 1)
+	var times []time.Duration
+	epoch := e.Now()
+	var w *Wake
+	w = e.Register(func(now time.Time) {
+		times = append(times, now.Sub(epoch))
+		w.Request(now.Add(3 * time.Second))
+	})
+	w.Request(epoch.Add(2 * time.Second))
+	e.RunFor(12 * time.Second)
+	want := []time.Duration{2 * time.Second, 5 * time.Second, 8 * time.Second, 11 * time.Second}
+	if len(times) != len(want) {
+		t.Fatalf("periodic wake fired at %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("periodic wake fired at %v, want %v", times, want)
+		}
+	}
+	if e.Ticks() != int64(len(want)) {
+		t.Fatalf("event driver visited %d boundaries for %d wakes", e.Ticks(), len(want))
+	}
+}
+
+// TestConstLoadDetection pins the mechanism the analytic-deadline path
+// depends on: ConstantLoad and IdleLoad are recognized as constants, and
+// every other load family is conservatively treated as time-varying.
+func TestConstLoadDetection(t *testing.T) {
+	if v, ok := constLoadValue(ConstantLoad(0.3)); !ok || v != 0.3 {
+		t.Fatalf("ConstantLoad(0.3) detected as (%v, %v), want (0.3, true)", v, ok)
+	}
+	if v, ok := constLoadValue(IdleLoad()); !ok || v != 0 {
+		t.Fatalf("IdleLoad detected as (%v, %v), want (0, true)", v, ok)
+	}
+	if v, ok := constLoadValue(nil); !ok || v != 0 {
+		t.Fatalf("nil load detected as (%v, %v), want (0, true)", v, ok)
+	}
+	for name, fn := range map[string]LoadFn{
+		"diurnal": DiurnalLoad(0.5, 0.3, 14),
+		"step":    StepLoad(time.Time{}, []time.Duration{time.Minute}, []float64{0.1, 0.9}),
+		"noisy":   NoisyLoad(ConstantLoad(0.5), 0.1, 7),
+		"custom":  func(time.Time) float64 { return 0.4 },
+	} {
+		if _, ok := constLoadValue(fn); ok {
+			t.Errorf("%s load misdetected as constant", name)
+		}
+	}
+}
+
+// TestAttachedNodeSchedulesDeadline: a constant-load attached node runs a
+// task to completion as a single deadline event, at the exact boundary
+// the legacy per-tick loop would have completed it, with onDone firing
+// there.
+func TestAttachedNodeSchedulesDeadline(t *testing.T) {
+	g := NewGrid(time.Second, 1)
+	s := g.AddSite("s")
+	n := s.AddNode(g.Engine, "n", 1, ConstantLoad(0.25))
+	var doneAt time.Time
+	task := NewTask("t", 300, func(*Task) { doneAt = g.Engine.Now() })
+	n.Place(task)
+	g.Engine.RunFor(1000 * time.Second)
+	if task.State() != TaskDone {
+		t.Fatalf("task state = %v", task.State())
+	}
+	// 300 cpu-seconds at share 0.75: done after ceil(300/0.75) = 400 ticks.
+	if got := doneAt.Sub(time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)); got != 400*time.Second {
+		t.Fatalf("completed at +%v, want +400s", got)
+	}
+	if g.Engine.Ticks() > 3 {
+		t.Fatalf("constant-load completion visited %d boundaries, want ≤3", g.Engine.Ticks())
+	}
+	if got := task.WallClock(); got != 300*time.Second {
+		t.Fatalf("wall clock = %v, want 300s", got)
+	}
+}
+
+// TestAttachedNodeLazyReads: progress read mid-run on an attached node
+// must reflect the elapsed simulated time even though no engine event has
+// touched the node since placement.
+func TestAttachedNodeLazyReads(t *testing.T) {
+	g := NewGrid(time.Second, 1)
+	s := g.AddSite("s")
+	n := s.AddNode(g.Engine, "n", 1, ConstantLoad(0.6))
+	task := NewTask("t", 100, nil)
+	n.Place(task)
+	g.Engine.RunFor(100 * time.Second)
+	if got := task.Progress(); math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("lazy progress = %v, want 0.40", got)
+	}
+	if got := task.WallClock().Seconds(); math.Abs(got-40) > 1e-6 {
+		t.Fatalf("lazy wall clock = %vs, want 40s", got)
+	}
+	if got := task.CPUSeconds(); math.Abs(got-40) > 1e-6 {
+		t.Fatalf("lazy cpu = %v, want 40", got)
+	}
+}
+
+// TestAttachedNodeVaryingLoadMatchesActorNode: a time-varying load cannot
+// be solved analytically, so the attached node falls back to per-tick
+// wakeups — and must reproduce the plain actor-driven node's trajectory
+// bit for bit.
+func TestAttachedNodeVaryingLoadMatchesActorNode(t *testing.T) {
+	epoch := time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)
+	load := StepLoad(epoch, []time.Duration{30 * time.Second, 60 * time.Second}, []float64{0.1, 0.8, 0.4})
+
+	// Reference: standalone node driven as a per-tick actor.
+	eRef := NewEngine(time.Second, 1)
+	nRef := NewNode("n", "s", 1, load)
+	eRef.AddActor(nRef)
+	tRef := NewTask("t", 50, nil)
+	nRef.Place(tRef)
+
+	// Attached node under the event driver.
+	g := NewGrid(time.Second, 1)
+	nEv := g.AddSite("s").AddNode(g.Engine, "n", 1, load)
+	tEv := NewTask("t", 50, nil)
+	nEv.Place(tEv)
+
+	for i := 0; i < 120; i++ {
+		eRef.RunFor(time.Second)
+		g.Engine.RunFor(time.Second)
+		if tRef.CPUSeconds() != tEv.CPUSeconds() || tRef.WallClock() != tEv.WallClock() || tRef.State() != tEv.State() {
+			t.Fatalf("tick %d diverged: actor(cpu=%v wall=%v %v) vs event(cpu=%v wall=%v %v)",
+				i+1, tRef.CPUSeconds(), tRef.WallClock(), tRef.State(),
+				tEv.CPUSeconds(), tEv.WallClock(), tEv.State())
+		}
+	}
+	if tEv.State() != TaskDone {
+		t.Fatalf("task did not complete under varying load: %v", tEv.State())
+	}
+}
+
+// TestAttachedNodeSuspendResumeMidFlight: suspension settles accrual,
+// stops the clock for the task, and re-derives the completion deadline on
+// resume.
+func TestAttachedNodeSuspendResumeMidFlight(t *testing.T) {
+	g := NewGrid(time.Second, 1)
+	n := g.AddSite("s").AddNode(g.Engine, "n", 1, IdleLoad())
+	task := NewTask("t", 100, nil)
+	n.Place(task)
+	g.Engine.RunFor(30 * time.Second)
+	task.Suspend()
+	if got := task.CPUSeconds(); math.Abs(got-30) > 1e-9 {
+		t.Fatalf("cpu at suspend = %v, want 30", got)
+	}
+	g.Engine.RunFor(50 * time.Second)
+	if got := task.Progress(); math.Abs(got-0.3) > 1e-9 {
+		t.Fatalf("suspended task progressed to %v", got)
+	}
+	task.Resume()
+	g.Engine.RunFor(70 * time.Second)
+	if task.State() != TaskDone {
+		t.Fatalf("resumed task state = %v (progress %v)", task.State(), task.Progress())
+	}
+	if got := task.WallClock(); got != 100*time.Second {
+		t.Fatalf("wall clock = %v, want 100s", got)
+	}
+}
+
+// TestAttachedNodeShareRecomputedOnPlacement: placing a second task
+// mid-flight settles the first under the old share and halves both
+// shares afterwards, matching the legacy loop's per-tick recomputation.
+func TestAttachedNodeShareRecomputedOnPlacement(t *testing.T) {
+	g := NewGrid(time.Second, 1)
+	n := g.AddSite("s").AddNode(g.Engine, "n", 1, IdleLoad())
+	a := NewTask("a", 100, nil)
+	n.Place(a)
+	g.Engine.RunFor(20 * time.Second)
+	b := NewTask("b", 100, nil)
+	n.Place(b)
+	g.Engine.RunFor(40 * time.Second)
+	if got := a.CPUSeconds(); math.Abs(got-40) > 1e-9 { // 20 + 40×0.5
+		t.Fatalf("first task cpu = %v, want 40", got)
+	}
+	if got := b.CPUSeconds(); math.Abs(got-20) > 1e-9 { // 40×0.5
+		t.Fatalf("second task cpu = %v, want 20", got)
+	}
+}
+
+// TestAttachedNodeSetLoadRederives: SetLoad mid-flight (the Figure 7
+// "site develops significant CPU load" move) settles accrual under the
+// old load and re-derives the completion deadline under the new one.
+func TestAttachedNodeSetLoadRederives(t *testing.T) {
+	g := NewGrid(time.Second, 1)
+	n := g.AddSite("s").AddNode(g.Engine, "n", 1, IdleLoad())
+	var doneAt time.Time
+	task := NewTask("t", 100, func(*Task) { doneAt = g.Engine.Now() })
+	n.Place(task)
+	g.Engine.RunFor(50 * time.Second)
+	n.SetLoad(ConstantLoad(0.5)) // remaining 50 cpu-seconds at rate 0.5
+	g.Engine.RunFor(200 * time.Second)
+	if task.State() != TaskDone {
+		t.Fatalf("task state = %v", task.State())
+	}
+	if got := doneAt.Sub(time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)); got != 150*time.Second {
+		t.Fatalf("completed at +%v, want +150s", got)
+	}
+}
+
+// TestFullyLoadedNodeSchedulesNothing: a constant load of 1.0 means no
+// progress is possible; the node must not busy-wake the engine.
+func TestFullyLoadedNodeSchedulesNothing(t *testing.T) {
+	g := NewGrid(time.Second, 1)
+	n := g.AddSite("s").AddNode(g.Engine, "n", 1, ConstantLoad(1.0))
+	task := NewTask("t", 10, nil)
+	n.Place(task)
+	g.Engine.RunFor(10000 * time.Second)
+	if g.Engine.Ticks() != 0 {
+		t.Fatalf("fully loaded node woke the engine %d times", g.Engine.Ticks())
+	}
+	if got := task.Progress(); got != 0 {
+		t.Fatalf("task progressed to %v under full load", got)
+	}
+	// Relieving the load re-derives a deadline and the task completes.
+	n.SetLoad(IdleLoad())
+	g.Engine.RunFor(20 * time.Second)
+	if task.State() != TaskDone {
+		t.Fatalf("task state after load relief = %v", task.State())
+	}
+}
+
+// TestRunUntilEventDriverTimesOut: with nothing scheduled, RunUntil must
+// still terminate with the legacy timeout error rather than spinning.
+func TestRunUntilEventDriverTimesOut(t *testing.T) {
+	e := NewEngine(time.Second, 1)
+	if err := e.RunUntil(func() bool { return false }, 5*time.Second); err == nil {
+		t.Fatal("RunUntil(never) did not time out under the event driver")
+	}
+}
+
+// TestDriverIndependentTransferCompletion: network transfers are engine
+// timers; both drivers must deliver them at the same instant.
+func TestDriverIndependentTransferCompletion(t *testing.T) {
+	for _, driver := range []Driver{DriverTick, DriverEvent} {
+		g := NewGrid(time.Second, 1)
+		g.Engine.SetDriver(driver)
+		g.AddSite("a")
+		g.AddSite("b")
+		g.Network.Connect("a", "b", Link{BandwidthMBps: 10, Latency: 100 * time.Millisecond})
+		var doneAt time.Time
+		if _, err := g.Network.StartTransfer("a", "b", 50, func(time.Duration) { doneAt = g.Engine.Now() }); err != nil {
+			t.Fatal(err)
+		}
+		g.Engine.RunFor(10 * time.Second)
+		// 5s + 100ms latency, quantized up to the 6s boundary.
+		if got := doneAt.Sub(time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)); got != 6*time.Second {
+			t.Fatalf("driver %v: transfer completed at +%v, want +6s", driver, got)
+		}
+	}
+}
+
+func ExampleEngine_Schedule() {
+	e := NewEngine(time.Second, 1)
+	e.Schedule(90*time.Second, func(now time.Time) {
+		fmt.Println("fired after", now.Sub(time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)))
+	})
+	// The event driver jumps straight to the timer's boundary.
+	e.RunFor(10 * time.Minute)
+	fmt.Println("boundaries visited:", e.Ticks())
+	// Output:
+	// fired after 1m30s
+	// boundaries visited: 1
+}
+
+// TestRunUntilDriversAgreeOnOvershootEvent: the tick loop's last step
+// overshoots the deadline by up to one tick and still fires events
+// there; the event driver must process that same overshoot boundary.
+// Regression test for a driver-equivalence break found in review.
+func TestRunUntilDriversAgreeOnOvershootEvent(t *testing.T) {
+	for _, d := range []Driver{DriverTick, DriverEvent} {
+		e := NewEngine(time.Second, 1)
+		e.SetDriver(d)
+		flag := false
+		e.Schedule(11*time.Second, func(time.Time) { flag = true })
+		err := e.RunUntil(func() bool { return flag }, 10*time.Second)
+		if err != nil || !flag {
+			t.Fatalf("driver %v: err=%v flag=%v, want event at the overshoot boundary to fire", d, err, flag)
+		}
+		if got := e.Now().Sub(NewEngine(time.Second, 1).Now()); got != 11*time.Second {
+			t.Fatalf("driver %v: clock at +%v, want +11s", d, got)
+		}
+	}
+}
+
+// TestRunUntilTimeoutLeavesClockOnGrid: a timeout with a fractional max
+// must leave the clock on the tick grid (where the tick driver leaves
+// it), not at deadline+tick off-grid — otherwise every subsequent event
+// time desynchronizes between drivers. Regression test from review.
+func TestRunUntilTimeoutLeavesClockOnGrid(t *testing.T) {
+	var ends [2]time.Time
+	for i, d := range []Driver{DriverTick, DriverEvent} {
+		e := NewEngine(time.Second, 1)
+		e.SetDriver(d)
+		if err := e.RunUntil(func() bool { return false }, 2500*time.Millisecond); err == nil {
+			t.Fatalf("driver %v: RunUntil(never) did not time out", d)
+		}
+		ends[i] = e.Now()
+		fired := time.Time{}
+		e.Schedule(time.Second, func(now time.Time) { fired = now })
+		e.RunFor(5 * time.Second)
+		if fired.IsZero() {
+			t.Fatalf("driver %v: post-timeout timer never fired", d)
+		}
+		if i == 1 && !fired.Equal(ends[0].Add(time.Second)) {
+			t.Fatalf("post-timeout timer at %v under event driver, want %v as under tick", fired, ends[0].Add(time.Second))
+		}
+	}
+	if !ends[0].Equal(ends[1]) {
+		t.Fatalf("timeout left clock at %v (tick) vs %v (event)", ends[0], ends[1])
+	}
+}

@@ -3,6 +3,7 @@ package simgrid
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"time"
 )
 
@@ -12,10 +13,39 @@ import (
 // owners). A Condor job on the node makes progress at rate 1-load.
 type LoadFn func(t time.Time) float64
 
-// ConstantLoad returns a load fixed at x (clamped to [0, 1]).
+// ConstantLoad returns a load fixed at x (clamped to [0, 1]). The
+// event-driven node recognizes ConstantLoad (and IdleLoad) functions and
+// computes analytic task-completion deadlines for them instead of
+// sampling the load every tick.
+//
+// Marked noinline so every returned closure shares one code body: if the
+// function were inlined, each call site would clone the closure and the
+// code-pointer recognition in constLoadValue would silently stop
+// matching, degrading nodes to per-tick sampling.
+//
+//go:noinline
 func ConstantLoad(x float64) LoadFn {
 	x = clamp01(x)
 	return func(time.Time) float64 { return x }
+}
+
+// constLoadPC identifies closures produced by ConstantLoad: every closure
+// built from the same function literal shares one code pointer, distinct
+// from every other load constructor's.
+var constLoadPC = reflect.ValueOf(ConstantLoad(0)).Pointer()
+
+// constLoadValue reports whether fn is a ConstantLoad/IdleLoad closure
+// (nil counts as idle) and, if so, its fixed value. Any other load —
+// diurnal, stepped, noisy, or user-supplied — is conservatively treated
+// as time-varying.
+func constLoadValue(fn LoadFn) (float64, bool) {
+	if fn == nil {
+		return 0, true
+	}
+	if reflect.ValueOf(fn).Pointer() == constLoadPC {
+		return fn(time.Time{}), true
+	}
+	return 0, false
 }
 
 // IdleLoad is a node with no background activity.

@@ -45,6 +45,7 @@ type Task struct {
 	done   float64 // CPU-seconds completed
 	wall   float64 // seconds the task was actually executing
 	onDone func(*Task)
+	node   *Node // node currently hosting the task, nil when detached
 }
 
 // NewTask creates a task requiring need CPU-seconds; onDone (optional)
@@ -56,7 +57,24 @@ func NewTask(id string, need float64, onDone func(*Task)) *Task {
 	return &Task{ID: id, Need: need, onDone: onDone}
 }
 
-// State returns the task state.
+// nodeRef returns the hosting node, if any.
+func (t *Task) nodeRef() *Node {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.node
+}
+
+// observe brings the task's accrued work up to date with simulated time.
+// On an engine-attached node, work is accrued lazily — replayed from the
+// last synchronization point whenever someone looks.
+func (t *Task) observe() {
+	if n := t.nodeRef(); n != nil {
+		n.observeNow()
+	}
+}
+
+// State returns the task state. State transitions happen eagerly (at
+// engine events or API calls), so no lazy synchronization is needed.
 func (t *Task) State() TaskState {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -65,6 +83,7 @@ func (t *Task) State() TaskState {
 
 // Progress returns completed work as a fraction in [0, 1].
 func (t *Task) Progress() float64 {
+	t.observe()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	p := t.done / t.Need
@@ -76,6 +95,7 @@ func (t *Task) Progress() float64 {
 
 // WallClock returns the accumulated execution time (Condor wall-clock).
 func (t *Task) WallClock() time.Duration {
+	t.observe()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return time.Duration(t.wall * float64(time.Second))
@@ -83,40 +103,47 @@ func (t *Task) WallClock() time.Duration {
 
 // CPUSeconds returns the completed CPU-seconds.
 func (t *Task) CPUSeconds() float64 {
+	t.observe()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.done
 }
 
-// Suspend pauses execution; progress and wall-clock stop accruing.
-func (t *Task) Suspend() {
+// setState flips the task state after synchronizing its node's accrual,
+// then re-derives the node's completion deadlines. from lists the states
+// the transition applies to.
+func (t *Task) setState(to TaskState, from ...TaskState) {
+	n := t.nodeRef()
+	if n != nil {
+		n.observeNow() // accrue through the present under the old state
+	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.state == TaskRunning {
-		t.state = TaskSuspended
+	changed := false
+	for _, f := range from {
+		if t.state == f {
+			t.state = to
+			changed = true
+			break
+		}
+	}
+	t.mu.Unlock()
+	if changed && n != nil {
+		n.rederive()
 	}
 }
+
+// Suspend pauses execution; progress and wall-clock stop accruing.
+func (t *Task) Suspend() { t.setState(TaskSuspended, TaskRunning) }
 
 // Resume continues a suspended task.
-func (t *Task) Resume() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.state == TaskSuspended {
-		t.state = TaskRunning
-	}
-}
+func (t *Task) Resume() { t.setState(TaskRunning, TaskSuspended) }
 
 // Kill terminates the task; it will never complete.
-func (t *Task) Kill() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.state == TaskRunning || t.state == TaskSuspended {
-		t.state = TaskKilled
-	}
-}
+func (t *Task) Kill() { t.setState(TaskKilled, TaskRunning, TaskSuspended) }
 
 // advance gives the task share×dt seconds of CPU and runFrac×dt seconds of
-// wall-clock; it reports whether the task just completed.
+// wall-clock; it reports whether the task just completed. This is the
+// legacy per-tick path, used only for nodes driven as plain actors.
 func (t *Task) advance(dt time.Duration, share, runFrac float64) bool {
 	t.mu.Lock()
 	if t.state != TaskRunning {
@@ -139,19 +166,39 @@ func (t *Task) advance(dt time.Duration, share, runFrac float64) bool {
 	return completed
 }
 
+// maxPredictTicks bounds a single deadline-prediction replay. Shares so
+// small that completion lies beyond the cap re-derive again at the cap
+// boundary, so pathological loads degrade to bounded chunks of work
+// rather than unbounded loops.
+const maxPredictTicks = 1 << 22
+
 // Node is a single CPU execution slot within a site. Mips scales its speed
 // relative to the reference processor; Load supplies the background
 // (non-Grid) utilization. Multiple tasks on one node share the remaining
 // capacity equally — Condor would normally run one job per slot, but the
 // fair-share model also covers oversubscription experiments.
+//
+// A node created through Site.AddNode is attached to the grid engine and
+// is event-driven: running tasks accrue work lazily (the per-tick
+// arithmetic is replayed, bit for bit, whenever state is observed or
+// changed) and task completions are scheduled as engine events — the
+// exact tick boundary is found analytically for constant background
+// loads, while time-varying loads fall back to per-tick wakeups, since
+// the load must be sampled at every boundary. A node driven as a plain
+// Actor (AddActor) keeps the legacy per-tick OnTick path.
 type Node struct {
 	Name string
 	Site string
 	Mips float64
 
-	mu    sync.Mutex
-	load  LoadFn
-	tasks []*Task
+	mu        sync.Mutex
+	load      LoadFn
+	loadVal   float64 // fixed load value when loadConst
+	loadConst bool
+	tasks     []*Task
+	eng       *Engine
+	wake      *Wake
+	lastSync  time.Time // last boundary through which accrual has been applied
 }
 
 // NewNode creates a node. A nil load means idle; mips<=0 defaults to 1.
@@ -162,17 +209,36 @@ func NewNode(name, site string, mips float64, load LoadFn) *Node {
 	if load == nil {
 		load = IdleLoad()
 	}
-	return &Node{Name: name, Site: site, Mips: mips, load: load}
+	n := &Node{Name: name, Site: site, Mips: mips, load: load}
+	n.loadVal, n.loadConst = constLoadValue(load)
+	return n
 }
 
-// SetLoad replaces the node's background load function.
-func (n *Node) SetLoad(load LoadFn) {
+// attach binds the node to an engine: accrual becomes lazy and
+// completions become scheduled deadline events.
+func (n *Node) attach(e *Engine) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.eng != nil {
+		panic("simgrid: node attached to an engine twice")
+	}
+	n.eng = e
+	n.lastSync = e.Now()
+	n.wake = e.Register(n.onWake)
+}
+
+// SetLoad replaces the node's background load function. Work accrued so
+// far is settled under the old load first.
+func (n *Node) SetLoad(load LoadFn) {
 	if load == nil {
 		load = IdleLoad()
 	}
+	n.observeNow()
+	n.mu.Lock()
 	n.load = load
+	n.loadVal, n.loadConst = constLoadValue(load)
+	n.rederiveLocked()
+	n.mu.Unlock()
 }
 
 // LoadAt reports the background load at time t.
@@ -184,20 +250,38 @@ func (n *Node) LoadAt(t time.Time) float64 {
 
 // Place starts a task on this node.
 func (n *Node) Place(t *Task) {
+	n.observeNow() // settle existing tasks before the share changes
+	t.mu.Lock()
+	t.node = n
+	t.mu.Unlock()
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.tasks = append(n.tasks, t)
+	n.rederiveLocked()
+	n.mu.Unlock()
 }
 
 // Remove detaches a task (completed, killed, or migrating) from the node.
 func (n *Node) Remove(t *Task) {
+	n.observeNow()
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	removed := false
 	for i, x := range n.tasks {
 		if x == t {
 			n.tasks = append(n.tasks[:i], n.tasks[i+1:]...)
-			return
+			removed = true
+			break
 		}
+	}
+	if removed {
+		n.rederiveLocked()
+	}
+	n.mu.Unlock()
+	if removed {
+		t.mu.Lock()
+		if t.node == n {
+			t.node = nil
+		}
+		t.mu.Unlock()
 	}
 }
 
@@ -231,11 +315,224 @@ func (n *Node) RunningCount() int {
 	return c
 }
 
-// OnTick advances every running task by one tick. The free capacity
-// (1-load)×Mips is divided equally among running tasks; each task's
-// wall-clock accrues at the fraction of the tick it actually executed.
+// observeNow replays accrual up to the engine's consistency horizon for
+// this node: mid-boundary, a node whose turn has not yet come reports
+// work as of the previous boundary, exactly as the legacy loop would.
+func (n *Node) observeNow() {
+	eng := n.eng
+	if eng == nil {
+		return
+	}
+	h := eng.horizonFor(n.wake.order)
+	n.mu.Lock()
+	n.syncLocked(h, true)
+	n.mu.Unlock()
+}
+
+// rederive recomputes the node's next wake after external state changes.
+func (n *Node) rederive() {
+	if n.eng == nil {
+		return
+	}
+	n.mu.Lock()
+	n.rederiveLocked()
+	n.mu.Unlock()
+}
+
+// onWake is the node's engine event: settle accrual through now (firing
+// completions due at this boundary), then schedule the next deadline.
+func (n *Node) onWake(now time.Time) {
+	n.mu.Lock()
+	fin := n.syncLocked(now, false)
+	n.rederiveLocked()
+	n.mu.Unlock()
+	for _, t := range fin {
+		t.mu.Lock()
+		cb := t.onDone
+		t.mu.Unlock()
+		if cb != nil {
+			cb(t)
+		}
+	}
+}
+
+// taskRun is a running task's accrual state copied out for replay.
+type taskRun struct {
+	t          *Task
+	done, wall float64
+}
+
+// syncLocked replays the per-tick accrual arithmetic for every boundary
+// in (lastSync, to] — computing exactly the floating-point sums the
+// legacy per-tick loop produced, so event-driven and tick-driven runs are
+// bit-for-bit identical — and returns the tasks that completed. In
+// observe mode the replay stops just short of the first boundary at which
+// a task would complete, leaving the completion (and its onDone callback)
+// to the node's own deadline event.
+func (n *Node) syncLocked(to time.Time, observe bool) []*Task {
+	if n.eng == nil || !to.After(n.lastSync) {
+		return nil
+	}
+	tick := n.eng.Tick()
+	sec := tick.Seconds()
+	var running []taskRun
+	for _, t := range n.tasks {
+		t.mu.Lock()
+		if t.state == TaskRunning {
+			running = append(running, taskRun{t: t, done: t.done, wall: t.wall})
+		}
+		t.mu.Unlock()
+	}
+	if len(running) == 0 {
+		n.lastSync = to
+		return nil
+	}
+	var finished []*Task
+	end := to
+loop:
+	for bt := n.lastSync.Add(tick); !bt.After(to); bt = bt.Add(tick) {
+		if len(running) == 0 {
+			break
+		}
+		load := n.loadVal
+		if !n.loadConst {
+			load = clamp01(n.load(bt))
+		} else if load >= 1 {
+			break // constant full load: nothing ever accrues
+		}
+		m := float64(len(running))
+		share := (1 - load) * n.Mips / m
+		runFrac := (1 - load) / m
+		if observe {
+			for i := range running {
+				if running[i].done+sec*share >= running[i].t.Need {
+					end = bt.Add(-tick)
+					break loop
+				}
+			}
+		}
+		for i := 0; i < len(running); i++ {
+			r := &running[i]
+			r.done += sec * share
+			r.wall += sec * runFrac
+			if r.done >= r.t.Need {
+				r.done = r.t.Need
+				finished = append(finished, r.t)
+				n.writeBackLocked(*r, true)
+				running = append(running[:i], running[i+1:]...)
+				i--
+			}
+		}
+	}
+	n.lastSync = end
+	for _, r := range running {
+		n.writeBackLocked(r, false)
+	}
+	for _, t := range finished {
+		for i, x := range n.tasks {
+			if x == t {
+				n.tasks = append(n.tasks[:i], n.tasks[i+1:]...)
+				break
+			}
+		}
+	}
+	return finished
+}
+
+// writeBackLocked stores a replayed accrual state into its task,
+// completing it when done.
+func (n *Node) writeBackLocked(r taskRun, completed bool) {
+	r.t.mu.Lock()
+	r.t.done = r.done
+	r.t.wall = r.wall
+	if completed {
+		r.t.state = TaskDone
+		r.t.node = nil
+	}
+	r.t.mu.Unlock()
+}
+
+// rederiveLocked recomputes the node's next wake: for constant loads, the
+// exact tick boundary of the earliest completion, found by replaying the
+// same floating-point sums the sync will perform; for time-varying loads,
+// the next boundary, since the load must be sampled every tick. Idle (or
+// fully loaded) nodes schedule nothing — this is what lets the event
+// driver skip their boundaries entirely.
+func (n *Node) rederiveLocked() {
+	if n.eng == nil {
+		return
+	}
+	count := 0
+	for _, t := range n.tasks {
+		t.mu.Lock()
+		if t.state == TaskRunning {
+			count++
+		}
+		t.mu.Unlock()
+	}
+	if count == 0 {
+		return
+	}
+	tick := n.eng.Tick()
+	if !n.loadConst {
+		n.wake.Request(n.lastSync.Add(tick))
+		return
+	}
+	if n.loadVal >= 1 {
+		return // no progress until the load or the task set changes
+	}
+	// Mirror syncLocked's expression order exactly (share first, then
+	// scaled by the tick): any other float association can drift an ulp
+	// and predict a boundary the accrual replay doesn't complete at.
+	share := (1 - n.loadVal) * n.Mips / float64(count)
+	step := tick.Seconds() * share
+	best := int64(maxPredictTicks)
+	for _, t := range n.tasks {
+		t.mu.Lock()
+		state, done, need := t.state, t.done, t.Need
+		t.mu.Unlock()
+		if state != TaskRunning {
+			continue
+		}
+		if k := ticksToComplete(done, need, step, best); k < best {
+			best = k
+		}
+	}
+	n.wake.Request(n.lastSync.Add(time.Duration(best) * tick))
+}
+
+// ticksToComplete replays done += step until done ≥ need, returning the
+// boundary count (capped at limit). The replay — rather than a division —
+// guarantees the predicted boundary matches the accrual sum bit for bit.
+func ticksToComplete(done, need, step float64, limit int64) int64 {
+	if step <= 0 {
+		return limit
+	}
+	var k int64
+	for done < need {
+		done += step
+		k++
+		if k >= limit {
+			return limit
+		}
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// OnTick advances every running task by one tick — the legacy fixed-tick
+// path for nodes driven as plain actors. Engine-attached nodes are
+// event-driven and ignore it. The free capacity (1-load)×Mips is divided
+// equally among running tasks; each task's wall-clock accrues at the
+// fraction of the tick it actually executed.
 func (n *Node) OnTick(now time.Time, dt time.Duration) {
 	n.mu.Lock()
+	if n.eng != nil {
+		n.mu.Unlock()
+		return
+	}
 	load := clamp01(n.load(now))
 	running := make([]*Task, 0, len(n.tasks))
 	for _, t := range n.tasks {

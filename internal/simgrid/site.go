@@ -23,14 +23,15 @@ func NewSite(name string) *Site {
 	return &Site{Name: name, storage: NewStorage(name)}
 }
 
-// AddNode creates a node inside this site and registers it with the engine
-// so it advances on every tick.
+// AddNode creates a node inside this site and attaches it to the engine:
+// the node is event-driven, accruing task work lazily and scheduling its
+// own completion deadlines, so idle nodes cost the simulation nothing.
 func (s *Site) AddNode(e *Engine, name string, mips float64, load LoadFn) *Node {
 	n := NewNode(name, s.Name, mips, load)
+	n.attach(e)
 	s.mu.Lock()
 	s.nodes = append(s.nodes, n)
 	s.mu.Unlock()
-	e.AddActor(n)
 	return n
 }
 

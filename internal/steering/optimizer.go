@@ -8,16 +8,10 @@ import (
 	"repro/internal/scheduler"
 )
 
-// OnTick drives the Optimizer and the Backup & Recovery module on the
-// service's poll interval.
-func (s *Service) OnTick(now time.Time, dt time.Duration) {
+// poll drives the Optimizer and the Backup & Recovery module; the
+// engine's Poller invokes it on the service's PollInterval cadence.
+func (s *Service) poll(now time.Time) {
 	s.mu.Lock()
-	s.elapsed += dt
-	if s.elapsed < s.PollInterval {
-		s.mu.Unlock()
-		return
-	}
-	s.elapsed = 0
 	tasks := make([]*watched, 0, len(s.tasks))
 	for _, w := range s.tasks {
 		tasks = append(tasks, w)

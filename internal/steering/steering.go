@@ -143,7 +143,6 @@ type Service struct {
 	tasks         map[TaskRef]*watched
 	notifications map[string][]Notification
 	execState     map[TaskRef][]simgrid.File
-	elapsed       time.Duration
 }
 
 // New creates a Steering Service, registers it with the grid engine, and
@@ -166,7 +165,7 @@ func New(cfg Config) *Service {
 		execState:           make(map[TaskRef][]simgrid.File),
 	}
 	cfg.Scheduler.SubscribePlans(s.ReceivePlan)
-	cfg.Grid.Engine.AddActor(s)
+	cfg.Grid.Engine.NewPoller(func() time.Duration { return s.PollInterval }, s.poll)
 	return s
 }
 

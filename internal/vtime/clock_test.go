@@ -247,3 +247,128 @@ func TestSimClockConcurrentAfter(t *testing.T) {
 		t.Fatalf("%d waiters still pending after advance", c.PendingWaiters())
 	}
 }
+
+// --- Large-jump coverage -----------------------------------------------------
+//
+// The discrete-event engine advances the clock in arbitrarily large jumps
+// (AdvanceTo straight to the next scheduled boundary), so a single
+// Advance may cross many waiter deadlines and many ticker periods at
+// once. These tests pin the contract that makes that safe: every waiter
+// fires exactly once, stamped with its own deadline, in timestamp order.
+
+func TestAfterWaitersUnderLargeAdvanceJump(t *testing.T) {
+	c := NewSimClock(time.Time{})
+	start := c.Now()
+	delays := []time.Duration{
+		7 * time.Second, 3 * time.Second, 3600 * time.Second, 59 * time.Second, 3 * time.Second,
+	}
+	chans := make([]<-chan time.Time, len(delays))
+	for i, d := range delays {
+		chans[i] = c.After(d)
+	}
+	// One advance crosses every deadline.
+	c.Advance(2 * time.Hour)
+	for i, ch := range chans {
+		select {
+		case got := <-ch:
+			if want := start.Add(delays[i]); !got.Equal(want) {
+				t.Errorf("waiter %d woke with timestamp %v, want its own deadline %v", i, got, want)
+			}
+		default:
+			t.Fatalf("waiter %d did not fire after the jump", i)
+		}
+		// Exactly once: the channel must now be empty.
+		select {
+		case extra := <-ch:
+			t.Fatalf("waiter %d fired twice (second value %v)", i, extra)
+		default:
+		}
+	}
+	if got := c.PendingWaiters(); got != 0 {
+		t.Fatalf("%d waiters left registered after the jump", got)
+	}
+}
+
+func TestWaitersAndTickersInterleavedAcrossJump(t *testing.T) {
+	c := NewSimClock(time.Time{})
+	start := c.Now()
+	late := c.After(25 * time.Second)
+	tk := c.NewTicker(10 * time.Second)
+	defer tk.Stop()
+	early := c.After(5 * time.Second)
+	// One jump crosses the early waiter, two ticker periods, and the late
+	// waiter. Each consumer observes its own deadline timestamp — proof
+	// the clock visited the deadlines in order rather than stamping
+	// everything with the jump target.
+	c.Advance(60 * time.Second)
+	if got := <-early; !got.Equal(start.Add(5 * time.Second)) {
+		t.Fatalf("early waiter stamped %v, want +5s", got)
+	}
+	if got := <-late; !got.Equal(start.Add(25 * time.Second)) {
+		t.Fatalf("late waiter stamped %v, want +25s", got)
+	}
+	if got := <-tk.C; !got.Equal(start.Add(10 * time.Second)) {
+		t.Fatalf("ticker stamped %v, want +10s (its first period)", got)
+	}
+}
+
+func TestTickerUnderLargeAdvanceJump(t *testing.T) {
+	c := NewSimClock(time.Time{})
+	start := c.Now()
+	tk := c.NewTicker(10 * time.Second)
+	defer tk.Stop()
+	// Crossing many periods in one advance delivers the first tick (the
+	// channel buffers one) and drops the rest — time.Ticker semantics —
+	// while the ticker's schedule stays aligned to its period.
+	c.Advance(95 * time.Second)
+	select {
+	case got := <-tk.C:
+		if want := start.Add(10 * time.Second); !got.Equal(want) {
+			t.Fatalf("first tick stamped %v, want %v", got, want)
+		}
+	default:
+		t.Fatal("no tick delivered across the jump")
+	}
+	select {
+	case extra := <-tk.C:
+		t.Fatalf("queued more than one tick across the jump (%v)", extra)
+	default:
+	}
+	// The next period lands on the grid (t=100s), not 95+10.
+	c.Advance(5 * time.Second)
+	select {
+	case got := <-tk.C:
+		if want := start.Add(100 * time.Second); !got.Equal(want) {
+			t.Fatalf("post-jump tick stamped %v, want %v (period-aligned)", got, want)
+		}
+	default:
+		t.Fatal("ticker missed its period-aligned tick after the jump")
+	}
+}
+
+func TestTickerConsumedAcrossJumpSeesEachPeriodOnce(t *testing.T) {
+	c := NewSimClock(time.Time{})
+	start := c.Now()
+	tk := c.NewTicker(time.Second)
+	defer tk.Stop()
+	var got []time.Time
+	// Consuming between single-period advances must observe every period
+	// exactly once, even when interleaved with one large jump.
+	for i := 0; i < 3; i++ {
+		c.Advance(time.Second)
+		got = append(got, <-tk.C)
+	}
+	c.Advance(10 * time.Second) // jump: delivers t=4s, drops 5..13
+	got = append(got, <-tk.C)
+	c.Advance(time.Second)
+	got = append(got, <-tk.C)
+	want := []time.Duration{1 * time.Second, 2 * time.Second, 3 * time.Second, 4 * time.Second, 14 * time.Second}
+	if len(got) != len(want) {
+		t.Fatalf("got %d ticks, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if w := start.Add(want[i]); !got[i].Equal(w) {
+			t.Fatalf("tick %d stamped %v, want %v", i, got[i], w)
+		}
+	}
+}
