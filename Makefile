@@ -18,7 +18,7 @@ bench:
 # One-iteration sweep parsed into the repo's perf-trajectory JSON
 # (ns/op, allocs/op, and b.ReportMetric custom metrics per benchmark).
 # Bump BENCH_OUT per PR so the trajectory accumulates.
-BENCH_OUT ?= BENCH_3.json
+BENCH_OUT ?= BENCH_4.json
 bench-json:
 	$(GO) run ./cmd/gae-benchjson -out $(BENCH_OUT)
 

@@ -456,6 +456,71 @@ func BenchmarkScenarioDenseBurst(b *testing.B) {
 	})
 }
 
+func BenchmarkScenarioNetworkContention(b *testing.B) {
+	// Staging storms on a shared backbone: four leaf sites push bursts of
+	// replicas through one hub, 12 flows per burst contending on few
+	// links, with background utilization swinging between bursts. Bursts
+	// are separated by long idle stretches, so the tick driver pays for
+	// every boundary while the event driver pays only for flow
+	// perturbations — the network-flow analogue of SparseLongHorizon.
+	const horizon = 200_000.0
+	scenarioDrivers(b, horizon, func(d simgrid.Driver) *simgrid.Engine {
+		g := simgrid.NewGrid(time.Second, 1)
+		g.Engine.SetDriver(d)
+		leaves := []string{"leaf0", "leaf1", "leaf2", "leaf3"}
+		hub := g.AddSite("hub")
+		for i, name := range leaves {
+			leaf := g.AddSite(name)
+			g.Network.Connect(name, "hub", simgrid.Link{BandwidthMBps: 25, Latency: 50 * time.Millisecond})
+			for f := 0; f < 3; f++ {
+				leaf.Storage().Put(fmt.Sprintf("d%d-%d", i, f), float64(200+50*f))
+			}
+		}
+		completed := 0
+		for burst := 0; burst < 20; burst++ {
+			at := time.Duration(burst) * 10_000 * time.Second
+			g.Engine.Schedule(at, func(time.Time) {
+				for i, name := range leaves {
+					src := g.Site(name).Storage()
+					for f := 0; f < 3; f++ {
+						if _, err := src.Replicate(g.Network, hub.Storage(), fmt.Sprintf("d%d-%d", i, f),
+							func() { completed++ }); err != nil {
+							b.Error(err)
+						}
+					}
+				}
+			})
+			// Background traffic shifts mid-burst and clears afterwards,
+			// re-deriving every in-flight deadline both times.
+			g.Engine.Schedule(at+20*time.Second, func(time.Time) {
+				for _, name := range leaves {
+					if err := g.Network.SetUtilization(name, "hub", 0.6); err != nil {
+						b.Error(err)
+					}
+				}
+			})
+			g.Engine.Schedule(at+400*time.Second, func(time.Time) {
+				for _, name := range leaves {
+					if err := g.Network.SetUtilization(name, "hub", 0); err != nil {
+						b.Error(err)
+					}
+				}
+			})
+			// Hub storage must be empty for the next burst to re-transfer.
+			g.Engine.Schedule(at+5_000*time.Second, func(time.Time) {
+				for _, f := range hub.Storage().List() {
+					hub.Storage().Delete(f.Name)
+				}
+			})
+		}
+		g.Engine.RunFor(time.Duration(horizon) * time.Second)
+		if completed != 20*len(leaves)*3 {
+			b.Fatalf("completed %d transfers, want %d", completed, 20*len(leaves)*3)
+		}
+		return g.Engine
+	})
+}
+
 // --- Ablation: history size → estimator accuracy (learning curve) ---------
 
 func BenchmarkAblationHistorySize(b *testing.B) {

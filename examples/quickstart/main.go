@@ -102,6 +102,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("moving a 500 MB dataset caltech→nust would take %.0fs at %.1f MB/s\n",
-		est.Seconds, est.BandwidthMBps)
+	fmt.Printf("moving a 500 MB dataset caltech→nust would take %.0fs at %.1f MB/s (+%.2fs latency)\n",
+		est.Seconds, est.BandwidthMBps, est.LatencySeconds)
 }

@@ -190,7 +190,11 @@ func (e estimatorAPI) EstimateTransfer(_ context.Context, src, dst string, sizeM
 	if err != nil {
 		return gae.TransferEstimate{}, err
 	}
-	return gae.TransferEstimate{Seconds: est.Seconds, BandwidthMBps: est.BandwidthMBps}, nil
+	return gae.TransferEstimate{
+		Seconds:        est.Seconds,
+		BandwidthMBps:  est.BandwidthMBps,
+		LatencySeconds: est.LatencySeconds,
+	}, nil
 }
 
 // quotaAPI exposes the Quota and Accounting Service.

@@ -477,6 +477,68 @@ func TestTransferEstimator(t *testing.T) {
 	}
 }
 
+// TestTransferEstimatorLatencyAccuracy is the regression test for the
+// latency bias: dividing file size by a latency-inclusive iperf figure
+// amortized the latency proportionally to size, badly mispricing small
+// files on long links. With the latency-excluded steady-state probe plus
+// a one-shot latency term, the estimate for a 1 MB file on a 500 ms link
+// matches the actual TransferDuration exactly (the old formula predicted
+// ~0.16s for the actual 0.6s).
+func TestTransferEstimatorLatencyAccuracy(t *testing.T) {
+	g := simgrid.NewGrid(time.Second, 1)
+	g.Network.Connect("a", "b", simgrid.Link{BandwidthMBps: 10, Latency: 500 * time.Millisecond})
+	te := &TransferEstimator{Network: g.Network}
+	est, err := te.Estimate("a", "b", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual, err := g.Network.TransferDuration("a", "b", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Seconds-actual.Seconds()) > 1e-9 {
+		t.Fatalf("estimate %vs vs actual %vs for a latency-dominated file", est.Seconds, actual.Seconds())
+	}
+	if math.Abs(est.BandwidthMBps-10) > 1e-9 || math.Abs(est.LatencySeconds-0.5) > 1e-9 {
+		t.Fatalf("estimate components = %+v, want steady 10 MB/s + 0.5s latency", est)
+	}
+	// The one-shot term must not scale with size: a 100x larger file pays
+	// the same 0.5s, not 100x it.
+	big, err := te.Estimate("a", "b", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(big.Seconds-(0.5+10)) > 1e-9 {
+		t.Fatalf("large-file estimate = %v, want 10.5s", big.Seconds)
+	}
+}
+
+// TestTransferEstimatorSeesContention: in-flight transfers on the link
+// shrink the probe's steady-state share, so estimates track what the
+// network is actually doing.
+func TestTransferEstimatorSeesContention(t *testing.T) {
+	g := simgrid.NewGrid(time.Second, 1)
+	g.Network.Connect("a", "b", simgrid.Link{BandwidthMBps: 10})
+	te := &TransferEstimator{Network: g.Network}
+	idle, err := te.Estimate("a", "b", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Network.StartTransfer("a", "b", 500, nil); err != nil {
+		t.Fatal(err)
+	}
+	busy, err := te.Estimate("a", "b", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(idle.Seconds-10) > 1e-9 || math.Abs(busy.Seconds-20) > 1e-9 {
+		t.Fatalf("estimates idle=%v busy=%v, want 10s and 20s", idle.Seconds, busy.Seconds)
+	}
+	if math.Abs(busy.BandwidthMBps-5) > 1e-9 {
+		t.Fatalf("contended bandwidth = %v, want 5", busy.BandwidthMBps)
+	}
+}
+
 // Property: the mean estimator's prediction lies within [min, max] of the
 // similar runtimes.
 func TestQuickMeanWithinBounds(t *testing.T) {

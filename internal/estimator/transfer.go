@@ -10,22 +10,34 @@ import (
 // estimator: "we first determine the bandwidth between the client and the
 // Clarens server using iperf, and then using this bandwidth and the file
 // size, we calculate the transfer time."
+//
+// The probe runs at call time against the simulated fabric, so both
+// background utilization and concurrent flows on the link are reflected
+// in the estimate. The link's one-way latency is charged exactly once on
+// top of the latency-excluded steady-state bandwidth: dividing size by a
+// latency-inclusive iperf figure would scale the latency penalty with
+// file size, mispricing small files on long links in both directions.
 type TransferEstimator struct {
 	Network *simgrid.Network
 	// ProbeMB is the iperf probe payload (default 8 MB).
 	ProbeMB float64
 }
 
-// TransferEstimate is a prediction with the measured bandwidth that
-// produced it.
+// TransferEstimate is a prediction with the measurement that produced it.
 type TransferEstimate struct {
-	Seconds       float64
+	Seconds float64
+	// BandwidthMBps is the latency-excluded steady-state share the probe
+	// measured — what a new flow on the link would sustain right now,
+	// current contention included.
 	BandwidthMBps float64
+	// LatencySeconds is the one-shot latency term included in Seconds.
+	LatencySeconds float64
 }
 
-// Estimate predicts how long sizeMB takes from src to dst. The bandwidth
-// is measured at call time (an iperf run), so background utilization on
-// the link is reflected in the estimate.
+// Estimate predicts how long sizeMB takes from src to dst as
+// latency + size/bandwidth, with the bandwidth measured at call time (an
+// iperf run), so background utilization and in-flight transfers on the
+// link are reflected in the estimate.
 func (t *TransferEstimator) Estimate(src, dst string, sizeMB float64) (TransferEstimate, error) {
 	if t.Network == nil {
 		return TransferEstimate{}, fmt.Errorf("estimator: transfer estimator has no network")
@@ -33,12 +45,16 @@ func (t *TransferEstimator) Estimate(src, dst string, sizeMB float64) (TransferE
 	if sizeMB < 0 {
 		return TransferEstimate{}, fmt.Errorf("estimator: negative file size %v", sizeMB)
 	}
-	bw, err := t.Network.MeasureBandwidth(src, dst, t.ProbeMB)
+	p, err := t.Network.Probe(src, dst, t.ProbeMB)
 	if err != nil {
 		return TransferEstimate{}, fmt.Errorf("estimator: bandwidth probe: %w", err)
 	}
-	if bw <= 0 {
-		return TransferEstimate{}, fmt.Errorf("estimator: measured non-positive bandwidth %v", bw)
+	if p.SteadyStateMBps <= 0 {
+		return TransferEstimate{}, fmt.Errorf("estimator: measured non-positive bandwidth %v", p.SteadyStateMBps)
 	}
-	return TransferEstimate{Seconds: sizeMB / bw, BandwidthMBps: bw}, nil
+	return TransferEstimate{
+		Seconds:        p.Latency.Seconds() + sizeMB/p.SteadyStateMBps,
+		BandwidthMBps:  p.SteadyStateMBps,
+		LatencySeconds: p.Latency.Seconds(),
+	}, nil
 }

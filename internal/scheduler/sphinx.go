@@ -581,11 +581,14 @@ func inputMB(t TaskPlan) float64 {
 }
 
 // stageAndSubmit replicates missing inputs to the chosen site and submits
-// the job once every transfer lands.
+// the job once every transfer lands. Transfers for one task run as
+// concurrent network flows, so inputs staged over a shared link contend
+// with each other (and with everything else in flight) for bandwidth.
 func (s *Scheduler) stageAndSubmit(cp *ConcretePlan, t TaskPlan, est SiteEstimate, cpuDone float64) error {
 	site := est.Site
 	dst := s.grid.Site(site)
 	pending := 0
+	aborted := false
 	var mu sync.Mutex
 	submit := func() {
 		if err := s.submitTask(cp, t, est, cpuDone); err != nil {
@@ -595,11 +598,19 @@ func (s *Scheduler) stageAndSubmit(cp *ConcretePlan, t TaskPlan, est SiteEstimat
 	done := func() {
 		mu.Lock()
 		pending--
-		ready := pending == 0
+		// A later input in the loop may have failed to stage after this
+		// transfer was already in flight; the task was marked failed then,
+		// and the surviving transfers must not resurrect it by submitting.
+		ready := pending == 0 && !aborted
 		mu.Unlock()
 		if ready {
 			submit()
 		}
+	}
+	abort := func() {
+		mu.Lock()
+		aborted = true
+		mu.Unlock()
 	}
 	for _, f := range t.Inputs {
 		if dst != nil {
@@ -609,6 +620,7 @@ func (s *Scheduler) stageAndSubmit(cp *ConcretePlan, t TaskPlan, est SiteEstimat
 		}
 		srcSite, size, err := s.resolveInput(f, site)
 		if err != nil {
+			abort()
 			return fmt.Errorf("scheduler: staging %q to %s: %w", f.Name, site, err)
 		}
 		if srcSite == site {
@@ -620,9 +632,6 @@ func (s *Scheduler) stageAndSubmit(cp *ConcretePlan, t TaskPlan, est SiteEstimat
 			}
 		}
 		fName, fSize := f.Name, size
-		mu.Lock()
-		pending++
-		mu.Unlock()
 		if _, err := s.grid.Network.StartTransfer(srcSite, site, size, func(time.Duration) {
 			if dst != nil {
 				_ = dst.Storage().Put(fName, fSize)
@@ -632,11 +641,18 @@ func (s *Scheduler) stageAndSubmit(cp *ConcretePlan, t TaskPlan, est SiteEstimat
 			}
 			done()
 		}); err != nil {
+			abort()
 			return fmt.Errorf("scheduler: staging %q to %s: %w", f.Name, site, err)
 		}
+		// Counted only once the transfer is actually in flight (callbacks
+		// cannot fire before simulated time advances, so this cannot race
+		// the transfer completing).
+		mu.Lock()
+		pending++
+		mu.Unlock()
 	}
 	mu.Lock()
-	none := pending == 0
+	none := pending == 0 && !aborted
 	mu.Unlock()
 	if none {
 		submit()

@@ -2,6 +2,7 @@ package simgrid
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -10,33 +11,144 @@ import (
 type Link struct {
 	BandwidthMBps float64       // sustained payload bandwidth, MB/s
 	Latency       time.Duration // one-way latency
-	// Utilization in [0,1) models background traffic eating into the
-	// available bandwidth; the effective rate is Bandwidth×(1-Utilization).
+	// Utilization in [0, MaxUtilization] models background traffic eating
+	// into the available bandwidth; the effective rate is
+	// Bandwidth×(1−Utilization). Connect and SetUtilization clamp into
+	// that range, so background traffic can squeeze a link down to a
+	// sliver but never produce a permanently unusable ("saturated") one.
 	Utilization float64
 }
 
-// EffectiveMBps returns the bandwidth available to a new transfer.
+// MaxUtilization is the ceiling background utilization is clamped to at
+// Connect and SetUtilization: a link always retains at least 0.1% of its
+// bandwidth for grid transfers. Values at or above 1 used to create links
+// on which every transfer failed "saturated"; clamping makes the boundary
+// a slow link instead of a broken one.
+const MaxUtilization = 0.999
+
+func clampUtil(u float64) float64 {
+	if u < 0 {
+		return 0
+	}
+	if u > MaxUtilization {
+		return MaxUtilization
+	}
+	return u
+}
+
+// EffectiveMBps returns the bandwidth left after background utilization —
+// what a solo transfer on the link would sustain.
 func (l Link) EffectiveMBps() float64 {
-	u := clamp01(l.Utilization)
-	return l.BandwidthMBps * (1 - u)
+	return l.BandwidthMBps * (1 - clampUtil(l.Utilization))
+}
+
+// Flow is one in-flight transfer on a link. Flows are first-class: each
+// tracks its remaining payload and its current rate (the link's effective
+// bandwidth split equally among concurrent flows), and its completion is
+// an analytically derived deadline event on the engine queue. On any
+// perturbation — a flow starting or finishing on the link, a background
+// utilization change, a link replacement — every flow on the link is
+// settled (progress accrued at the old rate through the present) and its
+// rate and deadline re-derived, the same settle-and-re-derive pattern
+// Node uses for CPU shares.
+type Flow struct {
+	From, To string
+	SizeMB   float64
+
+	// All mutable state below is guarded by the owning Network's mu.
+	n          *Network
+	seq        int64
+	started    time.Time
+	lastSettle time.Time
+	remaining  float64 // MB of payload left at lastSettle
+	rate       float64 // current per-flow share, MB/s; 0 once drained
+	// drainedAt is the instant the payload finished draining (found at
+	// the first settle past it); zero while payload remains. A drained
+	// flow no longer occupies link share, and its deadline — drain
+	// instant plus one-way latency — is frozen: later perturbations on
+	// the link cannot postpone a transfer whose bytes are already sent.
+	drainedAt time.Time
+	deadline  time.Time // analytic completion instant under the current rate
+	finished  bool
+	done      func(elapsed time.Duration)
+}
+
+// Remaining reports the MB of payload left right now, without perturbing
+// the flow (reads never settle, so both engine drivers perform identical
+// float arithmetic).
+func (f *Flow) Remaining() float64 {
+	f.n.mu.Lock()
+	defer f.n.mu.Unlock()
+	if f.finished {
+		return 0
+	}
+	rem := f.remaining - f.rate*f.n.engine.Now().Sub(f.lastSettle).Seconds()
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+// Deadline reports the flow's current analytic completion instant. It
+// moves whenever the link is perturbed: later when new flows squeeze the
+// share, earlier when contention or background load clears.
+func (f *Flow) Deadline() time.Time {
+	f.n.mu.Lock()
+	defer f.n.mu.Unlock()
+	return f.deadline
+}
+
+// Finished reports whether the flow has completed.
+func (f *Flow) Finished() bool {
+	f.n.mu.Lock()
+	defer f.n.mu.Unlock()
+	return f.finished
 }
 
 // Network is the grid's site-to-site fabric. Links are symmetric; a
 // transfer between unlinked sites fails, and intra-site copies complete in
 // one tick at local-disk speed.
+//
+// Transfers are modeled as flows under processor-sharing: N concurrent
+// undrained flows on a link each receive 1/N of its effective bandwidth,
+// and every rate change settles progress and re-derives each affected
+// flow's completion-deadline event. A flow whose payload has drained
+// stops occupying the link (its remaining latency tail moves no bytes)
+// and its completion freezes at drain + latency; drains are discovered
+// at the next perturbation or completion event on the link, so between
+// events the survivors ride at their last derived rate — the quantized
+// compromise that keeps both engine drivers on identical traces.
 type Network struct {
 	engine *Engine
+	wake   *Wake
 
-	mu    sync.Mutex
-	links map[[2]string]Link
+	mu      sync.Mutex
+	links   map[[2]string]Link
+	flows   map[[2]string][]*Flow
+	linkMin map[[2]string]time.Time // earliest flow deadline per link
+	seq     int64
 }
 
 // LocalCopyMBps approximates same-site staging speed (local disk/LAN).
 const LocalCopyMBps = 400.0
 
-// NewNetwork creates an empty fabric bound to the engine's timer queue.
+// maxFlowSeconds caps a single analytic deadline horizon (~31 years of
+// simulated time) so that near-zero rates cannot overflow the duration
+// arithmetic; the wake at the cap boundary simply re-derives.
+const maxFlowSeconds = 1e9
+
+// NewNetwork creates an empty fabric bound to the engine. The network
+// registers one engine component whose wake carries every flow's
+// completion deadline.
 func NewNetwork(e *Engine) *Network {
-	return &Network{engine: e, links: make(map[[2]string]Link)}
+	n := &Network{
+		engine:  e,
+		links:   make(map[[2]string]Link),
+		flows:   make(map[[2]string][]*Flow),
+		linkMin: make(map[[2]string]time.Time),
+	}
+	n.wake = e.Register(n.onWake)
+	return n
 }
 
 func linkKey(a, b string) [2]string {
@@ -47,6 +159,9 @@ func linkKey(a, b string) [2]string {
 }
 
 // Connect installs (or replaces) the symmetric link between sites a and b.
+// Utilization is clamped into [0, MaxUtilization]. Replacing a link that
+// carries active flows settles them under the old parameters and
+// re-derives their rates and deadlines under the new ones.
 func (n *Network) Connect(a, b string, link Link) {
 	if a == b {
 		panic("simgrid: cannot link a site to itself")
@@ -54,9 +169,15 @@ func (n *Network) Connect(a, b string, link Link) {
 	if link.BandwidthMBps <= 0 {
 		panic("simgrid: link needs positive bandwidth")
 	}
+	link.Utilization = clampUtil(link.Utilization)
+	now := n.engine.Now()
+	k := linkKey(a, b)
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.links[linkKey(a, b)] = link
+	n.settleLinkLocked(k, now)
+	n.links[k] = link
+	n.rederiveLinkLocked(k)
+	n.requestWakeLocked()
+	n.mu.Unlock()
 }
 
 // LinkBetween returns the link between two sites.
@@ -67,8 +188,12 @@ func (n *Network) LinkBetween(a, b string) (Link, bool) {
 	return l, ok
 }
 
-// SetUtilization adjusts background traffic on an existing link.
+// SetUtilization adjusts background traffic on an existing link, clamped
+// into [0, MaxUtilization]. In-flight flows are settled at the current
+// sim time under their old rate, then their rates and completion
+// deadlines are re-derived under the new effective bandwidth.
 func (n *Network) SetUtilization(a, b string, u float64) error {
+	now := n.engine.Now()
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	k := linkKey(a, b)
@@ -76,13 +201,34 @@ func (n *Network) SetUtilization(a, b string, u float64) error {
 	if !ok {
 		return fmt.Errorf("simgrid: no link %s—%s", a, b)
 	}
-	l.Utilization = clamp01(u)
+	n.settleLinkLocked(k, now)
+	l.Utilization = clampUtil(u)
 	n.links[k] = l
+	n.rederiveLinkLocked(k)
+	n.requestWakeLocked()
 	return nil
 }
 
-// TransferDuration computes how long moving sizeMB from site a to site b
-// takes under current conditions. Same-site transfers use local-copy
+// ActiveFlows reports how many transfers currently occupy bandwidth on
+// the link between a and b (flows riding out their latency tail with the
+// payload already drained are not counted).
+func (n *Network) ActiveFlows(a, b string) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	active := 0
+	for _, f := range n.flows[linkKey(a, b)] {
+		if f.drainedAt.IsZero() {
+			active++
+		}
+	}
+	return active
+}
+
+// TransferDuration quotes how long moving sizeMB from site a to site b
+// would take as a solo flow under current background utilization —
+// concurrent flows are not counted. It is a quote, not a promise: actual
+// completion is governed by the flow model and responds to contention and
+// utilization changes mid-flight. Same-site transfers use local-copy
 // speed.
 func (n *Network) TransferDuration(a, b string, sizeMB float64) (time.Duration, error) {
 	if sizeMB < 0 {
@@ -95,45 +241,254 @@ func (n *Network) TransferDuration(a, b string, sizeMB float64) (time.Duration, 
 	if !ok {
 		return 0, fmt.Errorf("simgrid: no link %s—%s", a, b)
 	}
-	rate := l.EffectiveMBps()
-	if rate <= 0 {
-		return 0, fmt.Errorf("simgrid: link %s—%s saturated", a, b)
-	}
-	return l.Latency + secs(sizeMB/rate), nil
+	// Connect enforces positive bandwidth and clamps utilization below 1,
+	// so the effective rate is always positive.
+	return l.Latency + secs(sizeMB/l.EffectiveMBps()), nil
 }
 
-// StartTransfer begins an asynchronous transfer and invokes done (with the
-// elapsed duration) when it completes in simulated time. The returned
-// duration is the planned transfer time.
+// StartTransfer begins an asynchronous transfer and invokes done (with
+// the actually elapsed duration) when it completes in simulated time. The
+// returned duration is the solo-flow quote at start time; under
+// contention or utilization changes the actual transfer takes longer (or
+// shorter) and done observes the difference.
 func (n *Network) StartTransfer(a, b string, sizeMB float64, done func(elapsed time.Duration)) (time.Duration, error) {
-	d, err := n.TransferDuration(a, b, sizeMB)
-	if err != nil {
-		return 0, err
-	}
-	if done != nil {
-		n.engine.Schedule(d, func(time.Time) { done(d) })
-	}
-	return d, nil
+	_, quote, err := n.StartFlow(a, b, sizeMB, done)
+	return quote, err
 }
 
-// MeasureBandwidth performs an iperf-style probe between two sites: it
-// times a probe payload and reports the observed MB/s (latency included,
-// exactly as a real iperf TCP test would observe). The paper's
-// file-transfer-time estimator "first determine[s] the bandwidth between
-// the client and the Clarens server using iperf" — this is that
-// measurement against the simulated fabric.
-func (n *Network) MeasureBandwidth(a, b string, probeMB float64) (float64, error) {
+// StartFlow begins an asynchronous transfer and returns its Flow handle
+// alongside the solo-flow quote. Same-site copies contend with nothing
+// and stay plain engine timers; their handle is nil.
+func (n *Network) StartFlow(a, b string, sizeMB float64, done func(elapsed time.Duration)) (*Flow, time.Duration, error) {
+	quote, err := n.TransferDuration(a, b, sizeMB)
+	if err != nil {
+		return nil, 0, err
+	}
+	if a == b {
+		if done != nil {
+			n.engine.Schedule(quote, func(time.Time) { done(quote) })
+		}
+		return nil, quote, nil
+	}
+	now := n.engine.Now()
+	k := linkKey(a, b)
+	n.mu.Lock()
+	n.settleLinkLocked(k, now)
+	n.seq++
+	f := &Flow{
+		From: a, To: b, SizeMB: sizeMB,
+		n: n, seq: n.seq,
+		started: now, lastSettle: now, remaining: sizeMB, done: done,
+	}
+	if sizeMB == 0 {
+		// Nothing to drain: the flow is all latency tail from the start
+		// and never occupies link share.
+		l := n.links[k]
+		f.drainedAt = now
+		f.deadline = now.Add(l.Latency)
+	}
+	n.flows[k] = append(n.flows[k], f)
+	n.rederiveLinkLocked(k)
+	n.requestWakeLocked()
+	n.mu.Unlock()
+	return f, quote, nil
+}
+
+// settleLinkLocked accrues every undrained flow on link k through t at
+// its current rate. A flow whose payload finishes draining inside the
+// settled interval is marked drained at the exact drain instant: its
+// deadline freezes at drain + latency and its share is released (the
+// next rederive excludes it from the divisor). Rates are
+// piecewise-constant between perturbations, so settling exactly at
+// perturbation and deadline instants loses nothing; settles at other
+// instants are avoided (reads are pure) so both engine drivers perform
+// the identical float arithmetic.
+func (n *Network) settleLinkLocked(k [2]string, t time.Time) {
+	l := n.links[k]
+	for _, f := range n.flows[k] {
+		if !f.drainedAt.IsZero() {
+			continue
+		}
+		dt := t.Sub(f.lastSettle)
+		if dt <= 0 {
+			continue
+		}
+		sec := dt.Seconds()
+		if f.rate > 0 && f.remaining <= f.rate*sec {
+			f.drainedAt = f.lastSettle.Add(secs(f.remaining / f.rate))
+			f.deadline = f.drainedAt.Add(l.Latency)
+			f.remaining = 0
+			f.rate = 0
+		} else {
+			f.remaining -= f.rate * sec
+		}
+		f.lastSettle = t
+	}
+}
+
+// rederiveLinkLocked recomputes the equal-share rate for link k's
+// undrained flows and each one's analytic completion deadline — the
+// instant its remaining payload drains at the new rate, plus the link's
+// one-way latency — then refreshes the link's cached earliest deadline.
+// Drained flows keep their frozen deadlines and take no share.
+func (n *Network) rederiveLinkLocked(k [2]string) {
+	fs := n.flows[k]
+	if len(fs) == 0 {
+		delete(n.flows, k)
+		delete(n.linkMin, k)
+		return
+	}
+	l := n.links[k]
+	active := 0
+	for _, f := range fs {
+		if f.drainedAt.IsZero() {
+			active++
+		}
+	}
+	var rate float64
+	if active > 0 {
+		rate = l.EffectiveMBps() / float64(active)
+	}
+	var min time.Time
+	for _, f := range fs {
+		if f.drainedAt.IsZero() {
+			f.rate = rate
+			drain := maxFlowSeconds
+			if rate > 0 {
+				if s := f.remaining / rate; s < drain {
+					drain = s
+				}
+			}
+			f.deadline = f.lastSettle.Add(secs(drain) + l.Latency)
+		}
+		if min.IsZero() || f.deadline.Before(min) {
+			min = f.deadline
+		}
+	}
+	n.linkMin[k] = min
+}
+
+// requestWakeLocked points the network's wake at the earliest pending
+// deadline across all links. Requests coalesce earliest-first in the
+// engine, so a deadline that moved later leaves a stale earlier request
+// behind; the wake fires there, finds nothing due, and simply
+// re-requests — exactly how Node handles deadlines that move.
+func (n *Network) requestWakeLocked() {
+	var min time.Time
+	for _, m := range n.linkMin {
+		if min.IsZero() || m.Before(min) {
+			min = m
+		}
+	}
+	if !min.IsZero() {
+		n.wake.Request(min)
+	}
+}
+
+// onWake is the network's engine event: visit every link whose earliest
+// deadline has arrived, settle it, retire the flows whose drained
+// payload has ridden out its latency tail, re-derive the survivors'
+// rates and deadlines (a completion is a perturbation — the freed share
+// speeds the rest up), and re-arm the wake. A flow whose deadline was
+// capped (near-zero rate) settles and re-derives without completing.
+// Done callbacks fire after all link state is consistent, in flow-start
+// order.
+func (n *Network) onWake(now time.Time) {
+	n.mu.Lock()
+	var completed []*Flow
+	for k, m := range n.linkMin {
+		if m.After(now) {
+			continue
+		}
+		// One perturbation per link even when several flows finish at the
+		// same boundary: settle everyone, drop the finished, re-derive.
+		n.settleLinkLocked(k, now)
+		fs := n.flows[k]
+		keep := fs[:0]
+		for _, f := range fs {
+			if !f.drainedAt.IsZero() && !f.deadline.After(now) {
+				f.finished = true
+				completed = append(completed, f)
+			} else {
+				keep = append(keep, f)
+			}
+		}
+		n.flows[k] = keep
+		n.rederiveLinkLocked(k)
+	}
+	n.requestWakeLocked()
+	n.mu.Unlock()
+	sort.Slice(completed, func(i, j int) bool { return completed[i].seq < completed[j].seq })
+	for _, f := range completed {
+		if f.done != nil {
+			f.done(now.Sub(f.started))
+		}
+	}
+}
+
+// BandwidthProbe is the result of an iperf-style measurement between two
+// sites against the simulated fabric.
+type BandwidthProbe struct {
+	// SteadyStateMBps is the payload rate a new flow would receive right
+	// now: the link's effective bandwidth shared with the flows already in
+	// flight (the probe counts itself). Latency excluded.
+	SteadyStateMBps float64
+	// Latency is the link's one-way latency, reported separately so
+	// estimators can charge it once instead of amortizing it into the
+	// bandwidth.
+	Latency time.Duration
+	// ObservedMBps is the classic iperf figure for the probe payload —
+	// probe size over total elapsed time, latency included — which
+	// understates steady-state bandwidth on latency-dominated paths.
+	ObservedMBps float64
+}
+
+// Probe performs an iperf-style bandwidth measurement between two sites.
+// The paper's file-transfer-time estimator "first determine[s] the
+// bandwidth between the client and the Clarens server using iperf" — this
+// is that measurement. The probe observes current contention: concurrent
+// flows on the link shrink the share it reports, exactly as a real iperf
+// run through a busy pipe would.
+func (n *Network) Probe(a, b string, probeMB float64) (BandwidthProbe, error) {
 	if probeMB <= 0 {
 		probeMB = 8 // default probe: 8 MB, ~iperf's default 10-second window
 	}
-	d, err := n.TransferDuration(a, b, probeMB)
+	if a == b {
+		return BandwidthProbe{SteadyStateMBps: LocalCopyMBps, ObservedMBps: LocalCopyMBps}, nil
+	}
+	n.mu.Lock()
+	k := linkKey(a, b)
+	l, ok := n.links[k]
+	active := 0
+	for _, f := range n.flows[k] {
+		if f.drainedAt.IsZero() {
+			active++
+		}
+	}
+	n.mu.Unlock()
+	if !ok {
+		return BandwidthProbe{}, fmt.Errorf("simgrid: no link %s—%s", a, b)
+	}
+	// Positive by construction: Connect enforces positive bandwidth and
+	// utilization is clamped below 1.
+	steady := l.EffectiveMBps() / float64(active+1)
+	elapsed := l.Latency.Seconds() + probeMB/steady
+	return BandwidthProbe{
+		SteadyStateMBps: steady,
+		Latency:         l.Latency,
+		ObservedMBps:    probeMB / elapsed,
+	}, nil
+}
+
+// MeasureBandwidth performs an iperf-style probe and reports the observed
+// MB/s with latency included, exactly as a real iperf TCP test would
+// observe. Use Probe for the latency-excluded steady-state rate.
+func (n *Network) MeasureBandwidth(a, b string, probeMB float64) (float64, error) {
+	p, err := n.Probe(a, b, probeMB)
 	if err != nil {
 		return 0, err
 	}
-	if d <= 0 {
-		return LocalCopyMBps, nil
-	}
-	return probeMB / d.Seconds(), nil
+	return p.ObservedMBps, nil
 }
 
 func secs(s float64) time.Duration {

@@ -85,14 +85,24 @@ func (s *Storage) UsedMB() float64 {
 
 // Replicate copies a file from this storage element to dst over the
 // network. The file appears at dst when the simulated transfer completes;
-// done (optional) fires at that moment. The planned transfer duration is
-// returned immediately.
+// done (optional) fires at that moment. The returned duration is the
+// solo-flow quote at start time; the replication runs as a network flow,
+// so concurrent transfers on the same link and mid-flight utilization
+// changes stretch (or shrink) the actual completion.
 func (s *Storage) Replicate(n *Network, dst *Storage, name string, done func()) (time.Duration, error) {
+	_, d, err := s.ReplicateFlow(n, dst, name, done)
+	return d, err
+}
+
+// ReplicateFlow is Replicate with the underlying network Flow handle
+// exposed, so callers can observe remaining payload and the moving
+// completion deadline. Same-site copies return a nil handle.
+func (s *Storage) ReplicateFlow(n *Network, dst *Storage, name string, done func()) (*Flow, time.Duration, error) {
 	f, ok := s.Get(name)
 	if !ok {
-		return 0, fmt.Errorf("simgrid: %s has no file %q", s.Site, name)
+		return nil, 0, fmt.Errorf("simgrid: %s has no file %q", s.Site, name)
 	}
-	return n.StartTransfer(s.Site, dst.Site, f.SizeMB, func(time.Duration) {
+	return n.StartFlow(s.Site, dst.Site, f.SizeMB, func(time.Duration) {
 		dst.mu.Lock()
 		dst.files[f.Name] = f
 		dst.mu.Unlock()

@@ -135,10 +135,14 @@ type QueueEstimate struct {
 	TasksAhead int     `xmlrpc:"tasks_ahead"`
 }
 
-// TransferEstimate predicts a data movement between sites.
+// TransferEstimate predicts a data movement between sites:
+// Seconds = LatencySeconds + size/BandwidthMBps, where BandwidthMBps is
+// the latency-excluded steady-state share the probe measured (current
+// link contention included) and the one-way latency is charged once.
 type TransferEstimate struct {
-	Seconds       float64 `xmlrpc:"seconds"`
-	BandwidthMBps float64 `xmlrpc:"bandwidth_mbps"`
+	Seconds        float64 `xmlrpc:"seconds"`
+	BandwidthMBps  float64 `xmlrpc:"bandwidth_mbps"`
+	LatencySeconds float64 `xmlrpc:"latency_seconds,omitempty"`
 }
 
 // CostQuote prices a prospective usage at the cheapest candidate site.
