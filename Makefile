@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race bench bench-json bench-smoke sim fmt vet
+.PHONY: build test test-race bench bench-json bench-smoke load-smoke sim fmt vet
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ bench:
 # One-iteration sweep parsed into the repo's perf-trajectory JSON
 # (ns/op, allocs/op, and b.ReportMetric custom metrics per benchmark).
 # Bump BENCH_OUT per PR so the trajectory accumulates.
-BENCH_OUT ?= BENCH_4.json
+BENCH_OUT ?= BENCH_5.json
 bench-json:
 	$(GO) run ./cmd/gae-benchjson -out $(BENCH_OUT)
 
@@ -26,6 +26,11 @@ bench-json:
 # end (tick and event drivers) without the full sweep.
 bench-smoke:
 	$(GO) test -run xxx -bench Scenario -benchtime 1x .
+
+# Closed-loop serving smoke: the gae-loadgen mixed workload against an
+# embedded durable deployment — exits non-zero if any operation fails.
+load-smoke:
+	$(GO) run ./cmd/gae-loadgen -clients 4 -ops 32 -data "$$(mktemp -d)" -json -
 
 # Replay a fairness scenario; override with e.g.
 #   make sim SCENARIO=bursty-tenant SIMFLAGS=-fairshare=false

@@ -24,8 +24,11 @@ import (
 	"repro/internal/clarens"
 	"repro/internal/classad"
 	"repro/internal/condor"
+	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/estimator"
 	"repro/internal/experiments"
+	"repro/internal/loadgen"
 	"repro/internal/monalisa"
 	"repro/internal/quota"
 	"repro/internal/replica"
@@ -33,6 +36,7 @@ import (
 	"repro/internal/simgrid"
 	"repro/internal/workload"
 	"repro/internal/xmlrpc"
+	"repro/pkg/gae"
 )
 
 // --- Figure 5: runtime-estimator accuracy -------------------------------
@@ -646,6 +650,76 @@ func BenchmarkAblationCheckpointing(b *testing.B) {
 			}
 			b.ReportMetric(steered, "steered_s")
 		})
+	}
+}
+
+// --- Serving: closed-loop RPC throughput and latency ------------------------
+//
+// BenchmarkServing runs the gae-loadgen workload (submit / monitor /
+// steer / state / weather) against one deployment in the four serving
+// configurations the durability work introduces: local vs XML-RPC
+// transport crossed with in-memory vs durable (journaling) state. Each
+// variant reports closed-loop rps and p50/p95/p99 operation latency, so
+// BENCH_5.json records both the wire cost and the journaling cost.
+
+func BenchmarkServing(b *testing.B) {
+	for _, transport := range []string{"local", "xmlrpc"} {
+		for _, store := range []string{"memory", "durable"} {
+			b.Run("transport="+transport+"/store="+store, func(b *testing.B) {
+				ctx := context.Background()
+				g := core.New(core.Config{
+					Seed: 11,
+					Sites: []core.SiteSpec{
+						{Name: "siteA", Nodes: 4, Load: simgrid.IdleLoad(), CostPerCPUSecond: 0.05},
+						{Name: "siteB", Nodes: 4, Load: simgrid.ConstantLoad(0.3), CostPerCPUSecond: 0.02},
+					},
+					Links: []core.LinkSpec{{A: "siteA", B: "siteB", MBps: 10, LatencyMS: 50}},
+					Users: []core.UserSpec{{Name: "alice", Password: "pw", Credits: 1e9, Admin: true}},
+				})
+				if store == "durable" {
+					s, err := durable.Open(b.TempDir())
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer s.Close()
+					if err := g.AttachStore(s); err != nil {
+						b.Fatal(err)
+					}
+				}
+				dial := func(context.Context, int) (*gae.Client, error) {
+					return g.Client("alice"), nil
+				}
+				if transport == "xmlrpc" {
+					url, err := g.Start("127.0.0.1:0")
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer g.Stop()
+					dial = func(ctx context.Context, _ int) (*gae.Client, error) {
+						return gae.Dial(ctx, url, gae.WithCredentials("alice", "pw"))
+					}
+				}
+				var res loadgen.Result
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r, err := loadgen.Run(ctx, loadgen.Config{
+						Clients: 4, Ops: 32, Seed: int64(i) + 1,
+						Prefix: fmt.Sprintf("bench%d", i),
+					}, dial)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if r.Errors > 0 {
+						b.Fatalf("%d of %d operations failed: %+v", r.Errors, r.Ops, r.ByOp)
+					}
+					res = r
+				}
+				b.ReportMetric(res.RPS, "rps")
+				b.ReportMetric(res.P50Millis, "p50_ms")
+				b.ReportMetric(res.P95Millis, "p95_ms")
+				b.ReportMetric(res.P99Millis, "p99_ms")
+			})
+		}
 	}
 }
 

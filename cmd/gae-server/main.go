@@ -6,14 +6,21 @@
 // The simulated grid advances in real time (one simulated second per
 // wall-clock second) unless -accel is given.
 //
+// With -data the server is crash-recoverable: state is restored from the
+// directory's snapshot plus journal at start, every mutating RPC is
+// journaled before it is acknowledged, checkpoints run periodically, and
+// SIGINT/SIGTERM triggers a graceful drain — in-flight calls finish, a
+// final checkpoint lands, and the process exits 0.
+//
 // Example:
 //
-//	gae-server -addr :8080 \
+//	gae-server -addr :8080 -data /var/lib/gae \
 //	  -sites caltech:4:0.2:0.05,nust:2:0.0:0.01 \
 //	  -links caltech-nust:10:50 \
 //	  -users alice:secret:1000
 //
-// then point gae-submit / gae-steer at http://localhost:8080.
+// then point gae-submit / gae-steer / gae-loadgen at
+// http://localhost:8080.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -41,11 +49,12 @@ func main() {
 			"comma-separated user specs name:password:credits (first user is admin)")
 		accel = flag.Int("accel", 1, "simulated seconds per wall-clock second")
 		seed  = flag.Int64("seed", 2005, "simulation random seed")
+		data  = flag.String("data", "",
+			"durable state directory (empty = in-memory only)")
+		checkpoint = flag.Duration("checkpoint", time.Minute,
+			"wall-clock period between checkpoints when -data is set")
 	)
 	flag.Parse()
-	if *accel < 1 {
-		*accel = 1
-	}
 
 	cfg := core.Config{Seed: *seed}
 	var err error
@@ -59,30 +68,32 @@ func main() {
 		log.Fatalf("gae-server: %v", err)
 	}
 	g := core.New(cfg)
-	url, err := g.Start(*addr)
+	srv, err := NewServer(g, *data)
+	if err != nil {
+		log.Fatalf("gae-server: %v", err)
+	}
+	srv.Accel = *accel
+	srv.CheckpointEvery = *checkpoint
+	srv.Logf = log.Printf
+	url, err := srv.Start(*addr)
 	if err != nil {
 		log.Fatalf("gae-server: %v", err)
 	}
 	log.Printf("Clarens host listening at %s", url)
 	log.Printf("sites: %s", strings.Join(g.Sites(), ", "))
-	log.Printf("services: jobmon, steering, estimator, quota, scheduler")
+	log.Printf("services: jobmon, steering, estimator, quota, scheduler, replica, monitor, state")
+	if *data != "" {
+		log.Printf("durable state in %s (simulated time %v)", *data, g.Now().Format(time.RFC3339))
+	}
 
-	// Drive the simulation: *accel simulated seconds per real second.
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
-	ticker := time.NewTicker(time.Second)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-ticker.C:
-			g.Run(time.Duration(*accel) * time.Second)
-		case <-stop:
-			log.Printf("shutting down (simulated time reached %v)", g.Now().Format(time.RFC3339))
-			if err := g.Stop(); err != nil {
-				log.Printf("stop: %v", err)
-			}
-			return
-		}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		srv.Shutdown()
+	}()
+	if err := srv.Run(); err != nil {
+		log.Fatalf("gae-server: %v", err)
 	}
 }
 

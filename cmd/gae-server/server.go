@@ -1,0 +1,121 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/durable"
+)
+
+// Server runs a GAE deployment as a long-lived service: it recovers
+// state from a durable data directory at start, drives the simulation in
+// real time, checkpoints periodically, and shuts down gracefully —
+// drain the Clarens endpoint, take a final checkpoint, release the
+// store — when Shutdown is called (the signal handler's hook).
+type Server struct {
+	G *core.GAE
+
+	// Accel is simulated seconds advanced per wall-clock second.
+	Accel int
+	// CheckpointEvery is the wall-clock period between checkpoints
+	// (0 disables periodic checkpoints; the final one still runs).
+	CheckpointEvery time.Duration
+	// Logf receives progress lines (nil silences them).
+	Logf func(format string, args ...any)
+
+	store    *durable.Store
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewServer builds a server around g. A non-empty dataDir opens (or
+// creates) the durable store there and recovers its contents into g
+// before any traffic is served; an empty dataDir runs in-memory.
+func NewServer(g *core.GAE, dataDir string) (*Server, error) {
+	s := &Server{G: g, Accel: 1, stop: make(chan struct{})}
+	if dataDir == "" {
+		return s, nil
+	}
+	store, err := durable.Open(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	if warn := store.ScanWarning(); warn != nil {
+		s.logf("journal recovered to last valid record: %v", warn)
+	}
+	if err := g.AttachStore(store); err != nil {
+		store.Close()
+		return nil, fmt.Errorf("recovering %s: %w", dataDir, err)
+	}
+	s.store = store
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Start serves the Clarens endpoint on addr and returns its base URL.
+func (s *Server) Start(addr string) (string, error) {
+	return s.G.Start(addr)
+}
+
+// Run drives the simulation until Shutdown, then drains: the Clarens
+// endpoint stops accepting calls and finishes in-flight ones, a final
+// checkpoint captures the drained state, and the store is released.
+// It returns nil on a clean shutdown.
+func (s *Server) Run() error {
+	accel := s.Accel
+	if accel < 1 {
+		accel = 1
+	}
+	advance := time.NewTicker(time.Second)
+	defer advance.Stop()
+	var checkpoint <-chan time.Time
+	if s.store != nil && s.CheckpointEvery > 0 {
+		t := time.NewTicker(s.CheckpointEvery)
+		defer t.Stop()
+		checkpoint = t.C
+	}
+	for {
+		select {
+		case <-advance.C:
+			s.G.Run(time.Duration(accel) * time.Second)
+		case <-checkpoint:
+			if err := s.G.Checkpoint(); err != nil {
+				return fmt.Errorf("checkpoint: %w", err)
+			}
+			s.logf("checkpoint at simulated %v", s.G.Now().Format(time.RFC3339))
+		case <-s.stop:
+			return s.drain()
+		}
+	}
+}
+
+// Shutdown asks Run to exit gracefully. Safe to call more than once and
+// from any goroutine — it is the SIGINT/SIGTERM hook.
+func (s *Server) Shutdown() {
+	s.stopOnce.Do(func() { close(s.stop) })
+}
+
+func (s *Server) drain() error {
+	s.logf("draining (simulated time %v)", s.G.Now().Format(time.RFC3339))
+	if err := s.G.Stop(); err != nil {
+		return fmt.Errorf("stopping endpoint: %w", err)
+	}
+	if s.store == nil {
+		return nil
+	}
+	if err := s.G.Checkpoint(); err != nil {
+		return fmt.Errorf("final checkpoint: %w", err)
+	}
+	if err := s.store.Close(); err != nil {
+		return fmt.Errorf("closing store: %w", err)
+	}
+	s.logf("state checkpointed; goodbye")
+	return nil
+}

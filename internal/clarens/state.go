@@ -6,6 +6,8 @@ import (
 	"os"
 	"sort"
 	"sync"
+
+	"repro/internal/durable"
 )
 
 // StateStore holds per-user analysis-session state. The GAE's services
@@ -82,7 +84,9 @@ func (s *StateStore) Keys(user string) []string {
 	return out
 }
 
-// Save persists the store as JSON.
+// Save persists the store as JSON with crash-safe replacement (write-temp
+// + fsync + atomic rename): a crash mid-save leaves the previous file
+// intact, never a torn one.
 func (s *StateStore) Save(path string) error {
 	s.mu.RLock()
 	data, err := json.MarshalIndent(s.data, "", "  ")
@@ -90,7 +94,40 @@ func (s *StateStore) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("clarens: encoding state: %w", err)
 	}
-	return os.WriteFile(path, data, 0o600)
+	return durable.WriteFileAtomic(path, data, 0o600)
+}
+
+// Export copies the full user→key→value contents for the durable snapshot
+// codec (nil when empty, so an empty store round-trips canonically).
+func (s *StateStore) Export() map[string]map[string]string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.data) == 0 {
+		return nil
+	}
+	out := make(map[string]map[string]string, len(s.data))
+	for user, m := range s.data {
+		um := make(map[string]string, len(m))
+		for k, v := range m {
+			um[k] = v
+		}
+		out[user] = um
+	}
+	return out
+}
+
+// Restore replaces the store contents with an exported copy.
+func (s *StateStore) Restore(data map[string]map[string]string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = make(map[string]map[string]string, len(data))
+	for user, m := range data {
+		um := make(map[string]string, len(m))
+		for k, v := range m {
+			um[k] = v
+		}
+		s.data[user] = um
+	}
 }
 
 // Load replaces the store contents from a file written by Save.

@@ -1,0 +1,65 @@
+package clarens
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStateStoreSaveAtomicReplace pins the crash-safety contract of Save:
+// the destination only ever holds a complete document. A crash mid-save
+// leaves a torn temp file beside an intact previous save, never a torn
+// destination — and the next successful Save replaces wholesale.
+func TestStateStoreSaveAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+
+	s := NewStateStore()
+	s.Set("alice", "dataset", "run2005A")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash between temp-write and rename leaves exactly this on disk:
+	// a half-written temp next to the previous save.
+	torn := filepath.Join(dir, ".state.json.tmp-1234")
+	if err := os.WriteFile(torn, []byte(`{"alice":{"data`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewStateStore()
+	if err := fresh.Load(path); err != nil {
+		t.Fatalf("previous save unreadable with torn temp present: %v", err)
+	}
+	if v, ok := fresh.Get("alice", "dataset"); !ok || v != "run2005A" {
+		t.Fatalf("recovered %q, %v", v, ok)
+	}
+
+	// The next save replaces the document wholesale — deletions are not
+	// resurrected from the old file.
+	s.Delete("alice", "dataset")
+	s.Set("alice", "cuts", "pt>20")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	after := NewStateStore()
+	if err := after.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := after.Get("alice", "dataset"); ok {
+		t.Fatal("deleted key resurrected by save")
+	}
+	if v, _ := after.Get("alice", "cuts"); v != "pt>20" {
+		t.Fatalf("replacement save lost data: %q", v)
+	}
+
+	// Successful saves leave no temp litter of their own.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "state.json" && e.Name() != filepath.Base(torn) {
+			t.Fatalf("unexpected file after save: %s", e.Name())
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package classad
+
+import "testing"
+
+func TestParseAdRoundTrip(t *testing.T) {
+	a := New().
+		Set("Owner", "alice").
+		Set("Cmd", "reco.sh").
+		Set("RequestCpus", 2).
+		Set("ImageSize", 123.5).
+		Set("Checkpointable", true).
+		Set("Tags", []string{"cms", "higgs"})
+	if err := a.SetExpr("Requirements", `TARGET.Arch == "X86_64" && TARGET.Memory >= 1024`); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetExpr("Rank", "TARGET.Mips / 1000.0"); err != nil {
+		t.Fatal(err)
+	}
+
+	text := a.String()
+	b, err := ParseAd(text)
+	if err != nil {
+		t.Fatalf("ParseAd(%q): %v", text, err)
+	}
+	if got := b.String(); got != text {
+		t.Fatalf("round trip mismatch:\n got %s\nwant %s", got, text)
+	}
+	// Literal-vs-expression fidelity: Owner must still be a string literal
+	// (index builders depend on LiteralString), Requirements an expression.
+	if s, ok := b.LiteralString("Owner"); !ok || s != "alice" {
+		t.Fatalf("Owner literal lost: %q %v", s, ok)
+	}
+	if _, ok := b.LiteralString("Requirements"); ok {
+		t.Fatal("Requirements should remain an expression")
+	}
+	// Matching semantics survive: the parsed ad matches the same machine.
+	machine := New().Set("Arch", "X86_64").Set("Memory", 2048).Set("Mips", 2500)
+	if !Match(b, machine) {
+		t.Fatal("parsed ad no longer matches")
+	}
+	// Double round trip is a fixed point.
+	c, err := ParseAd(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.String() != text {
+		t.Fatal("second round trip diverged")
+	}
+}
+
+func TestParseAdStringsWithSeparators(t *testing.T) {
+	a := New().
+		Set("Note", `semi; colon " and = signs`).
+		Set("Path", "/a/b//c")
+	b, err := ParseAd(a.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := b.LiteralString("Note"); got != `semi; colon " and = signs` {
+		t.Fatalf("Note = %q", got)
+	}
+	if got, _ := b.LiteralString("Path"); got != "/a/b//c" {
+		t.Fatalf("Path = %q", got)
+	}
+}
+
+func TestParseAdEmpty(t *testing.T) {
+	b, err := ParseAd("[]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("len = %d", b.Len())
+	}
+}
+
+func TestParseAdRejectsMalformed(t *testing.T) {
+	for _, src := range []string{
+		"", "no brackets", "[a]", "[= 1]", "[a = ]", "[1a = 2]",
+		`[a = "unterminated]`,
+	} {
+		if _, err := ParseAd(src); err == nil {
+			t.Errorf("ParseAd(%q) should fail", src)
+		}
+	}
+}

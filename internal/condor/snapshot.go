@@ -1,0 +1,180 @@
+package condor
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/classad"
+	"repro/internal/durable"
+	"repro/internal/simgrid"
+)
+
+// Export serializes the pool's queue for the durable snapshot codec:
+// every job ever submitted (terminal jobs keep their accounting record),
+// the ID allocator, and — for jobs occupying a machine — the claim as a
+// lease expiring leaseTTL from now. The live pool is the lease authority,
+// so an export always stamps its claims fresh; a snapshot that sits on
+// disk longer than leaseTTL of simulated time therefore recovers with its
+// leases expired and its running jobs requeued.
+func (p *Pool) Export(leaseTTL time.Duration) durable.PoolState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.grid.Engine.Now()
+	ids := make([]int, 0, len(p.jobs))
+	for id := range p.jobs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	st := durable.PoolState{Name: p.Name, NextID: p.nextID}
+	for _, id := range ids {
+		j := p.jobs[id]
+		js := durable.JobState{
+			ID:             j.id,
+			Ad:             j.ad.String(),
+			Status:         int(j.status),
+			Priority:       j.priority,
+			Owner:          j.owner,
+			SubmitTime:     j.submitTime,
+			StartTime:      j.startTime,
+			CompletionTime: j.completionTime,
+			CPUSeconds:     p.cpuSecondsLocked(j),
+		}
+		if j.node != nil {
+			js.Node = j.node.Name
+		}
+		if j.claimed != nil && (j.status == StatusRunning || j.status == StatusSuspended) {
+			js.LeaseExpires = now.Add(leaseTTL)
+		}
+		st.Jobs = append(st.Jobs, js)
+	}
+	return st
+}
+
+// Restore rebuilds the queue from an exported state. It must run on an
+// empty pool whose machines are already advertised, with the engine
+// standing at the snapshot's capture instant.
+//
+// Lease reconciliation: a job whose lease is still live and whose machine
+// still exists is re-bound to that machine and continues with its
+// remaining work; an expired or unresolvable lease requeues the job idle
+// — keeping its completed CPU-seconds only if the ad declares it
+// checkpointable, since requeueing is a migration in all but name.
+//
+// Restore emits no events and reports nothing to the fair-share sink:
+// listeners learn state by asking, and pre-crash usage is restored
+// through the fair-share snapshot, not re-accrued.
+func (p *Pool) Restore(st durable.PoolState) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.jobs) != 0 {
+		return fmt.Errorf("condor: restore into non-empty pool %s", p.Name)
+	}
+	now := p.grid.Engine.Now()
+	p.nextID = st.NextID
+	for _, js := range st.Jobs {
+		ad, err := classad.ParseAd(js.Ad)
+		if err != nil {
+			return fmt.Errorf("condor: restoring job %d: %w", js.ID, err)
+		}
+		j := &job{
+			id:             js.ID,
+			ad:             ad,
+			status:         Status(js.Status),
+			priority:       js.Priority,
+			owner:          js.Owner,
+			submitTime:     js.SubmitTime,
+			startTime:      js.StartTime,
+			completionTime: js.CompletionTime,
+			cpuBase:        js.CPUSeconds,
+		}
+		j.failAfter = ad.Float(AttrFailAfter, 0)
+		j.matcher = classad.NewMatcher(ad)
+		j.reqArch, _ = ad.ReqStringConstraint("Arch")
+		j.reqOpSys, _ = ad.ReqStringConstraint("OpSys")
+		p.jobs[j.id] = j
+
+		if j.status.Terminal() {
+			// Terminal jobs keep their node name for the monitoring view
+			// but hold no claim.
+			j.node = p.nodeByNameLocked(js.Node)
+			continue
+		}
+		p.active = append(p.active, j.id)
+
+		if j.status == StatusRunning || j.status == StatusSuspended {
+			m := p.machineByNameLocked(js.Node)
+			leaseLive := !js.LeaseExpires.IsZero() && js.LeaseExpires.After(now)
+			if m == nil || !leaseLive || m.freeIdx < 0 {
+				p.requeueRestoredLocked(j)
+				continue
+			}
+			p.rebindLocked(j, m, now)
+			continue
+		}
+		// Idle: nothing held; cpuBase is whatever the capture carried
+		// (checkpointed submissions), which cpuSecondsLocked re-exports.
+	}
+	p.requestWake()
+	return nil
+}
+
+// requeueRestoredLocked turns a restored running/suspended job back into
+// an idle one: its lease died with the crash. Non-checkpointable work is
+// lost, exactly as it would be on a migration.
+func (p *Pool) requeueRestoredLocked(j *job) {
+	if !j.ad.Bool(AttrCheckpoint, false) {
+		j.cpuBase = 0
+	}
+	j.status = StatusIdle
+	j.node = nil
+}
+
+// rebindLocked re-places a restored job on its leased machine: the task
+// restarts with the remaining work, the claim is re-taken, and the status
+// is reinstated without events or fair-share start observation.
+func (p *Pool) rebindLocked(j *job, m *machine, now time.Time) {
+	remaining := j.ad.Float(AttrCpuSeconds, 0) - j.cpuBase
+	if remaining <= 0 {
+		// The capture raced completion; the next harvest would have
+		// finished it, so finish it here.
+		j.completionTime = now
+		j.status = StatusCompleted
+		p.produceOutputLocked(j)
+		return
+	}
+	p.claimMachine(m)
+	j.claimed = m
+	j.task = simgrid.NewTask(fmt.Sprintf("%s-%d", p.Name, j.id), remaining, func(*simgrid.Task) {
+		p.mu.Lock()
+		p.releaseClaimLocked(j)
+		p.mu.Unlock()
+		p.requestWake()
+	})
+	j.node = m.node
+	m.node.Place(j.task)
+	if j.status == StatusSuspended {
+		j.task.Suspend()
+	}
+}
+
+// machineByNameLocked resolves an advertised machine by node name.
+func (p *Pool) machineByNameLocked(name string) *machine {
+	if name == "" {
+		return nil
+	}
+	for _, m := range p.machines {
+		if m.node.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// nodeByNameLocked resolves a node for display-only restoration.
+func (p *Pool) nodeByNameLocked(name string) *simgrid.Node {
+	if m := p.machineByNameLocked(name); m != nil {
+		return m.node
+	}
+	return nil
+}

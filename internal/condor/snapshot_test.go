@@ -1,0 +1,149 @@
+package condor
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+const testTTL = 10 * time.Minute
+
+// restoredPool builds a second grid/pool with the same machine layout as
+// testPool and advances its engine to the donor's capture instant — the
+// state a crash-recovered process presents before Restore runs.
+func restoredPool(t *testing.T, nodes int, at time.Duration) *Pool {
+	t.Helper()
+	g2, p2 := testPool(t, nodes)
+	g2.Engine.RunFor(at)
+	return p2
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	g, p := testPool(t, 2)
+	running := mustSubmit(t, p, jobAd("alice", 300, 0))
+	mustSubmit(t, p, jobAd("bob", 200, 3))
+	queued := mustSubmit(t, p, jobAd("carol", 100, 0)) // 2 nodes: third job waits
+	g.Engine.RunFor(30 * time.Second)
+
+	st := p.Export(testTTL)
+	if len(st.Jobs) != 3 {
+		t.Fatalf("exported %d jobs, want 3", len(st.Jobs))
+	}
+
+	p2 := restoredPool(t, 2, 30*time.Second)
+	if err := p2.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	// A re-export at the same instant is indistinguishable from the
+	// original capture — the codec round-trips losslessly.
+	if st2 := p2.Export(testTTL); !reflect.DeepEqual(st, st2) {
+		t.Fatalf("round-trip diverged:\n got %+v\nwant %+v", st2, st)
+	}
+	if got := mustJob(t, p2, running); got.Status != StatusRunning || got.Node == "" {
+		t.Fatalf("restored running job = %+v", got)
+	}
+	if got := mustJob(t, p2, queued); got.Status != StatusIdle {
+		t.Fatalf("restored queued job = %+v", got)
+	}
+}
+
+func TestRestoreLiveLeaseResumesWork(t *testing.T) {
+	g, p := testPool(t, 1)
+	id := mustSubmit(t, p, jobAd("alice", 100, 0))
+	g.Engine.RunFor(40 * time.Second)
+	st := p.Export(testTTL)
+
+	p2 := restoredPool(t, 1, 40*time.Second)
+	if err := p2.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	info := mustJob(t, p2, id)
+	if info.Status != StatusRunning {
+		t.Fatalf("status = %v, want running", info.Status)
+	}
+	if info.CPUSeconds < 35 {
+		t.Fatalf("CPU accrual lost across restore: %v", info.CPUSeconds)
+	}
+	// Only the remaining ~60s of work is left, not a fresh 100.
+	p2.grid.Engine.RunFor(70 * time.Second)
+	if got := mustJob(t, p2, id); got.Status != StatusCompleted {
+		t.Fatalf("restored job did not finish remaining work: %+v", got)
+	}
+}
+
+func TestRestoreExpiredLeaseRequeues(t *testing.T) {
+	g, p := testPool(t, 2)
+	plain := mustSubmit(t, p, jobAd("alice", 500, 0))
+	ckpt := mustSubmit(t, p, jobAd("bob", 500, 0).Set(AttrCheckpoint, true))
+	g.Engine.RunFor(60 * time.Second)
+	st := p.Export(testTTL)
+
+	// The snapshot sat on disk past the lease TTL: recovery happens
+	// after every lease has expired.
+	p2 := restoredPool(t, 2, 60*time.Second+testTTL+time.Second)
+	for _, js := range st.Jobs {
+		if js.LeaseExpires.After(p2.grid.Engine.Now()) {
+			t.Fatalf("job %d lease still live at restore instant", js.ID)
+		}
+	}
+	if err := p2.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	st2 := p2.Export(testTTL)
+	byID := make(map[int]int)
+	for i, js := range st2.Jobs {
+		byID[js.ID] = i
+	}
+	// Both jobs requeued idle; only the checkpointable one keeps its
+	// accrued CPU-seconds — requeueing is a migration in all but name.
+	if js := st2.Jobs[byID[plain]]; Status(js.Status) != StatusIdle || js.CPUSeconds != 0 {
+		t.Fatalf("non-checkpointable job after expired lease = %+v", js)
+	}
+	if js := st2.Jobs[byID[ckpt]]; Status(js.Status) != StatusIdle || js.CPUSeconds < 55 {
+		t.Fatalf("checkpointable job after expired lease = %+v", js)
+	}
+	// The pool is healthy: the requeued jobs negotiate back onto machines.
+	p2.grid.Engine.Step()
+	if got := mustJob(t, p2, plain); got.Status != StatusRunning {
+		t.Fatalf("requeued job did not re-match: %+v", got)
+	}
+}
+
+func TestRestoreMissingMachineRequeues(t *testing.T) {
+	g, p := testPool(t, 2)
+	a := mustSubmit(t, p, jobAd("alice", 300, 0))
+	b := mustSubmit(t, p, jobAd("bob", 300, 0))
+	g.Engine.RunFor(10 * time.Second)
+	st := p.Export(testTTL)
+
+	// The recovered deployment lost a node: one lease names a machine
+	// that no longer exists and must requeue even though it is live.
+	p2 := restoredPool(t, 1, 10*time.Second)
+	if err := p2.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	ia, ib := mustJob(t, p2, a), mustJob(t, p2, b)
+	var running, idle int
+	for _, info := range []JobInfo{ia, ib} {
+		switch info.Status {
+		case StatusRunning:
+			running++
+		case StatusIdle:
+			idle++
+		}
+	}
+	if running != 1 || idle != 1 {
+		t.Fatalf("after losing a node: %v / %v (want one rebound, one requeued)",
+			ia.Status, ib.Status)
+	}
+}
+
+func TestRestoreIntoNonEmptyPoolFails(t *testing.T) {
+	g, p := testPool(t, 1)
+	mustSubmit(t, p, jobAd("alice", 10, 0))
+	st := p.Export(testTTL)
+	_ = g
+	if err := p.Restore(st); err == nil {
+		t.Fatal("restore into non-empty pool accepted")
+	}
+}

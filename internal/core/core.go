@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/clarens"
 	"repro/internal/condor"
+	"repro/internal/durable"
 	"repro/internal/estimator"
 	"repro/internal/fairshare"
 	"repro/internal/jobmon"
@@ -79,6 +80,12 @@ type Config struct {
 	// HostName names the Clarens host (default "gae").
 	HostName string
 
+	// LeaseTTL bounds how long a durable snapshot may re-bind a running
+	// job to its claimed machine on recovery (default DefaultLeaseTTL).
+	// A snapshot older than this — in simulated time — recovers with its
+	// claims expired and the affected jobs requeued.
+	LeaseTTL time.Duration
+
 	// FairShare, when non-nil, enables time-aware fair-share arbitration:
 	// every pool orders idle jobs by effective priority, the scheduler
 	// breaks site-selection ties by fair-share standing, and the transfer
@@ -106,6 +113,15 @@ type GAE struct {
 
 	planMu sync.Mutex
 	plans  map[string]*scheduler.ConcretePlan
+
+	// persistMu is the durability barrier: journaled RPCs hold it shared
+	// across apply+append, Checkpoint holds it exclusively across
+	// capture+snapshot, so no acknowledged mutation can straddle a
+	// checkpoint (applied before the capture but journaled after it —
+	// which replay would then apply twice).
+	persistMu sync.RWMutex
+	store     *durable.Store
+	leaseTTL  time.Duration
 }
 
 // New builds a deployment from cfg. It panics on structural errors
@@ -128,6 +144,7 @@ func New(cfg Config) *GAE {
 		Quota:    q,
 		pools:    make(map[string]*condor.Pool),
 		plans:    make(map[string]*scheduler.ConcretePlan),
+		leaseTTL: cfg.LeaseTTL,
 	}
 
 	// Sites, nodes, pools.

@@ -1,0 +1,501 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/scheduler"
+	"repro/internal/steering"
+	"repro/pkg/gae"
+)
+
+// This file makes a GAE deployment crash-recoverable. The durable layer
+// has two halves:
+//
+//   - Checkpoint serializes every piece of mutable deployment state —
+//     pool queues and claims, fair-share accounts, the quota ledger, the
+//     replica catalog, submitted plans, steering preference, and the
+//     per-user analysis-session state — into one versioned snapshot,
+//     then truncates the RPC journal it supersedes.
+//
+//   - Between checkpoints, every mutating RPC on either transport (the
+//     local client and the Clarens XML-RPC endpoint share one service
+//     binding) is appended to the journal after it succeeds and before
+//     it is acknowledged: an acknowledged call is a recoverable call.
+//
+// AttachStore runs recovery: restore the snapshot (advancing the
+// simulation engine to the capture instant), then re-apply the journal
+// tail through the same service layer the live calls used — each op at
+// its recorded simulated time, as the original user. Leases reconcile in
+// the pools: a running job whose machine claim outlived the crash
+// continues with its remaining work; an expired claim requeues the job.
+
+// DefaultLeaseTTL is the machine-claim lease horizon stamped into
+// snapshots when Config.LeaseTTL is unset.
+const DefaultLeaseTTL = 10 * time.Minute
+
+// Journal argument payloads — one stable JSON shape per mutating method.
+// Replay decodes exactly what the journaling wrappers encoded.
+type (
+	opSubmit   struct{ Spec gae.PlanSpec }
+	opTaskRef  struct{ Plan, Task string }
+	opMove     struct{ Plan, Task, Site string }
+	opPriority struct {
+		Plan, Task string
+		Priority   int
+	}
+	opPreference struct{ Preference string }
+	opStateSet   struct{ Key, Value string }
+	opStateKey   struct{ Key string }
+	opReplica    struct {
+		Dataset, Site string
+		SizeMB        float64
+	}
+	opGrant struct {
+		User    string
+		Credits float64
+	}
+)
+
+// AttachStore binds a durable store to the deployment. The store's
+// recovered contents are applied first — snapshot restore, then journal
+// tail replay — and every subsequent mutating RPC is journaled. Attach at
+// most once, before serving traffic.
+func (g *GAE) AttachStore(s *durable.Store) error {
+	snap, tail := s.Recovery()
+	if snap != nil {
+		if err := g.RestoreState(snap.SimTime, &snap.State); err != nil {
+			return fmt.Errorf("core: restoring snapshot: %w", err)
+		}
+	}
+	for _, op := range tail {
+		if err := g.ApplyOp(op); err != nil {
+			return fmt.Errorf("core: replaying journal op %d (%s.%s): %w", op.Seq, op.Service, op.Method, err)
+		}
+	}
+	g.persistMu.Lock()
+	g.store = s
+	g.persistMu.Unlock()
+	return nil
+}
+
+// Store returns the attached durable store (nil for an in-memory
+// deployment).
+func (g *GAE) Store() *durable.Store {
+	g.persistMu.RLock()
+	defer g.persistMu.RUnlock()
+	return g.store
+}
+
+// Checkpoint captures the full deployment state into the store's
+// snapshot and truncates the journal it supersedes. It takes the
+// durability barrier exclusively, so no journaled RPC is in flight while
+// the state is read. Without an attached store it does nothing.
+func (g *GAE) Checkpoint() error {
+	g.persistMu.Lock()
+	defer g.persistMu.Unlock()
+	if g.store == nil {
+		return nil
+	}
+	st, err := g.captureStateLocked()
+	if err != nil {
+		return err
+	}
+	return g.store.Checkpoint(g.Now(), st)
+}
+
+// CaptureState exports the deployment's full mutable state in the
+// canonical (sorted, settled) snapshot form. The recovery test suite
+// compares its encoded bytes across a kill and restart.
+func (g *GAE) CaptureState() (durable.State, error) {
+	g.persistMu.Lock()
+	defer g.persistMu.Unlock()
+	return g.captureStateLocked()
+}
+
+func (g *GAE) captureStateLocked() (durable.State, error) {
+	ttl := g.leaseTTL
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	var st durable.State
+	poolNames := make([]string, 0, len(g.pools))
+	for name := range g.pools {
+		poolNames = append(poolNames, name)
+	}
+	sort.Strings(poolNames)
+	for _, name := range poolNames {
+		st.Pools = append(st.Pools, g.pools[name].Export(ttl))
+	}
+	if g.FairShare != nil {
+		st.FairShare = g.FairShare.Export()
+	}
+	st.Quota = g.Quota.Export()
+	st.Replicas = g.Replicas.Export()
+	st.UserState = g.State.Export()
+	st.Steering = durable.SteeringState{Preference: g.Steering.Preference.String()}
+
+	// The estimator layer feeds placement and the EstimatedRuntime
+	// stamped into job ads at submission — without it, the first
+	// post-restart submit would diverge from its pre-crash twin.
+	est := durable.EstimatorState{Estimates: g.Scheduler.EstimateDB().Export()}
+	for _, site := range g.Scheduler.Sites() {
+		svc, ok := g.Scheduler.SiteServicesFor(site)
+		if !ok || svc.Runtime == nil || svc.Runtime.History == nil {
+			continue
+		}
+		if recs := svc.Runtime.History.Export(); len(recs) > 0 {
+			est.Sites = append(est.Sites, durable.SiteHistory{Site: site, Records: recs})
+		}
+	}
+	if len(est.Sites) > 0 || len(est.Estimates) > 0 {
+		st.Estimator = &est
+	}
+
+	g.planMu.Lock()
+	defer g.planMu.Unlock()
+	planNames := make([]string, 0, len(g.plans))
+	for name := range g.plans {
+		planNames = append(planNames, name)
+	}
+	sort.Strings(planNames)
+	for _, name := range planNames {
+		cp := g.plans[name]
+		spec, err := json.Marshal(PlanSpecOf(cp.Plan))
+		if err != nil {
+			return durable.State{}, fmt.Errorf("core: encoding plan %q: %w", name, err)
+		}
+		st.Plans = append(st.Plans, durable.PlanState{
+			Name:  name,
+			Owner: cp.Plan.Owner,
+			Spec:  spec,
+			Tasks: scheduler.ExportTasks(cp),
+		})
+	}
+	return st, nil
+}
+
+// RestoreState rebuilds the deployment from an exported state captured
+// at simTime. The engine is advanced to the capture instant first, so
+// restored leases, decayed usage, and timestamps line up; site storage
+// is re-materialized from the replica catalog so restored plans can
+// stage their inputs. It must run on a freshly built deployment.
+func (g *GAE) RestoreState(simTime time.Time, st *durable.State) error {
+	if d := simTime.Sub(g.Now()); d > 0 {
+		g.Grid.Engine.RunFor(d)
+	}
+
+	if err := g.Replicas.Restore(st.Replicas); err != nil {
+		return err
+	}
+	for _, l := range st.Replicas {
+		site := g.Grid.Site(l.Site)
+		if site == nil {
+			return fmt.Errorf("core: restored replica of %q at unknown site %q", l.Dataset, l.Site)
+		}
+		if _, ok := site.Storage().Get(l.Dataset); !ok {
+			if err := site.Storage().Put(l.Dataset, l.SizeMB); err != nil {
+				return err
+			}
+		}
+	}
+
+	g.Quota.Restore(st.Quota)
+	if g.FairShare != nil {
+		g.FairShare.Restore(st.FairShare)
+	}
+	g.State.Restore(st.UserState)
+	if st.Steering.Preference != "" {
+		pref, err := steering.ParsePreference(st.Steering.Preference)
+		if err != nil {
+			return err
+		}
+		g.Steering.Preference = pref
+	}
+
+	if st.Estimator != nil {
+		g.Scheduler.EstimateDB().Restore(st.Estimator.Estimates)
+		for _, sh := range st.Estimator.Sites {
+			svc, ok := g.Scheduler.SiteServicesFor(sh.Site)
+			if !ok || svc.Runtime == nil || svc.Runtime.History == nil {
+				return fmt.Errorf("core: snapshot carries history for unknown site %q", sh.Site)
+			}
+			svc.Runtime.History.Restore(sh.Records)
+		}
+	}
+
+	for _, ps := range st.Pools {
+		pool, ok := g.pools[ps.Name]
+		if !ok {
+			return fmt.Errorf("core: snapshot names unknown site %q", ps.Name)
+		}
+		if err := pool.Restore(ps); err != nil {
+			return err
+		}
+	}
+
+	for _, pl := range st.Plans {
+		var spec gae.PlanSpec
+		if err := json.Unmarshal(pl.Spec, &spec); err != nil {
+			return fmt.Errorf("core: decoding plan %q: %w", pl.Name, err)
+		}
+		plan, err := planFromSpec(spec, pl.Owner)
+		if err != nil {
+			return fmt.Errorf("core: rebuilding plan %q: %w", pl.Name, err)
+		}
+		cp, err := g.Scheduler.RestorePlan(plan, pl.Tasks)
+		if err != nil {
+			return err
+		}
+		g.planMu.Lock()
+		g.plans[pl.Name] = cp
+		g.planMu.Unlock()
+	}
+	g.Scheduler.Pump()
+	return nil
+}
+
+// ApplyOp re-applies one journaled RPC: the engine advances to the op's
+// recorded simulated time, then the call runs through the unjournaled
+// service layer as the recorded user — the same code path that served it
+// live.
+func (g *GAE) ApplyOp(op durable.Op) error {
+	if d := op.Time.Sub(g.Now()); d > 0 {
+		g.Grid.Engine.RunFor(d)
+	}
+	ctx := context.Background()
+	svcs := g.rawServices(func(context.Context) string { return op.User })
+	dec := func(v any) error {
+		if err := json.Unmarshal(op.Args, v); err != nil {
+			return fmt.Errorf("core: decoding %s.%s args: %w", op.Service, op.Method, err)
+		}
+		return nil
+	}
+	switch op.Service + "." + op.Method {
+	case "scheduler.submit":
+		var a opSubmit
+		if err := dec(&a); err != nil {
+			return err
+		}
+		_, err := svcs.Scheduler.Submit(ctx, a.Spec)
+		return err
+	case "steering.kill":
+		var a opTaskRef
+		if err := dec(&a); err != nil {
+			return err
+		}
+		return svcs.Steering.Kill(ctx, a.Plan, a.Task)
+	case "steering.pause":
+		var a opTaskRef
+		if err := dec(&a); err != nil {
+			return err
+		}
+		return svcs.Steering.Pause(ctx, a.Plan, a.Task)
+	case "steering.resume":
+		var a opTaskRef
+		if err := dec(&a); err != nil {
+			return err
+		}
+		return svcs.Steering.Resume(ctx, a.Plan, a.Task)
+	case "steering.move":
+		var a opMove
+		if err := dec(&a); err != nil {
+			return err
+		}
+		_, err := svcs.Steering.Move(ctx, a.Plan, a.Task, a.Site)
+		return err
+	case "steering.setpriority":
+		var a opPriority
+		if err := dec(&a); err != nil {
+			return err
+		}
+		return svcs.Steering.SetPriority(ctx, a.Plan, a.Task, a.Priority)
+	case "steering.setpreference":
+		var a opPreference
+		if err := dec(&a); err != nil {
+			return err
+		}
+		_, err := svcs.Steering.SetPreference(ctx, a.Preference)
+		return err
+	case "state.set":
+		var a opStateSet
+		if err := dec(&a); err != nil {
+			return err
+		}
+		return svcs.State.SetState(ctx, a.Key, a.Value)
+	case "state.delete":
+		var a opStateKey
+		if err := dec(&a); err != nil {
+			return err
+		}
+		_, err := svcs.State.DeleteState(ctx, a.Key)
+		return err
+	case "replica.register":
+		var a opReplica
+		if err := dec(&a); err != nil {
+			return err
+		}
+		return svcs.Replica.RegisterReplica(ctx, a.Dataset, a.Site, a.SizeMB)
+	case "quota.grant":
+		var a opGrant
+		if err := dec(&a); err != nil {
+			return err
+		}
+		return svcs.Quota.Grant(ctx, a.User, a.Credits)
+	case "quota.charge":
+		var a gae.ChargeRequest
+		if err := dec(&a); err != nil {
+			return err
+		}
+		_, err := svcs.Quota.ChargeUsage(ctx, a)
+		return err
+	}
+	return fmt.Errorf("core: journal op %d names unknown method %s.%s", op.Seq, op.Service, op.Method)
+}
+
+// journaled wraps the mutating methods of every service with journal
+// appends. Read-only methods pass through the embedded interfaces.
+func (g *GAE) journaled(svcs gae.Services, userOf gae.UserResolver) gae.Services {
+	svcs.Scheduler = journaledScheduler{Scheduler: svcs.Scheduler, g: g, userOf: userOf}
+	svcs.Steering = journaledSteering{Steering: svcs.Steering, g: g, userOf: userOf}
+	svcs.State = journaledState{State: svcs.State, g: g, userOf: userOf}
+	svcs.Replica = journaledReplica{Replica: svcs.Replica, g: g, userOf: userOf}
+	svcs.Quota = journaledQuota{Quota: svcs.Quota, g: g, userOf: userOf}
+	return svcs
+}
+
+// journalAs runs a mutating RPC under the shared durability barrier
+// and, once it has succeeded, appends its journal record — the call is
+// acknowledged only after the record is fsynced, so every acknowledged
+// mutation survives a crash. args is deferred so wrappers can journal
+// values resolved by the call itself (e.g. the site a move landed on).
+func (g *GAE) journalAs(user, service, method string, args func() any, apply func() error) error {
+	g.persistMu.RLock()
+	defer g.persistMu.RUnlock()
+	if err := apply(); err != nil {
+		return err
+	}
+	if g.store == nil {
+		return nil
+	}
+	return g.store.Append(g.Now(), user, service, method, args())
+}
+
+type journaledScheduler struct {
+	gae.Scheduler
+	g      *GAE
+	userOf gae.UserResolver
+}
+
+func (s journaledScheduler) Submit(ctx context.Context, spec gae.PlanSpec) (string, error) {
+	var name string
+	err := s.g.journalAs(s.userOf(ctx), "scheduler", "submit",
+		func() any { return opSubmit{Spec: spec} },
+		func() (err error) { name, err = s.Scheduler.Submit(ctx, spec); return })
+	return name, err
+}
+
+type journaledSteering struct {
+	gae.Steering
+	g      *GAE
+	userOf gae.UserResolver
+}
+
+func (s journaledSteering) Kill(ctx context.Context, plan, task string) error {
+	return s.g.journalAs(s.userOf(ctx), "steering", "kill",
+		func() any { return opTaskRef{Plan: plan, Task: task} },
+		func() error { return s.Steering.Kill(ctx, plan, task) })
+}
+
+func (s journaledSteering) Pause(ctx context.Context, plan, task string) error {
+	return s.g.journalAs(s.userOf(ctx), "steering", "pause",
+		func() any { return opTaskRef{Plan: plan, Task: task} },
+		func() error { return s.Steering.Pause(ctx, plan, task) })
+}
+
+func (s journaledSteering) Resume(ctx context.Context, plan, task string) error {
+	return s.g.journalAs(s.userOf(ctx), "steering", "resume",
+		func() any { return opTaskRef{Plan: plan, Task: task} },
+		func() error { return s.Steering.Resume(ctx, plan, task) })
+}
+
+func (s journaledSteering) Move(ctx context.Context, plan, task, site string) (gae.MoveResult, error) {
+	var res gae.MoveResult
+	// The journal records the site the move actually landed on, not the
+	// request's (possibly empty) preference: replay must not re-run site
+	// selection against monitoring state that no longer exists.
+	err := s.g.journalAs(s.userOf(ctx), "steering", "move",
+		func() any { return opMove{Plan: plan, Task: task, Site: res.Site} },
+		func() (err error) { res, err = s.Steering.Move(ctx, plan, task, site); return })
+	return res, err
+}
+
+func (s journaledSteering) SetPriority(ctx context.Context, plan, task string, priority int) error {
+	return s.g.journalAs(s.userOf(ctx), "steering", "setpriority",
+		func() any { return opPriority{Plan: plan, Task: task, Priority: priority} },
+		func() error { return s.Steering.SetPriority(ctx, plan, task, priority) })
+}
+
+func (s journaledSteering) SetPreference(ctx context.Context, preference string) (string, error) {
+	var applied string
+	err := s.g.journalAs(s.userOf(ctx), "steering", "setpreference",
+		func() any { return opPreference{Preference: applied} },
+		func() (err error) { applied, err = s.Steering.SetPreference(ctx, preference); return })
+	return applied, err
+}
+
+type journaledState struct {
+	gae.State
+	g      *GAE
+	userOf gae.UserResolver
+}
+
+func (s journaledState) SetState(ctx context.Context, key, value string) error {
+	return s.g.journalAs(s.userOf(ctx), "state", "set",
+		func() any { return opStateSet{Key: key, Value: value} },
+		func() error { return s.State.SetState(ctx, key, value) })
+}
+
+func (s journaledState) DeleteState(ctx context.Context, key string) (bool, error) {
+	var existed bool
+	err := s.g.journalAs(s.userOf(ctx), "state", "delete",
+		func() any { return opStateKey{Key: key} },
+		func() (err error) { existed, err = s.State.DeleteState(ctx, key); return })
+	return existed, err
+}
+
+type journaledReplica struct {
+	gae.Replica
+	g      *GAE
+	userOf gae.UserResolver
+}
+
+func (s journaledReplica) RegisterReplica(ctx context.Context, dataset, site string, sizeMB float64) error {
+	return s.g.journalAs(s.userOf(ctx), "replica", "register",
+		func() any { return opReplica{Dataset: dataset, Site: site, SizeMB: sizeMB} },
+		func() error { return s.Replica.RegisterReplica(ctx, dataset, site, sizeMB) })
+}
+
+type journaledQuota struct {
+	gae.Quota
+	g      *GAE
+	userOf gae.UserResolver
+}
+
+func (s journaledQuota) Grant(ctx context.Context, user string, credits float64) error {
+	return s.g.journalAs(s.userOf(ctx), "quota", "grant",
+		func() any { return opGrant{User: user, Credits: credits} },
+		func() error { return s.Quota.Grant(ctx, user, credits) })
+}
+
+func (s journaledQuota) ChargeUsage(ctx context.Context, req gae.ChargeRequest) (float64, error) {
+	var credits float64
+	err := s.g.journalAs(s.userOf(ctx), "quota", "charge",
+		func() any { return req },
+		func() (err error) { credits, err = s.Quota.ChargeUsage(ctx, req); return })
+	return credits, err
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/fairshare"
+	"repro/pkg/gae"
+)
+
+// durableConfig is the recovery-test deployment: the canonical two sites
+// plus fair-share accounting, so every snapshotted component carries
+// state.
+func durableConfig() Config {
+	cfg := twoSiteConfig()
+	cfg.FairShare = &fairshare.Config{HalfLife: time.Hour}
+	cfg.Sites[0].CostPerTransferMB = 0.05
+	return cfg
+}
+
+func specOf(name string, cpu float64) gae.PlanSpec {
+	return gae.PlanSpec{
+		Name: name,
+		Tasks: []gae.TaskSpec{{
+			ID: "main", CPUSeconds: cpu,
+			Queue: "short", Partition: "gae", Nodes: 1, JobType: "batch",
+			ReqHours: cpu / 3600, OutputFile: name + ".dat", OutputMB: 1,
+		}},
+	}
+}
+
+// encodeState captures and canonically encodes the deployment state.
+func encodeState(t *testing.T, g *GAE) []byte {
+	t.Helper()
+	st, err := g.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := durable.EncodeState(&st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func diffLines(t *testing.T, want, got []byte) {
+	t.Helper()
+	w := bytes.Split(want, []byte("\n"))
+	g := bytes.Split(got, []byte("\n"))
+	for i := 0; i < len(w) && i < len(g); i++ {
+		if !bytes.Equal(w[i], g[i]) {
+			t.Fatalf("state diverges at line %d:\n  pre-crash:  %s\n  recovered:  %s", i+1, w[i], g[i])
+		}
+	}
+	t.Fatalf("state diverges in length: pre-crash %d lines, recovered %d", len(w), len(g))
+}
+
+// TestCrashRecoveryByteIdentical is the durability acceptance test: a
+// deployment serves a mixed workload through the typed clients, takes a
+// mid-flight checkpoint, serves more acknowledged RPCs (the journal
+// tail), and is then hard-stopped — no graceful shutdown, no final
+// checkpoint. A fresh process recovering from the same directory must
+// reproduce the pre-crash state byte for byte: job queues, machine
+// claims, fair-share accounts, the quota ledger, the replica catalog,
+// submitted plans, and per-user session state.
+func TestCrashRecoveryByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig()
+	ctx := context.Background()
+
+	g1 := New(cfg)
+	s1, err := durable.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g1.AttachStore(s1); err != nil {
+		t.Fatal(err)
+	}
+	alice := g1.Client("alice")
+	root := g1.Client("root")
+
+	// Deployment-level seeding (captured by the checkpoint).
+	if err := g1.PutDataset("siteA", "hits.root", 40); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-checkpoint traffic: plans, session state, accounting.
+	if _, err := alice.Submit(ctx, specOf("p-short", 30)); err != nil {
+		t.Fatal(err)
+	}
+	longSpec := specOf("p-long", 600)
+	longSpec.Tasks[0].Checkpointable = true
+	if _, err := alice.Submit(ctx, longSpec); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.SetState(ctx, "cuts", "pt>20 && |eta|<2.4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.SetState(ctx, "scratch", "tmp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.DeleteState(ctx, "scratch"); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Grant(ctx, "alice", 250); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.ChargeUsage(ctx, gae.ChargeRequest{
+		User: "alice", Site: "siteA", CPUSeconds: 120, MB: 30, Note: "imported history",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.SetPreference(ctx, "cheap"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the short plan finish and the long one accrue CPU, then
+	// checkpoint with a job mid-execution (its claim becomes a lease).
+	g1.Run(90 * time.Second)
+	if err := g1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Journal tail: acknowledged after the checkpoint, recovered by
+	// replay alone.
+	if _, err := alice.Submit(ctx, specOf("p-tail", 45)); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.SetState(ctx, "phase", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Grant(ctx, "alice", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.SetPriority(ctx, "p-long", "main", 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.RegisterReplica(ctx, "hits.root", "siteB", 40); err != nil {
+		t.Fatal(err)
+	}
+
+	want := encodeState(t, g1)
+	// Hard stop: the process dies here. Everything acknowledged is
+	// already fsynced; closing the store stands in for process death.
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g2 := New(cfg)
+	s2, err := durable.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if warn := s2.ScanWarning(); warn != nil {
+		t.Fatalf("clean journal reported corruption: %v", warn)
+	}
+	if err := g2.AttachStore(s2); err != nil {
+		t.Fatal(err)
+	}
+
+	if !g2.Now().Equal(g1.Now()) {
+		t.Fatalf("recovered simulated time %v, want %v", g2.Now(), g1.Now())
+	}
+	got := encodeState(t, g2)
+	if !bytes.Equal(want, got) {
+		diffLines(t, want, got)
+	}
+
+	// The recovered deployment is live: the mid-flight plan runs to
+	// completion on its re-bound lease.
+	cp, ok := g2.Plan("p-long")
+	if !ok {
+		t.Fatal("recovered deployment lost plan p-long")
+	}
+	if err := g2.RunUntilDone(cp, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if done, succeeded := cp.Done(); !done || !succeeded {
+		t.Fatalf("recovered plan done=%v succeeded=%v", done, succeeded)
+	}
+	// New traffic keeps journaling after recovery.
+	if err := g2.Client("alice").SetState(ctx, "phase", "3"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalOnlyRecovery recovers with no snapshot at all: the journal
+// replays every acknowledged RPC at its recorded simulated time against
+// a fresh deployment, re-running the deterministic simulation in
+// between.
+func TestJournalOnlyRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig()
+	ctx := context.Background()
+
+	g1 := New(cfg)
+	s1, err := durable.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g1.AttachStore(s1); err != nil {
+		t.Fatal(err)
+	}
+	alice := g1.Client("alice")
+	if _, err := alice.Submit(ctx, specOf("p1", 30)); err != nil {
+		t.Fatal(err)
+	}
+	g1.Run(45 * time.Second)
+	if err := alice.SetState(ctx, "after", "p1"); err != nil {
+		t.Fatal(err)
+	}
+	want := encodeState(t, g1)
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g2 := New(cfg)
+	s2, err := durable.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := g2.AttachStore(s2); err != nil {
+		t.Fatal(err)
+	}
+	got := encodeState(t, g2)
+	if !bytes.Equal(want, got) {
+		diffLines(t, want, got)
+	}
+}
+
+// TestCheckpointTruncatesJournal pins the checkpoint cycle: ops journal,
+// checkpoint truncates, later ops journal again with continuous
+// sequence numbers.
+func TestCheckpointTruncatesJournal(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	g := New(durableConfig())
+	s, err := durable.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := g.AttachStore(s); err != nil {
+		t.Fatal(err)
+	}
+	alice := g.Client("alice")
+	for i := 0; i < 3; i++ {
+		if err := alice.SetState(ctx, fmt.Sprintf("k%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.LastSeq(); got != 3 {
+		t.Fatalf("LastSeq after 3 ops = %d", got)
+	}
+	if err := g.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.SetState(ctx, "k3", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LastSeq(); got != 4 {
+		t.Fatalf("LastSeq after checkpoint + 1 op = %d", got)
+	}
+}
+
+// TestRejectedRPCsAreNotJournaled pins the ack contract: a call that
+// fails is not recorded, so replay never re-applies a rejection.
+func TestRejectedRPCsAreNotJournaled(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	g := New(durableConfig())
+	s, err := durable.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := g.AttachStore(s); err != nil {
+		t.Fatal(err)
+	}
+	alice := g.Client("alice")
+	if err := alice.Grant(ctx, "alice", 100); err == nil {
+		t.Fatal("non-admin grant accepted")
+	}
+	if err := alice.SetState(ctx, "", "v"); err == nil {
+		t.Fatal("empty state key accepted")
+	}
+	if got := s.LastSeq(); got != 0 {
+		t.Fatalf("rejected RPCs journaled: LastSeq = %d", got)
+	}
+}

@@ -23,8 +23,16 @@ func (g *GAE) Client(user string) *gae.Client {
 }
 
 // services assembles the typed contract implementations with the given
-// user resolution.
+// user resolution, wrapped so that every mutating call is journaled to
+// the attached durable store (a no-op while no store is attached).
 func (g *GAE) services(userOf gae.UserResolver) gae.Services {
+	return g.journaled(g.rawServices(userOf), userOf)
+}
+
+// rawServices assembles the unjournaled contract implementations —
+// the layer journal replay drives, so replayed operations are not
+// re-recorded.
+func (g *GAE) rawServices(userOf gae.UserResolver) gae.Services {
 	return gae.Services{
 		Scheduler: schedulerAPI{g: g, userOf: userOf},
 		Steering:  g.Steering.API(userOf),
@@ -43,7 +51,7 @@ func (g *GAE) services(userOf gae.UserResolver) gae.Services {
 func PlanSpecOf(plan *scheduler.JobPlan) gae.PlanSpec {
 	spec := gae.PlanSpec{Name: plan.Name, Tasks: make([]gae.TaskSpec, len(plan.Tasks))}
 	for i, t := range plan.Tasks {
-		spec.Tasks[i] = gae.TaskSpec{
+		ts := gae.TaskSpec{
 			ID:             t.ID,
 			CPUSeconds:     t.CPUSeconds,
 			Queue:          t.Queue,
@@ -57,7 +65,12 @@ func PlanSpecOf(plan *scheduler.JobPlan) gae.PlanSpec {
 			OutputMB:       t.OutputMB,
 			Checkpointable: t.Checkpointable,
 			Requirements:   t.Requirements,
+			FailAfterCPU:   t.FailAfterCPU,
 		}
+		for _, in := range t.Inputs {
+			ts.Inputs = append(ts.Inputs, gae.FileSpec{Name: in.Name, Site: in.Site, SizeMB: in.SizeMB})
+		}
+		spec.Tasks[i] = ts
 	}
 	return spec
 }
@@ -66,7 +79,7 @@ func PlanSpecOf(plan *scheduler.JobPlan) gae.PlanSpec {
 func planFromSpec(spec gae.PlanSpec, owner string) (*scheduler.JobPlan, error) {
 	plan := &scheduler.JobPlan{Name: spec.Name, Owner: owner}
 	for _, t := range spec.Tasks {
-		plan.Tasks = append(plan.Tasks, scheduler.TaskPlan{
+		tp := scheduler.TaskPlan{
 			ID:             t.ID,
 			CPUSeconds:     t.CPUSeconds,
 			Queue:          t.Queue,
@@ -80,7 +93,12 @@ func planFromSpec(spec gae.PlanSpec, owner string) (*scheduler.JobPlan, error) {
 			OutputMB:       t.OutputMB,
 			Checkpointable: t.Checkpointable,
 			Requirements:   t.Requirements,
-		})
+			FailAfterCPU:   t.FailAfterCPU,
+		}
+		for _, in := range t.Inputs {
+			tp.Inputs = append(tp.Inputs, scheduler.FileRef{Name: in.Name, Site: in.Site, SizeMB: in.SizeMB})
+		}
+		plan.Tasks = append(plan.Tasks, tp)
 	}
 	if err := plan.Validate(); err != nil {
 		return nil, err
@@ -221,6 +239,37 @@ func (q quotaAPI) Cheapest(_ context.Context, sites []string, cpuSeconds, mb flo
 		return gae.CostQuote{}, err
 	}
 	return gae.CostQuote{Site: site, Cost: cost}, nil
+}
+
+// admin resolves the acting user and requires administrator standing —
+// granting and charging move other users' credits.
+func (q quotaAPI) admin(ctx context.Context) error {
+	actor := q.userOf(ctx)
+	if actor == "" {
+		return gae.ErrNoSession
+	}
+	if !q.g.Steering.Sessions.IsAdmin(actor) {
+		return fmt.Errorf("quota: %q is not an administrator", actor)
+	}
+	return nil
+}
+
+func (q quotaAPI) Grant(ctx context.Context, user string, credits float64) error {
+	if err := q.admin(ctx); err != nil {
+		return err
+	}
+	if user == "" {
+		return fmt.Errorf("quota: grant for empty user")
+	}
+	q.g.Quota.Grant(user, credits)
+	return nil
+}
+
+func (q quotaAPI) ChargeUsage(ctx context.Context, req gae.ChargeRequest) (float64, error) {
+	if err := q.admin(ctx); err != nil {
+		return 0, err
+	}
+	return q.g.Quota.Charge(req.User, req.Site, req.CPUSeconds, req.MB, q.g.Now(), req.Note)
 }
 
 // replicaAPI exposes the replica catalog (the data location service).

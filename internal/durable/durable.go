@@ -1,0 +1,99 @@
+// Package durable is the persistence layer of the GAE reproduction: a
+// versioned snapshot codec plus an append-only RPC journal (write-ahead
+// log), combined by a Store into the classic checkpoint cycle — snapshot
+// the full state, truncate the journal, append every mutating RPC as it
+// is acknowledged, and on restart load the latest snapshot and replay the
+// journal tail.
+//
+// The paper's GAE exists to "store the state of users' analysis sessions"
+// across interactive logins; this package is what lets a gae-server crash
+// without losing the farm: Condor queues and machine leases, fair-share
+// decayed-usage accounts, the quota ledger, the replica catalog, and the
+// per-user analysis-session state all serialize through the Snapshot
+// codec, and the RPCs that mutate them are journaled with group-commit
+// fsync batching.
+//
+// The package is deliberately dependency-free: it defines the durable
+// data model (State and its sections) and the file formats, while
+// internal/core owns the conversion between live services and the model.
+//
+// # File formats
+//
+// A snapshot is a single JSON document (Snapshot) written with
+// write-temp + fsync + atomic-rename, so a crash can never leave a torn
+// snapshot — the previous one survives until the new one is complete.
+//
+// The journal is a stream of length-prefixed, CRC-checked records:
+//
+//	uvarint payload length | uint32 little-endian CRC-32 (IEEE) | payload
+//
+// Appends are made durable by group commit: concurrent appenders batch
+// into a single write+fsync, and Append returns only after the record's
+// batch is on disk. Recovery scans the longest verified prefix: an
+// incomplete record at the tail (a torn write) is skipped silently, while
+// a CRC mismatch on a complete record reports ErrCorrupt alongside the
+// verified prefix — replay never panics and never applies unverified
+// bytes.
+package durable
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Typed errors surfaced by journal recovery and snapshot loading.
+var (
+	// ErrCorrupt reports a record whose payload failed its CRC check, or
+	// a snapshot that failed structural validation. The verified prefix
+	// before the corruption is still returned to the caller.
+	ErrCorrupt = errors.New("durable: corrupt record")
+	// ErrClosed is returned by appends to a closed journal.
+	ErrClosed = errors.New("durable: journal closed")
+	// ErrTooLarge rejects records above MaxRecordSize.
+	ErrTooLarge = errors.New("durable: record exceeds size limit")
+)
+
+// MaxRecordSize bounds a single journal record (16 MiB). Recovery treats
+// larger declared lengths as corruption, so a flipped length byte cannot
+// force a multi-gigabyte allocation.
+const MaxRecordSize = 16 << 20
+
+// Op is one journaled mutating RPC, recorded after the mutation was
+// applied and acknowledged. Service and Method name the RPC as it appears
+// on the wire ("scheduler"/"submit", "state"/"set", ...); Args holds the
+// method-specific argument struct encoded as JSON by the service layer,
+// which also owns decoding it again at replay.
+type Op struct {
+	// Seq is the op's journal sequence number, strictly increasing across
+	// checkpoints. Recovery applies only ops with Seq greater than the
+	// snapshot's LastSeq.
+	Seq uint64 `json:"seq"`
+	// Time is the simulated time at which the op was acknowledged; replay
+	// advances the engine to it before re-applying.
+	Time time.Time `json:"time"`
+	// User is the acting (authenticated) user the op executed as.
+	User    string          `json:"user"`
+	Service string          `json:"service"`
+	Method  string          `json:"method"`
+	Args    json.RawMessage `json:"args,omitempty"`
+}
+
+// encodeOp renders the op as a journal payload.
+func encodeOp(op Op) ([]byte, error) {
+	b, err := json.Marshal(op)
+	if err != nil {
+		return nil, fmt.Errorf("durable: encoding op %d: %w", op.Seq, err)
+	}
+	return b, nil
+}
+
+// DecodeOp parses a journal payload back into an Op.
+func DecodeOp(payload []byte) (Op, error) {
+	var op Op
+	if err := json.Unmarshal(payload, &op); err != nil {
+		return Op{}, fmt.Errorf("%w: op payload: %v", ErrCorrupt, err)
+	}
+	return op, nil
+}

@@ -1,0 +1,267 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Journal is the append-only RPC log. Records are framed as
+//
+//	uvarint payload length | uint32 LE CRC-32 (IEEE) | payload
+//
+// and made durable by group commit: Append queues the encoded record and
+// blocks until a flusher has written and fsynced the batch containing it.
+// Under concurrent load many appenders share one fsync; a lone appender
+// degenerates to write+fsync with no added latency.
+type Journal struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	f        *os.File
+	pending  []byte // encoded records awaiting the next flush
+	flushing bool   // a flusher is in the write+fsync critical section
+	queued   uint64 // generation of the batch currently accumulating
+	synced   uint64 // highest generation known durable
+	err      error  // sticky I/O error; fails all subsequent appends
+	closed   bool
+}
+
+// OpenJournal opens (creating if needed) the journal file for appending.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: opening journal: %w", err)
+	}
+	j := &Journal{f: f}
+	j.cond = sync.NewCond(&j.mu)
+	return j, nil
+}
+
+// appendFrame frames one payload into the pending batch and returns the
+// batch generation the caller must wait for.
+func appendFrame(buf []byte, payload []byte) []byte {
+	var hdr [binary.MaxVarintLen64 + 4]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[n:], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:n+4]...)
+	return append(buf, payload...)
+}
+
+// Append journals one op and returns once it is durable (its batch has
+// been written and fsynced).
+func (j *Journal) Append(op Op) error {
+	payload, err := encodeOp(op)
+	if err != nil {
+		return err
+	}
+	return j.AppendRaw(payload)
+}
+
+// AppendRaw journals one pre-encoded payload with group-commit durability.
+func (j *Journal) AppendRaw(payload []byte) error {
+	gen, err := j.enqueue(payload)
+	if err != nil {
+		return err
+	}
+	return j.waitDurable(gen)
+}
+
+// enqueue frames the payload into the pending batch and returns the batch
+// generation the caller must wait on. The split from waitDurable lets the
+// Store assign sequence numbers and enqueue under one short critical
+// section — journal order then matches sequence order — while the fsync
+// wait happens outside any store lock so appenders still share flushes.
+func (j *Journal) enqueue(payload []byte) (uint64, error) {
+	if len(payload) > MaxRecordSize {
+		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return 0, ErrClosed
+	}
+	if j.err != nil {
+		return 0, j.err
+	}
+	j.pending = appendFrame(j.pending, payload)
+	return j.queued, nil
+}
+
+// waitDurable blocks until batch generation gen is on disk. The first
+// waiter to observe no active flusher becomes the flusher for everything
+// pending.
+func (j *Journal) waitDurable(gen uint64) error {
+	j.mu.Lock()
+	for j.synced <= gen && j.err == nil && !j.closed {
+		if !j.flushing {
+			j.flushLocked()
+			continue
+		}
+		j.cond.Wait()
+	}
+	err := j.err
+	if err == nil && j.synced <= gen && j.closed {
+		err = ErrClosed
+	}
+	j.mu.Unlock()
+	return err
+}
+
+// flushLocked writes and fsyncs the whole pending batch. Called with the
+// mutex held; releases it around the I/O.
+func (j *Journal) flushLocked() {
+	batch := j.pending
+	j.pending = nil
+	j.queued++
+	gen := j.queued
+	j.flushing = true
+	j.mu.Unlock()
+
+	var err error
+	if _, werr := j.f.Write(batch); werr != nil {
+		err = fmt.Errorf("durable: journal write: %w", werr)
+	} else if serr := j.f.Sync(); serr != nil {
+		err = fmt.Errorf("durable: journal fsync: %w", serr)
+	}
+
+	j.mu.Lock()
+	j.flushing = false
+	if err != nil && j.err == nil {
+		j.err = err
+	}
+	j.synced = gen
+	j.cond.Broadcast()
+}
+
+// Truncate discards the journal's contents (the checkpoint cycle's
+// "snapshot-then-truncate" step). It must not race appends; the Store
+// serializes the two.
+func (j *Journal) Truncate() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("durable: truncating journal: %w", err)
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("durable: rewinding journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("durable: journal fsync: %w", err)
+	}
+	j.err = nil
+	return nil
+}
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	serr := j.f.Sync()
+	cerr := j.f.Close()
+	j.cond.Broadcast()
+	if serr != nil {
+		return fmt.Errorf("durable: journal fsync on close: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("durable: closing journal: %w", cerr)
+	}
+	return nil
+}
+
+// ScanJournal reads every verified record payload from r. It returns the
+// longest verified prefix in every case:
+//
+//   - a clean end of stream returns (payloads, nil);
+//   - an incomplete record at the tail — a torn write from a crash mid-
+//     append — is skipped silently, returning (payloads, nil);
+//   - a complete record whose CRC or declared length is invalid returns
+//     (payloads, ErrCorrupt): the file was damaged, not merely torn.
+//
+// Callers replay the returned prefix either way; the error only decides
+// whether to warn. Scanning never panics on arbitrary input.
+func ScanJournal(r io.Reader) ([][]byte, error) {
+	br := newByteReader(r)
+	var payloads [][]byte
+	for {
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return payloads, nil // clean end of journal
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return payloads, nil // torn length prefix
+			}
+			// Overlong varint: binary.ReadUvarint reports overflow.
+			return payloads, fmt.Errorf("%w: record length: %v", ErrCorrupt, err)
+		}
+		if size > MaxRecordSize {
+			return payloads, fmt.Errorf("%w: record length %d exceeds limit", ErrCorrupt, size)
+		}
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+			return payloads, nil // torn header
+		}
+		want := binary.LittleEndian.Uint32(crcBuf[:])
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return payloads, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			return payloads, fmt.Errorf("%w: checksum mismatch on record %d", ErrCorrupt, len(payloads))
+		}
+		payloads = append(payloads, payload)
+	}
+}
+
+// ScanJournalOps scans and decodes the journal into ops, additionally
+// verifying that sequence numbers are strictly increasing — a decoded-but-
+// out-of-order stream is corruption, not a verified prefix.
+func ScanJournalOps(r io.Reader) ([]Op, error) {
+	payloads, scanErr := ScanJournal(r)
+	ops := make([]Op, 0, len(payloads))
+	var lastSeq uint64
+	for i, p := range payloads {
+		op, err := DecodeOp(p)
+		if err != nil {
+			// The frame checksum passed but the payload is not a valid op:
+			// the writer and reader disagree, or the corruption forged a
+			// CRC. Stop at the verified prefix.
+			return ops, err
+		}
+		if op.Seq <= lastSeq && i > 0 {
+			return ops, fmt.Errorf("%w: op %d sequence %d not after %d", ErrCorrupt, i, op.Seq, lastSeq)
+		}
+		lastSeq = op.Seq
+		ops = append(ops, op)
+	}
+	return ops, scanErr
+}
+
+// byteReader adapts an io.Reader for binary.ReadUvarint while still
+// supporting bulk reads.
+type byteReader struct {
+	r io.Reader
+	b [1]byte
+}
+
+func newByteReader(r io.Reader) *byteReader { return &byteReader{r: r} }
+
+func (b *byteReader) Read(p []byte) (int, error) { return io.ReadFull(b.r, p) }
+
+func (b *byteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.b[:]); err != nil {
+		return 0, err
+	}
+	return b.b[0], nil
+}

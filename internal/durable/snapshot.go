@@ -1,0 +1,79 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path with crash-safe replacement: the
+// bytes land in a temp file in the same directory, are fsynced, and only
+// then renamed over the destination, followed by a directory fsync so the
+// rename itself is durable. A crash at any point leaves either the old
+// file or the new one — never a torn mix.
+func WriteFileAtomic(path string, data []byte, perm fs.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("durable: creating temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("durable: writing %s: %w", path, err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return fmt.Errorf("durable: chmod %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("durable: fsync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("durable: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("durable: renaming into %s: %w", path, err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-completed rename survives a crash.
+// Directory fsync is best-effort: some filesystems (and CI sandboxes)
+// reject it with EINVAL even though the rename is already safe on them.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: opening dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}
+
+// SaveSnapshot atomically writes the snapshot to path.
+func SaveSnapshot(path string, s *Snapshot) error {
+	data, err := s.Encode()
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(path, data, 0o644)
+}
+
+// LoadSnapshot reads and validates the snapshot at path. A missing file
+// returns (nil, nil): a cold start, not an error.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("durable: reading snapshot: %w", err)
+	}
+	return DecodeSnapshot(raw)
+}

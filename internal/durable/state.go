@@ -1,0 +1,239 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// SnapshotVersion is the current snapshot format version. Loaders reject
+// versions they do not understand instead of guessing.
+const SnapshotVersion = 1
+
+// Snapshot is the durable image of a full deployment at one instant.
+type Snapshot struct {
+	Version int `json:"version"`
+	// LastSeq is the journal sequence number the snapshot covers: every
+	// op with Seq <= LastSeq is already folded into State.
+	LastSeq uint64 `json:"last_seq"`
+	// SimTime is the simulated instant the state was captured at; restore
+	// advances a fresh engine to it before injecting state.
+	SimTime time.Time `json:"sim_time"`
+	State   State     `json:"state"`
+}
+
+// State is the serializable form of every mutable GAE domain: Condor job
+// queues and machine claims/leases, fair-share decayed-usage accounts,
+// the quota ledger, the replica catalog, scheduler plans, the steering
+// preference, and the per-user analysis-session state store.
+//
+// Encoding is canonical — slices are sorted by their natural key by the
+// exporters and Go's JSON encoder orders map keys — so two captures of
+// identical logical state are byte-identical, which is what the crash-
+// recovery suite asserts.
+type State struct {
+	Pools     []PoolState                  `json:"pools,omitempty"`
+	FairShare *FairShareState              `json:"fair_share,omitempty"`
+	Quota     QuotaState                   `json:"quota"`
+	Replicas  []ReplicaLocation            `json:"replicas,omitempty"`
+	Plans     []PlanState                  `json:"plans,omitempty"`
+	Steering  SteeringState                `json:"steering"`
+	Estimator *EstimatorState              `json:"estimator,omitempty"`
+	UserState map[string]map[string]string `json:"user_state,omitempty"`
+}
+
+// PoolState is one execution service's queue: every job ever submitted
+// (terminal jobs keep their accounting records) plus the ID allocator.
+type PoolState struct {
+	Name   string     `json:"name"`
+	NextID int        `json:"next_id"`
+	Jobs   []JobState `json:"jobs,omitempty"`
+}
+
+// JobState is the codec's view of one Condor job. Ad is the canonical
+// ClassAd text (classad.ParseAd restores it); CPUSeconds is the total
+// completed work at capture time, which restore carries as the job's
+// checkpoint base.
+type JobState struct {
+	ID       int    `json:"id"`
+	Ad       string `json:"ad"`
+	Status   int    `json:"status"`
+	Priority int    `json:"priority"`
+	Owner    string `json:"owner,omitempty"`
+
+	SubmitTime     time.Time `json:"submit_time"`
+	StartTime      time.Time `json:"start_time"`
+	CompletionTime time.Time `json:"completion_time"`
+
+	CPUSeconds float64 `json:"cpu_seconds"`
+
+	// Node is the machine the job occupies (running/suspended jobs); the
+	// claim it represents is the job's lease on that machine.
+	Node string `json:"node,omitempty"`
+	// LeaseExpires bounds the claim: recovery re-binds the job to its
+	// machine while the lease holds and requeues it once expired. The
+	// exporting pool is the lease authority — a live export stamps its
+	// running jobs' leases fresh.
+	LeaseExpires time.Time `json:"lease_expires,omitzero"`
+}
+
+// FairShareState captures the decayed-usage accounting hierarchy.
+type FairShareState struct {
+	Groups  []FairShareAccount `json:"groups,omitempty"`
+	Tenants []FairShareTenant  `json:"tenants,omitempty"`
+}
+
+// FairShareAccount is one node of the accounting hierarchy at its last
+// settlement instant (usage decays lazily from Last).
+type FairShareAccount struct {
+	Name   string    `json:"name"`
+	Weight float64   `json:"weight"`
+	Usage  float64   `json:"usage"`
+	Last   time.Time `json:"last"`
+}
+
+// FairShareTenant adds group membership, per-site usage, and the
+// starvation guard's last-allocation timestamp.
+type FairShareTenant struct {
+	FairShareAccount
+	Group     string             `json:"group"`
+	Sites     []FairShareAccount `json:"sites,omitempty"`
+	LastStart time.Time          `json:"last_start,omitzero"`
+}
+
+// QuotaState captures user balances and the charge ledger. Site rates are
+// deployment configuration and are rebuilt from the Config, not restored.
+type QuotaState struct {
+	Balances []QuotaBalance `json:"balances,omitempty"`
+	Ledger   []QuotaCharge  `json:"ledger,omitempty"`
+}
+
+// QuotaBalance is one user's remaining credits.
+type QuotaBalance struct {
+	User    string  `json:"user"`
+	Credits float64 `json:"credits"`
+}
+
+// QuotaCharge is one accounting ledger entry.
+type QuotaCharge struct {
+	Time            time.Time `json:"time"`
+	User            string    `json:"user"`
+	Site            string    `json:"site"`
+	CPUSeconds      float64   `json:"cpu_seconds"`
+	MB              float64   `json:"mb"`
+	Credits         float64   `json:"credits"`
+	TransferCredits float64   `json:"transfer_credits"`
+	Note            string    `json:"note,omitempty"`
+}
+
+// ReplicaLocation is one replica catalog entry.
+type ReplicaLocation struct {
+	Dataset string  `json:"dataset"`
+	Site    string  `json:"site"`
+	SizeMB  float64 `json:"size_mb"`
+}
+
+// PlanState is one submitted scheduler plan with its per-task concrete
+// assignments. Spec is the plan's wire form (gae.PlanSpec JSON), which
+// restore validates back into an abstract plan.
+type PlanState struct {
+	Name  string          `json:"name"`
+	Owner string          `json:"owner"`
+	Spec  json.RawMessage `json:"spec"`
+	Tasks []PlanTaskState `json:"tasks,omitempty"`
+}
+
+// PlanTaskState is one task's concrete binding. State uses the
+// scheduler's TaskState integer values; tasks captured mid-staging are
+// restored as pending (the in-flight transfer died with the process).
+type PlanTaskState struct {
+	TaskID      string    `json:"task_id"`
+	Site        string    `json:"site,omitempty"`
+	CondorID    int       `json:"condor_id,omitempty"`
+	State       int       `json:"state"`
+	SubmittedAt time.Time `json:"submitted_at,omitzero"`
+	Attempts    int       `json:"attempts,omitempty"`
+}
+
+// SteeringState captures the steering service's durable knobs.
+type SteeringState struct {
+	Preference string `json:"preference,omitempty"`
+}
+
+// EstimatorState captures the decentralized estimator layer: each site's
+// completed-task history (the paper's SDSC-style accounting records) and
+// the scheduler's submission-time estimate database. Both feed placement
+// and the EstimatedRuntime stamped into job ads, so a recovery that
+// dropped them would diverge on the first post-restart submission.
+type EstimatorState struct {
+	Sites     []SiteHistory `json:"sites,omitempty"`
+	Estimates []JobEstimate `json:"estimates,omitempty"`
+}
+
+// SiteHistory is one site's completed-task history, in insertion order.
+type SiteHistory struct {
+	Site    string          `json:"site"`
+	Records []HistoryRecord `json:"records,omitempty"`
+}
+
+// HistoryRecord mirrors the estimator's accounting record fields.
+type HistoryRecord struct {
+	Account   string  `json:"account,omitempty"`
+	Login     string  `json:"login,omitempty"`
+	Partition string  `json:"partition,omitempty"`
+	Nodes     int     `json:"nodes,omitempty"`
+	JobType   string  `json:"job_type,omitempty"`
+	Succeeded bool    `json:"succeeded"`
+	ReqHours  float64 `json:"req_cpu_hours,omitempty"`
+	Queue     string  `json:"queue,omitempty"`
+	CPURate   float64 `json:"cpu_rate,omitempty"`
+	IdleRate  float64 `json:"idle_rate,omitempty"`
+
+	Submitted time.Time `json:"submitted,omitzero"`
+	Started   time.Time `json:"started,omitzero"`
+	Completed time.Time `json:"completed,omitzero"`
+
+	RuntimeSeconds float64 `json:"runtime_seconds"`
+}
+
+// JobEstimate is one submission-time runtime estimate, keyed by the
+// job's pool and Condor ID.
+type JobEstimate struct {
+	Pool    string  `json:"pool"`
+	ID      int     `json:"id"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Encode renders the snapshot as canonical, deterministic JSON.
+func (s *Snapshot) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return nil, fmt.Errorf("durable: encoding snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// EncodeState renders just the state section — the byte-identity domain
+// the recovery suite compares.
+func EncodeState(st *State) ([]byte, error) {
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("durable: encoding state: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeSnapshot parses and validates a snapshot document.
+func DecodeSnapshot(raw []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("%w: snapshot: %v", ErrCorrupt, err)
+	}
+	if s.Version != SnapshotVersion {
+		return nil, fmt.Errorf("durable: snapshot version %d (want %d)", s.Version, SnapshotVersion)
+	}
+	return &s, nil
+}

@@ -1,0 +1,180 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Standard file names inside a durable data directory.
+const (
+	SnapshotFile = "snapshot.json"
+	JournalFile  = "journal.wal"
+)
+
+// Store combines the snapshot codec and the journal into the checkpoint
+// cycle: Open recovers the latest snapshot plus the journal's verified
+// tail, Append journals acknowledged mutations with fresh sequence
+// numbers, and Checkpoint atomically writes a new snapshot then truncates
+// the journal.
+type Store struct {
+	dir     string
+	journal *Journal
+
+	mu  sync.Mutex
+	seq uint64 // last sequence number assigned
+
+	snapshot *Snapshot // as found at Open (nil on cold start)
+	tail     []Op      // verified journal ops with Seq > snapshot.LastSeq
+	scanErr  error     // non-fatal corruption note from the journal scan
+}
+
+// Open prepares dir (creating it if needed), loads the latest snapshot,
+// scans the journal's verified prefix, and opens the journal for
+// appending. Corruption in the journal is not fatal: the verified prefix
+// is kept, the tail beyond it is dropped, and ScanWarning reports what
+// happened.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: creating data dir: %w", err)
+	}
+	snap, err := LoadSnapshot(filepath.Join(dir, SnapshotFile))
+	if err != nil {
+		return nil, err
+	}
+
+	jpath := filepath.Join(dir, JournalFile)
+	var ops []Op
+	var scanErr error
+	if raw, rerr := os.ReadFile(jpath); rerr == nil {
+		ops, scanErr = ScanJournalOps(bytes.NewReader(raw))
+	} else if !errors.Is(rerr, os.ErrNotExist) {
+		return nil, fmt.Errorf("durable: reading journal: %w", rerr)
+	}
+
+	seq := uint64(0)
+	if snap != nil {
+		seq = snap.LastSeq
+	}
+	// Keep only ops past the snapshot horizon; a checkpoint that crashed
+	// between snapshot write and journal truncate leaves covered ops
+	// behind, which replay must skip.
+	var tail []Op
+	for _, op := range ops {
+		if snap == nil || op.Seq > snap.LastSeq {
+			tail = append(tail, op)
+		}
+	}
+	for _, op := range tail {
+		if op.Seq > seq {
+			seq = op.Seq
+		}
+	}
+
+	// If the scan stopped at corruption, drop the unverified bytes from
+	// the file so new appends extend the verified prefix instead of being
+	// unreachable behind garbage.
+	if scanErr != nil {
+		if terr := truncateToVerified(jpath, ops); terr != nil {
+			return nil, terr
+		}
+	}
+
+	j, err := OpenJournal(jpath)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		dir:      dir,
+		journal:  j,
+		seq:      seq,
+		snapshot: snap,
+		tail:     tail,
+		scanErr:  scanErr,
+	}, nil
+}
+
+// truncateToVerified rewrites the journal to contain exactly the verified
+// ops, discarding the corrupt suffix.
+func truncateToVerified(path string, ops []Op) error {
+	var buf []byte
+	for _, op := range ops {
+		payload, err := encodeOp(op)
+		if err != nil {
+			return err
+		}
+		buf = appendFrame(buf, payload)
+	}
+	return WriteFileAtomic(path, buf, 0o644)
+}
+
+// Recovery returns the snapshot (nil on a cold start) and the verified
+// journal tail found at Open.
+func (s *Store) Recovery() (*Snapshot, []Op) { return s.snapshot, s.tail }
+
+// ScanWarning reports non-fatal corruption detected while scanning the
+// journal at Open (nil if the journal was clean).
+func (s *Store) ScanWarning() error { return s.scanErr }
+
+// LastSeq returns the highest sequence number assigned so far.
+func (s *Store) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Append journals one acknowledged mutation, assigning it the next
+// sequence number, and returns once it is durable. Safe for concurrent
+// use; concurrent appends share fsyncs via group commit.
+func (s *Store) Append(at time.Time, user, service, method string, args any) error {
+	var raw json.RawMessage
+	if args != nil {
+		b, err := json.Marshal(args)
+		if err != nil {
+			return fmt.Errorf("durable: encoding args for %s.%s: %w", service, method, err)
+		}
+		raw = b
+	}
+	// Assign the sequence number and enqueue under one lock so journal
+	// order always matches sequence order; wait for the fsync outside it.
+	s.mu.Lock()
+	op := Op{Seq: s.seq + 1, Time: at.UTC(), User: user, Service: service, Method: method, Args: raw}
+	payload, err := encodeOp(op)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	gen, err := s.journal.enqueue(payload)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.seq = op.Seq
+	s.mu.Unlock()
+	return s.journal.waitDurable(gen)
+}
+
+// Checkpoint writes snap (stamped with the current version and sequence
+// horizon) atomically, then truncates the journal. The caller must ensure
+// no Append races the call — in the server the checkpointer holds the
+// mutation barrier.
+func (s *Store) Checkpoint(simTime time.Time, st State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := &Snapshot{Version: SnapshotVersion, LastSeq: s.seq, SimTime: simTime.UTC(), State: st}
+	if err := SaveSnapshot(filepath.Join(s.dir, SnapshotFile), snap); err != nil {
+		return err
+	}
+	return s.journal.Truncate()
+}
+
+// Dir returns the store's data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close flushes and closes the journal.
+func (s *Store) Close() error { return s.journal.Close() }

@@ -1,0 +1,215 @@
+package durable
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var storeEpoch = time.Date(2005, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestStoreColdStart(t *testing.T) {
+	s, err := Open(t.TempDir() + "/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	snap, tail := s.Recovery()
+	if snap != nil || len(tail) != 0 {
+		t.Fatalf("cold start should be empty, got snap=%v tail=%v", snap, tail)
+	}
+	if s.LastSeq() != 0 {
+		t.Fatalf("seq = %d, want 0", s.LastSeq())
+	}
+}
+
+func TestStoreCheckpointCycle(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Append(storeEpoch.Add(time.Duration(i)*time.Second), "alice", "state", "set", map[string]string{"k": "v"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := State{UserState: map[string]map[string]string{"alice": {"k": "v"}}}
+	if err := s.Checkpoint(storeEpoch.Add(5*time.Second), st); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint appends form the replay tail.
+	for i := 5; i < 8; i++ {
+		if err := s.Append(storeEpoch.Add(time.Duration(i)*time.Second), "bob", "state", "set", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	snap, tail := s2.Recovery()
+	if snap == nil {
+		t.Fatal("no snapshot recovered")
+	}
+	if snap.LastSeq != 5 {
+		t.Fatalf("snapshot LastSeq = %d, want 5", snap.LastSeq)
+	}
+	if got := snap.State.UserState["alice"]["k"]; got != "v" {
+		t.Fatalf("state not preserved: %q", got)
+	}
+	if len(tail) != 3 {
+		t.Fatalf("tail length %d, want 3", len(tail))
+	}
+	for i, op := range tail {
+		if op.Seq != uint64(6+i) || op.User != "bob" {
+			t.Fatalf("tail[%d] = %+v", i, op)
+		}
+	}
+	if s2.LastSeq() != 8 {
+		t.Fatalf("recovered seq = %d, want 8", s2.LastSeq())
+	}
+}
+
+// TestStoreSkipsCoveredOps simulates a crash between snapshot write and
+// journal truncation: ops at or below the snapshot horizon must not be
+// offered for replay.
+func TestStoreSkipsCoveredOps(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Append(storeEpoch, "alice", "state", "set", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Write the snapshot directly (bypassing Checkpoint's truncate) to
+	// model the torn checkpoint.
+	snap := &Snapshot{Version: SnapshotVersion, LastSeq: 3, SimTime: storeEpoch}
+	if err := SaveSnapshot(filepath.Join(dir, SnapshotFile), snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	_, tail := s2.Recovery()
+	if len(tail) != 1 || tail[0].Seq != 4 {
+		t.Fatalf("tail = %+v, want only seq 4", tail)
+	}
+}
+
+// TestStoreTruncatesCorruptSuffix verifies that when the journal scan
+// stops at corruption, Open drops the unverified bytes so later appends
+// extend the verified prefix.
+func TestStoreTruncatesCorruptSuffix(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Append(storeEpoch, "alice", "state", "set", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	jpath := filepath.Join(dir, JournalFile)
+	raw, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-2] ^= 0xFF // corrupt the last record's payload
+	if err := os.WriteFile(jpath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(s2.ScanWarning(), ErrCorrupt) {
+		t.Fatalf("want corruption warning, got %v", s2.ScanWarning())
+	}
+	_, tail := s2.Recovery()
+	if len(tail) != 2 {
+		t.Fatalf("verified tail = %d ops, want 2", len(tail))
+	}
+	// New appends continue the sequence after the verified prefix.
+	if err := s2.Append(storeEpoch, "alice", "state", "set", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.ScanWarning() != nil {
+		t.Fatalf("journal should be clean after repair: %v", s3.ScanWarning())
+	}
+	_, tail = s3.Recovery()
+	if len(tail) != 3 || tail[2].Seq != 3 {
+		t.Fatalf("tail = %+v, want 3 ops ending at seq 3", tail)
+	}
+}
+
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.json")
+	if err := WriteFileAtomic(path, []byte("one"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("two"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "two" {
+		t.Fatalf("got %q", got)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(entries))
+	}
+}
+
+func TestSnapshotVersionRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, SnapshotFile)
+	bad := &Snapshot{Version: 99, SimTime: storeEpoch}
+	data, err := bad.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(path); err == nil {
+		t.Fatal("version 99 snapshot should be rejected")
+	}
+}

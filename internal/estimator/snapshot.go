@@ -1,0 +1,78 @@
+package estimator
+
+import (
+	"sort"
+
+	"repro/internal/durable"
+)
+
+// Export serializes the history's records in insertion order for the
+// durable snapshot codec.
+func (h *History) Export() []durable.HistoryRecord {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var out []durable.HistoryRecord
+	for _, r := range h.records {
+		out = append(out, durable.HistoryRecord{
+			Account: r.Account, Login: r.Login, Partition: r.Partition,
+			Nodes: r.Nodes, JobType: r.JobType, Succeeded: r.Succeeded,
+			ReqHours: r.ReqHours, Queue: r.Queue,
+			CPURate: r.CPURate, IdleRate: r.IdleRate,
+			Submitted: r.Submitted, Started: r.Started, Completed: r.Completed,
+			RuntimeSeconds: r.RuntimeSeconds,
+		})
+	}
+	return out
+}
+
+// Restore replaces the history's contents with exported records,
+// re-applying the capacity bound.
+func (h *History) Restore(records []durable.HistoryRecord) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.records = h.records[:0]
+	for _, r := range records {
+		h.records = append(h.records, TaskRecord{
+			Account: r.Account, Login: r.Login, Partition: r.Partition,
+			Nodes: r.Nodes, JobType: r.JobType, Succeeded: r.Succeeded,
+			ReqHours: r.ReqHours, Queue: r.Queue,
+			CPURate: r.CPURate, IdleRate: r.IdleRate,
+			Submitted: r.Submitted, Started: r.Started, Completed: r.Completed,
+			RuntimeSeconds: r.RuntimeSeconds,
+		})
+	}
+	if h.cap > 0 && len(h.records) > h.cap {
+		h.records = h.records[len(h.records)-h.cap:]
+	}
+}
+
+// Export serializes the estimate database sorted by pool then job ID —
+// the canonical order the recovery suite compares.
+func (db *EstimateDB) Export() []durable.JobEstimate {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]durable.JobEstimate, 0, len(db.estimates))
+	for k, v := range db.estimates {
+		out = append(out, durable.JobEstimate{Pool: k.pool, ID: k.id, Seconds: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pool != out[j].Pool {
+			return out[i].Pool < out[j].Pool
+		}
+		return out[i].ID < out[j].ID
+	})
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Restore replaces the database contents with exported estimates.
+func (db *EstimateDB) Restore(estimates []durable.JobEstimate) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.estimates = make(map[dbKey]float64, len(estimates))
+	for _, e := range estimates {
+		db.estimates[dbKey{pool: e.Pool, id: e.ID}] = e.Seconds
+	}
+}

@@ -1,0 +1,70 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/simgrid"
+	"repro/pkg/gae"
+)
+
+func testDeployment() *core.GAE {
+	return core.New(core.Config{
+		Seed: 3,
+		Sites: []core.SiteSpec{
+			{Name: "siteA", Nodes: 2, Load: simgrid.IdleLoad(), CostPerCPUSecond: 0.05},
+			{Name: "siteB", Nodes: 2, Load: simgrid.ConstantLoad(0.2), CostPerCPUSecond: 0.02},
+		},
+		Links: []core.LinkSpec{{A: "siteA", B: "siteB", MBps: 10, LatencyMS: 50}},
+		Users: []core.UserSpec{{Name: "alice", Password: "pw", Credits: 1e9, Admin: true}},
+	})
+}
+
+func TestRunMixedWorkload(t *testing.T) {
+	g := testDeployment()
+	res, err := Run(context.Background(), Config{Clients: 3, Ops: 40, Seed: 1},
+		func(context.Context, int) (*gae.Client, error) { return g.Client("alice"), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors > 0 {
+		t.Fatalf("%d of %d ops failed (%+v)", res.Errors, res.Ops, res.ByOp)
+	}
+	if res.Ops != 3*40 {
+		t.Fatalf("Ops = %d, want %d", res.Ops, 3*40)
+	}
+	if res.Clients != 3 {
+		t.Fatalf("Clients = %d, want 3", res.Clients)
+	}
+	if res.ByOp["submit"] == 0 {
+		t.Fatal("workload issued no submissions")
+	}
+	if res.RPS <= 0 || res.ElapsedSeconds <= 0 {
+		t.Fatalf("throughput not measured: %+v", res)
+	}
+	if res.P50Millis > res.P95Millis || res.P95Millis > res.P99Millis {
+		t.Fatalf("percentiles not monotone: p50=%v p95=%v p99=%v",
+			res.P50Millis, res.P95Millis, res.P99Millis)
+	}
+	// The workload's plans really landed in the deployment.
+	if _, ok := g.Plan("load-w0-0"); !ok {
+		t.Fatal("worker 0's first plan not found in the deployment")
+	}
+}
+
+func TestRunDialFailure(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Run(context.Background(), Config{Clients: 2, Ops: 4},
+		func(_ context.Context, w int) (*gae.Client, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped dial error", err)
+	}
+}
+
+func TestPercentileMillis(t *testing.T) {
+	if got := percentileMillis(nil, 0.5); got != 0 {
+		t.Fatalf("empty percentile = %v, want 0", got)
+	}
+}

@@ -1,0 +1,52 @@
+package quota
+
+import (
+	"sort"
+
+	"repro/internal/durable"
+)
+
+// Export serializes user balances (sorted by user) and the charge ledger
+// (in charge order) for the durable snapshot codec. Site rates are
+// deployment configuration and are not exported.
+func (s *Service) Export() durable.QuotaState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := durable.QuotaState{}
+	users := make([]string, 0, len(s.balances))
+	for u := range s.balances {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	for _, u := range users {
+		st.Balances = append(st.Balances, durable.QuotaBalance{User: u, Credits: s.balances[u]})
+	}
+	for _, c := range s.ledger {
+		st.Ledger = append(st.Ledger, durable.QuotaCharge{
+			Time: c.Time, User: c.User, Site: c.Site,
+			CPUSeconds: c.CPUSeconds, MB: c.MB,
+			Credits: c.Credits, TransferCredits: c.TransferCredits, Note: c.Note,
+		})
+	}
+	return st
+}
+
+// Restore overwrites balances and ledger from an exported state without
+// invoking charge listeners: restored history was already propagated (the
+// fair-share bridge's view comes back through its own snapshot).
+func (s *Service) Restore(st durable.QuotaState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.balances = make(map[string]float64, len(st.Balances))
+	for _, b := range st.Balances {
+		s.balances[b.User] = b.Credits
+	}
+	s.ledger = s.ledger[:0]
+	for _, c := range st.Ledger {
+		s.ledger = append(s.ledger, Charge{
+			Time: c.Time, User: c.User, Site: c.Site,
+			CPUSeconds: c.CPUSeconds, MB: c.MB,
+			Credits: c.Credits, TransferCredits: c.TransferCredits, Note: c.Note,
+		})
+	}
+}

@@ -1,0 +1,30 @@
+package replica
+
+import (
+	"repro/internal/durable"
+)
+
+// Export serializes the catalog for the durable snapshot codec, sorted by
+// dataset then site — the canonical order the recovery suite compares.
+func (c *Catalog) Export() []durable.ReplicaLocation {
+	var out []durable.ReplicaLocation
+	for _, d := range c.Datasets() {
+		for _, l := range c.Locations(d) {
+			out = append(out, durable.ReplicaLocation{Dataset: l.Dataset, Site: l.Site, SizeMB: l.SizeMB})
+		}
+	}
+	return out
+}
+
+// Restore overwrites the catalog with the exported entries.
+func (c *Catalog) Restore(locs []durable.ReplicaLocation) error {
+	c.mu.Lock()
+	c.sets = make(map[string]map[string]float64)
+	c.mu.Unlock()
+	for _, l := range locs {
+		if err := c.Register(l.Dataset, l.Site, l.SizeMB); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -130,6 +130,12 @@ type Quota interface {
 	Cost(ctx context.Context, site string, cpuSeconds, mb float64) (float64, error)
 	// Cheapest picks the lowest-cost candidate site for the usage.
 	Cheapest(ctx context.Context, sites []string, cpuSeconds, mb float64) (CostQuote, error)
+	// Grant credits a user's account (administrators only).
+	Grant(ctx context.Context, user string, credits float64) error
+	// ChargeUsage bills recorded usage against a user's balance and
+	// appends it to the accounting ledger, returning the credits charged
+	// (administrators only).
+	ChargeUsage(ctx context.Context, req ChargeRequest) (float64, error)
 }
 
 // Replica is the replica catalog (data location service) contract.

@@ -223,6 +223,8 @@ func QuotaHandlers(s Quota) map[string]xmlrpc.Handler {
 		"balance":  Handler0(s.Balance),
 		"cost":     Handler3(s.Cost),
 		"cheapest": Handler3(s.Cheapest),
+		"grant":    Action2(s.Grant),
+		"charge":   Handler1(s.ChargeUsage),
 	}
 }
 

@@ -232,6 +232,14 @@ func (r *remote) Cheapest(ctx context.Context, sites []string, cpuSeconds, mb fl
 	return call[CostQuote](ctx, r, "quota.cheapest", sites, cpuSeconds, mb)
 }
 
+func (r *remote) Grant(ctx context.Context, user string, credits float64) error {
+	return action(ctx, r, "quota.grant", user, credits)
+}
+
+func (r *remote) ChargeUsage(ctx context.Context, req ChargeRequest) (float64, error) {
+	return call[float64](ctx, r, "quota.charge", req)
+}
+
 // Replica.
 
 func (r *remote) Datasets(ctx context.Context) ([]string, error) {

@@ -20,13 +20,25 @@ type TaskSpec struct {
 	JobType   string  `json:"job_type" xmlrpc:"job_type"`
 	ReqHours  float64 `json:"req_cpu_hours" xmlrpc:"req_cpu_hours"`
 
-	Priority       int      `json:"priority" xmlrpc:"priority"`
-	DependsOn      []string `json:"depends_on" xmlrpc:"depends_on"`
-	OutputFile     string   `json:"output_file" xmlrpc:"output_file"`
-	OutputMB       float64  `json:"output_mb" xmlrpc:"output_mb"`
-	Checkpointable bool     `json:"checkpointable" xmlrpc:"checkpointable"`
+	Priority       int        `json:"priority" xmlrpc:"priority"`
+	DependsOn      []string   `json:"depends_on" xmlrpc:"depends_on"`
+	Inputs         []FileSpec `json:"inputs,omitempty" xmlrpc:"inputs,omitempty"`
+	OutputFile     string     `json:"output_file" xmlrpc:"output_file"`
+	OutputMB       float64    `json:"output_mb" xmlrpc:"output_mb"`
+	Checkpointable bool       `json:"checkpointable" xmlrpc:"checkpointable"`
 	// Requirements is an optional ClassAd constraint on machines.
 	Requirements string `json:"requirements" xmlrpc:"requirements"`
+	// FailAfterCPU injects a fault after this many consumed CPU-seconds
+	// (zero disables) — used by recovery tests and steering ablations.
+	FailAfterCPU float64 `json:"fail_after_cpu,omitempty" xmlrpc:"fail_after_cpu,omitempty"`
+}
+
+// FileSpec names an input dataset a task stages to its execution site
+// before running. An empty site lets the replica catalog pick the source.
+type FileSpec struct {
+	Name   string  `json:"name" xmlrpc:"name"`
+	Site   string  `json:"site,omitempty" xmlrpc:"site,omitempty"`
+	SizeMB float64 `json:"size_mb,omitempty" xmlrpc:"size_mb,omitempty"`
 }
 
 // PlanSpec is an abstract job plan: a named DAG of tasks. The owner is
@@ -149,6 +161,15 @@ type TransferEstimate struct {
 type CostQuote struct {
 	Site string  `xmlrpc:"site"`
 	Cost float64 `xmlrpc:"cost"`
+}
+
+// ChargeRequest records billable usage against a user's account.
+type ChargeRequest struct {
+	User       string  `xmlrpc:"user"`
+	Site       string  `xmlrpc:"site"`
+	CPUSeconds float64 `xmlrpc:"cpu_seconds"`
+	MB         float64 `xmlrpc:"mb"`
+	Note       string  `xmlrpc:"note,omitempty"`
 }
 
 // ReplicaLocation is one replica of a dataset.
