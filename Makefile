@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race bench bench-json bench-smoke load-smoke sim fmt vet
+.PHONY: build test test-race bench bench-json bench-smoke load-smoke chaos-smoke sim fmt vet
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,13 @@ bench-smoke:
 # embedded durable deployment — exits non-zero if any operation fails.
 load-smoke:
 	$(GO) run ./cmd/gae-loadgen -clients 4 -ops 32 -data "$$(mktemp -d)" -json -
+
+# Exactly-once chaos smoke: concurrent mutating load through a
+# fault-injecting transport (drops, ack losses, duplicate deliveries)
+# against a real gae-server that is SIGKILLed and restarted mid-load.
+# Exits non-zero if any acked op is lost or applied twice.
+chaos-smoke:
+	$(GO) run ./cmd/gae-chaos -clients 3 -ops 12 -kills 2
 
 # Replay a fairness scenario; override with e.g.
 #   make sim SCENARIO=bursty-tenant SIMFLAGS=-fairshare=false

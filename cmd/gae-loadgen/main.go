@@ -51,6 +51,7 @@ func main() {
 		seed    = flag.Int64("seed", 2005, "workload mix seed")
 		prefix  = flag.String("prefix", "load", "namespace for created plans and state keys")
 		data    = flag.String("data", "", "durable state directory for embedded mode (empty = in-memory)")
+		retry   = flag.Bool("retry", false, "enable transport retry/backoff with the default policy in -url mode")
 		out     = flag.String("json", "-", "result JSON path (- = stdout)")
 	)
 	flag.Parse()
@@ -61,8 +62,12 @@ func main() {
 	switch {
 	case *url != "":
 		rep.Transport = "xmlrpc"
+		opts := []gae.Option{gae.WithCredentials(*user, *pass)}
+		if *retry {
+			opts = append(opts, gae.WithRetryPolicy(gae.RetryPolicy{}))
+		}
 		dial = func(ctx context.Context, _ int) (*gae.Client, error) {
-			return gae.Dial(ctx, *url, gae.WithCredentials(*user, *pass))
+			return gae.Dial(ctx, *url, opts...)
 		}
 	default:
 		rep.Transport = "local"

@@ -53,6 +53,8 @@ func main() {
 			"durable state directory (empty = in-memory only)")
 		checkpoint = flag.Duration("checkpoint", time.Minute,
 			"wall-clock period between checkpoints when -data is set")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second,
+			"bound on the graceful drain; past it the server exits nonzero (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -74,6 +76,7 @@ func main() {
 	}
 	srv.Accel = *accel
 	srv.CheckpointEvery = *checkpoint
+	srv.DrainTimeout = *drainTimeout
 	srv.Logf = log.Printf
 	url, err := srv.Start(*addr)
 	if err != nil {

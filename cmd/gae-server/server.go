@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -8,6 +9,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/durable"
 )
+
+// ErrDrainTimeout reports a graceful drain that exceeded Server.DrainTimeout.
+// The process must exit nonzero: the final checkpoint may not have landed,
+// so the next start recovers from the journal instead.
+var ErrDrainTimeout = errors.New("drain deadline exceeded")
 
 // Server runs a GAE deployment as a long-lived service: it recovers
 // state from a durable data directory at start, drives the simulation in
@@ -24,10 +30,20 @@ type Server struct {
 	CheckpointEvery time.Duration
 	// Logf receives progress lines (nil silences them).
 	Logf func(format string, args ...any)
+	// DrainTimeout bounds the graceful drain (endpoint stop + final
+	// checkpoint). When it expires Run returns ErrDrainTimeout so main
+	// can force-exit nonzero instead of hanging on a wedged drain.
+	// 0 means unbounded.
+	DrainTimeout time.Duration
 
 	store    *durable.Store
 	stop     chan struct{}
 	stopOnce sync.Once
+
+	// drainBarrier, when non-nil, runs at the head of the drain
+	// goroutine — a test hook that simulates a drain wedged behind a
+	// stuck checkpoint.
+	drainBarrier func()
 }
 
 // NewServer builds a server around g. A non-empty dataDir opens (or
@@ -91,8 +107,37 @@ func (s *Server) Run() error {
 			}
 			s.logf("checkpoint at simulated %v", s.G.Now().Format(time.RFC3339))
 		case <-s.stop:
-			return s.drain()
+			return s.drainBounded()
 		}
+	}
+}
+
+// drainBounded runs drain under DrainTimeout. New RPCs are rejected
+// with FaultUnavailable (retryable — clients back off to another
+// attempt or endpoint) the moment draining starts.
+func (s *Server) drainBounded() error {
+	s.G.Clarens.SetDraining(true)
+	if s.DrainTimeout <= 0 && s.drainBarrier == nil {
+		return s.drain()
+	}
+	done := make(chan error, 1)
+	go func() {
+		if s.drainBarrier != nil {
+			s.drainBarrier()
+		}
+		done <- s.drain()
+	}()
+	var deadline <-chan time.Time
+	if s.DrainTimeout > 0 {
+		t := time.NewTimer(s.DrainTimeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-deadline:
+		return fmt.Errorf("%w after %v", ErrDrainTimeout, s.DrainTimeout)
 	}
 }
 

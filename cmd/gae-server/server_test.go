@@ -2,13 +2,16 @@ package main
 
 import (
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
+	"repro/internal/clarens"
 	"repro/internal/core"
 	"repro/internal/durable"
+	"repro/internal/xmlrpc"
 	"repro/pkg/gae"
 )
 
@@ -127,5 +130,36 @@ func TestServerRecoversAcrossRestart(t *testing.T) {
 	srv2.Shutdown()
 	if err := <-done2; err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDrainTimeoutForcesExit pins the bounded drain: a drain wedged
+// behind a stuck checkpoint (the test barrier stands in for it) must
+// not hang Run forever — past DrainTimeout it returns ErrDrainTimeout,
+// which main turns into a nonzero exit. While draining, new RPCs are
+// shed with the retryable FaultUnavailable.
+func TestDrainTimeoutForcesExit(t *testing.T) {
+	srv, err := NewServer(core.New(testConfig()), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unblock := make(chan struct{})
+	t.Cleanup(func() { close(unblock) })
+	srv.drainBarrier = func() { <-unblock }
+	srv.DrainTimeout = 50 * time.Millisecond
+	srv.Shutdown()
+	if err := srv.Run(); !errors.Is(err, ErrDrainTimeout) {
+		t.Fatalf("Run = %v, want ErrDrainTimeout", err)
+	}
+
+	// The wedged drain left the listener up but draining: calls are
+	// rejected with the retryable unavailable fault, not served.
+	cc := clarens.NewClient(url)
+	if _, err := cc.Call(context.Background(), "system.ping"); !xmlrpc.IsFault(err, xmlrpc.FaultUnavailable) {
+		t.Fatalf("call while draining: %v, want FaultUnavailable", err)
 	}
 }

@@ -1,0 +1,202 @@
+package chaos
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/pkg/gae"
+)
+
+// testServer runs a crash-recoverable deployment in-process. kill is
+// the crash stand-in: the listener closes immediately (no drain) and
+// the store closes without a checkpoint, leaving a stale-or-absent
+// snapshot plus a live journal tail — exactly what a SIGKILL leaves on
+// disk.
+type testServer struct {
+	t    *testing.T
+	dir  string
+	addr string
+
+	mu    sync.Mutex
+	g     *core.GAE
+	store *durable.Store
+}
+
+func serverConfig() core.Config {
+	return core.Config{
+		Seed:  11,
+		Sites: []core.SiteSpec{{Name: "siteA", Nodes: 2, CostPerCPUSecond: 0.1}},
+		Users: []core.UserSpec{{Name: "alice", Password: "pw", Credits: 100, Admin: true}},
+	}
+}
+
+func (ts *testServer) start() (string, error) {
+	g := core.New(serverConfig())
+	store, err := durable.Open(ts.dir)
+	if err != nil {
+		return "", err
+	}
+	if err := g.AttachStore(store); err != nil {
+		store.Close()
+		return "", err
+	}
+	var url string
+	for i := 0; ; i++ {
+		url, err = g.Start(ts.addr)
+		if err == nil {
+			break
+		}
+		// The previous instance's port can take a moment to free.
+		if i >= 100 {
+			store.Close()
+			return "", err
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	ts.mu.Lock()
+	ts.g, ts.store = g, store
+	ts.mu.Unlock()
+	return url, nil
+}
+
+func (ts *testServer) kill() error {
+	ts.mu.Lock()
+	g, store := ts.g, ts.store
+	ts.mu.Unlock()
+	if err := g.Clarens.Kill(); err != nil {
+		return err
+	}
+	return store.Close()
+}
+
+func (ts *testServer) current() *core.GAE {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.g
+}
+
+// dialRetry dials until the freshly restarted endpoint answers — the
+// shared HTTP connection pool can hold connections a kill severed.
+func dialRetry(t *testing.T, ctx context.Context, url string) *gae.Client {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cl, err := gae.Dial(ctx, url, gae.WithCredentials("alice", "pw"))
+		if err == nil {
+			return cl
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dial %s: %v", url, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func startTestServer(t *testing.T) *testServer {
+	t.Helper()
+	ts := &testServer{t: t, dir: t.TempDir(), addr: "127.0.0.1:0"}
+	url, err := ts.start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin the ephemeral port so restarts come back at the same endpoint.
+	ts.addr = strings.TrimPrefix(url, "http://")
+	t.Cleanup(func() { _ = ts.kill() })
+	return ts
+}
+
+// TestChaosExactlyOnceAcrossKills is the headline invariant check:
+// concurrent clients push mutations through a faulty transport (drops,
+// ack losses, duplicates) while the server is killed -9 and restarted
+// mid-load, and reconciliation of the client acked-op log against the
+// recovered state must find zero lost acked ops and zero double
+// applies.
+func TestChaosExactlyOnceAcrossKills(t *testing.T) {
+	ts := startTestServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	rep, err := Run(ctx, Config{
+		URL:     "http://" + ts.addr,
+		User:    "alice",
+		Pass:    "pw",
+		Workers: 3,
+		Ops:     12,
+		Kills:   2,
+		Faults:  Faults{Seed: 1, DropProb: 0.05, AckLossProb: 0.10, DupProb: 0.10},
+		Nonce:   "run1",
+		Retry: gae.RetryPolicy{
+			MaxAttempts: 3,
+			BaseBackoff: 5 * time.Millisecond,
+			MaxBackoff:  50 * time.Millisecond,
+			// Keep the breaker out of the way: the outer
+			// retry-until-acked loop is the availability mechanism here.
+			BreakerThreshold: 1000,
+		},
+		Control: ServerControl{Kill: ts.kill, Start: ts.start},
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("exactly-once violated:\n lost acked: %v\n double applied: %v", rep.LostAcked, rep.DoubleApplied)
+	}
+	if want := 3 * 12; rep.AckedOps != want {
+		t.Fatalf("acked %d ops, want %d", rep.AckedOps, want)
+	}
+	if rep.Faults.Calls == 0 {
+		t.Fatal("fault transport saw no traffic; the run exercised nothing")
+	}
+	t.Logf("acked=%d attempts=%d faults=%+v", rep.AckedOps, rep.Attempts, rep.Faults)
+}
+
+// TestDuplicateSuppressedAcrossCheckpointRestart pins the acceptance
+// criterion directly: a mutation is acknowledged, the server
+// checkpoints and restarts, and only then does the duplicate (same
+// request ID, over the wire) arrive — it must be suppressed by the
+// window recovered from the snapshot.
+func TestDuplicateSuppressedAcrossCheckpointRestart(t *testing.T) {
+	ts := startTestServer(t)
+	ctx := context.Background()
+	cl, err := gae.Dial(ctx, "http://"+ts.addr, gae.WithCredentials("alice", "pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rctx := gae.WithRequestID(ctx, "dup-grant-1")
+	if err := cl.Grant(rctx, "alice", GrantAmount); err != nil {
+		t.Fatal(err)
+	}
+	before, err := cl.Balance(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpoint, then crash and recover: the duplicate-suppression
+	// window must ride the snapshot, not just server memory.
+	if err := ts.current().Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.kill(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ts.start(); err != nil {
+		t.Fatal(err)
+	}
+
+	cl2 := dialRetry(t, ctx, "http://"+ts.addr)
+	if err := cl2.Grant(gae.WithRequestID(ctx, "dup-grant-1"), "alice", GrantAmount); err != nil {
+		t.Fatalf("retried grant after restart: %v, want deduplicated success", err)
+	}
+	after, err := cl2.Balance(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Fatalf("balance %v after duplicate, want %v (grant must not re-apply)", after, before)
+	}
+}

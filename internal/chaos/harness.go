@@ -1,0 +1,394 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clarens"
+	"repro/internal/xmlrpc"
+	"repro/pkg/gae"
+)
+
+// GrantAmount is the fixed per-grant credit amount. Grants all target
+// the harness user, so the final balance is exact arithmetic over the
+// acked-grant count — one double-applied (or lost) grant shifts it by
+// exactly GrantAmount.
+const GrantAmount = 7.0
+
+// ServerControl lets the harness crash and restart the system under
+// test: Kill must stop it without a drain (the crash), Start must bring
+// it back over the same durable state and return its endpoint URL.
+type ServerControl struct {
+	Kill  func() error
+	Start func() (string, error)
+}
+
+// Config drives one chaos run.
+type Config struct {
+	// URL is the initial endpoint; restarts may move it (Start returns
+	// the new one).
+	URL        string
+	User, Pass string
+
+	Workers int // concurrent clients (default 3)
+	Ops     int // acked ops each worker must complete (default 12)
+	Kills   int // kill/restart cycles spread across the run
+
+	Faults Faults
+	// Nonce namespaces every request ID, plan name, and state key, so a
+	// reused data directory cannot alias ops from an earlier run.
+	Nonce string
+
+	Control ServerControl
+	// Retry tunes the clients' transport retry layer; zero-value fields
+	// take the layer's defaults.
+	Retry gae.RetryPolicy
+	Logf  func(format string, args ...any)
+}
+
+// OpRecord is one entry of the client-side acked-op log: the harness
+// records an op here only after the server acknowledged it.
+type OpRecord struct {
+	Worker   int
+	N        int
+	RID      string // the pinned idempotency key
+	Kind     string // "submit" | "grant" | "set"
+	Key      string // plan name / grantee / state key
+	Result   string // acked result (submit: plan name)
+	Attempts int    // deliveries tried before the ack
+}
+
+// Report is the reconciliation outcome. The run passes iff LostAcked
+// and DoubleApplied are both empty.
+type Report struct {
+	AckedOps  int
+	Attempts  int // total deliveries tried, acked ones included
+	Kills     int
+	Faults    Stats
+	BalanceAt float64 // harness user's balance after the run
+
+	// LostAcked lists acked ops missing from the recovered state.
+	LostAcked []string
+	// DoubleApplied lists ops whose effect appears more than once.
+	DoubleApplied []string
+}
+
+// Passed reports whether reconciliation found the exactly-once
+// invariant intact.
+func (r *Report) Passed() bool {
+	return len(r.LostAcked) == 0 && len(r.DoubleApplied) == 0
+}
+
+type harness struct {
+	cfg          Config
+	transport    *Transport
+	startBalance float64
+
+	// acked paces the kill controller: kills fire at fractions of total
+	// acked progress, so they always land while load is in flight.
+	acked       atomic.Int64
+	workersDone chan struct{}
+
+	mu  sync.Mutex
+	url string
+}
+
+func (h *harness) logf(format string, args ...any) {
+	if h.cfg.Logf != nil {
+		h.cfg.Logf(format, args...)
+	}
+}
+
+func (h *harness) endpoint() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.url
+}
+
+func (h *harness) setEndpoint(u string) {
+	h.mu.Lock()
+	h.url = u
+	h.mu.Unlock()
+}
+
+// Run drives the configured load through the fault transport while the
+// controller kills and restarts the server, then reconciles. The
+// returned Report is valid when err is nil.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 3
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 12
+	}
+	if cfg.Nonce == "" {
+		return nil, fmt.Errorf("chaos: Config.Nonce is required (it namespaces ops across runs)")
+	}
+	h := &harness{cfg: cfg, url: cfg.URL, workersDone: make(chan struct{})}
+	h.transport = NewTransport(nil, cfg.Faults)
+
+	// The grant ledger is reconciled by exact arithmetic from this
+	// starting balance (the data dir may carry credits from other runs).
+	pre, err := gae.Dial(ctx, cfg.URL,
+		gae.WithCredentials(cfg.User, cfg.Pass), gae.WithTimeout(10*time.Second))
+	if err != nil {
+		return nil, fmt.Errorf("chaos: pre-run dial: %w", err)
+	}
+	h.startBalance, err = pre.Balance(ctx)
+	pre.Close(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: pre-run balance: %w", err)
+	}
+
+	logs := make([][]OpRecord, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			logs[w], errs[w] = h.runWorker(ctx, w)
+		}(w)
+	}
+	killDone := make(chan error, 1)
+	go func() { killDone <- h.controller(ctx) }()
+	wg.Wait()
+	close(h.workersDone)
+	if err := <-killDone; err != nil {
+		return nil, err
+	}
+	for w, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("chaos: worker %d: %w", w, err)
+		}
+	}
+
+	var acked []OpRecord
+	attempts := 0
+	for _, l := range logs {
+		for _, r := range l {
+			attempts += r.Attempts
+		}
+		acked = append(acked, l...)
+	}
+	rep := &Report{
+		AckedOps: len(acked),
+		Attempts: attempts,
+		Kills:    cfg.Kills,
+		Faults:   h.transport.Stats(),
+	}
+	if err := h.reconcile(ctx, acked, rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// dial logs the worker in through the fault transport, retrying until
+// the server answers (it may be mid-restart).
+func (h *harness) dial(ctx context.Context) (*gae.Client, error) {
+	for {
+		cl, err := gae.Dial(ctx, h.endpoint(),
+			gae.WithCredentials(h.cfg.User, h.cfg.Pass),
+			gae.WithTransport(h.transport),
+			gae.WithRetryPolicy(h.cfg.Retry),
+			gae.WithTimeout(10*time.Second))
+		if err == nil {
+			return cl, nil
+		}
+		if err := sleep(ctx, 25*time.Millisecond); err != nil {
+			return nil, fmt.Errorf("dialing %s: %w", h.endpoint(), err)
+		}
+	}
+}
+
+// runWorker completes Ops acked operations, each under a pinned request
+// ID, retrying every op until the server acknowledges it — through
+// faults, kills, and re-logins. The returned log holds acked ops only.
+func (h *harness) runWorker(ctx context.Context, w int) ([]OpRecord, error) {
+	cl, err := h.dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	kinds := []string{"submit", "grant", "set"}
+	var recs []OpRecord
+	for n := 0; n < h.cfg.Ops; n++ {
+		kind := kinds[n%len(kinds)]
+		rid := fmt.Sprintf("%s-w%d-op%d", h.cfg.Nonce, w, n)
+		rec := OpRecord{Worker: w, N: n, RID: rid, Kind: kind}
+		opCtx := gae.WithRequestID(ctx, rid)
+		for {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("op %s unacked: %w", rid, err)
+			}
+			rec.Attempts++
+			var err error
+			switch kind {
+			case "submit":
+				name := fmt.Sprintf("%s-plan-w%d-op%d", h.cfg.Nonce, w, n)
+				rec.Key = name
+				var got string
+				got, err = cl.Submit(opCtx, gae.PlanSpec{
+					Name: name,
+					Tasks: []gae.TaskSpec{{
+						ID: "t0", CPUSeconds: 60, Queue: "batch", Nodes: 1, ReqHours: 1,
+					}},
+				})
+				rec.Result = got
+			case "grant":
+				rec.Key = h.cfg.User
+				err = cl.Grant(opCtx, h.cfg.User, GrantAmount)
+			case "set":
+				key := fmt.Sprintf("%s-key-w%d-op%d", h.cfg.Nonce, w, n)
+				rec.Key = key
+				err = cl.SetState(opCtx, key, rid)
+			}
+			if err == nil {
+				break
+			}
+			if xmlrpc.IsFault(err, xmlrpc.FaultAuth) {
+				// The restart dropped the in-memory session; log in
+				// again and retry the same request ID.
+				if cl, err = h.dial(ctx); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if f, ok := xmlrpc.AsFault(err); ok && f.Code != xmlrpc.FaultUnavailable {
+				// A semantic rejection would never succeed on retry; it
+				// means the harness (or the dedup layer) is broken.
+				return nil, fmt.Errorf("op %s rejected: %w", rid, err)
+			}
+			if err := sleep(ctx, 20*time.Millisecond); err != nil {
+				return nil, fmt.Errorf("op %s unacked: %w", rid, err)
+			}
+		}
+		h.acked.Add(1)
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// controller performs the configured kill/restart cycles while load is
+// in flight — each kill waits for its share of total acked progress, so
+// crashes always interleave with traffic — then waits for the endpoint
+// to answer pings after each restart.
+func (h *harness) controller(ctx context.Context) error {
+	total := int64(h.cfg.Workers * h.cfg.Ops)
+	for k := 0; k < h.cfg.Kills; k++ {
+		target := total * int64(k+1) / int64(h.cfg.Kills+1)
+		for h.acked.Load() < target {
+			select {
+			case <-h.workersDone:
+				return nil // workers ended first; they decide pass/fail
+			default:
+			}
+			if err := sleep(ctx, 2*time.Millisecond); err != nil {
+				return nil
+			}
+		}
+		h.logf("chaos: kill %d/%d", k+1, h.cfg.Kills)
+		if err := h.cfg.Control.Kill(); err != nil {
+			return fmt.Errorf("chaos: kill %d: %w", k+1, err)
+		}
+		url, err := h.cfg.Control.Start()
+		if err != nil {
+			return fmt.Errorf("chaos: restart %d: %w", k+1, err)
+		}
+		h.setEndpoint(url)
+		if err := h.waitReady(ctx, url); err != nil {
+			return fmt.Errorf("chaos: restart %d: %w", k+1, err)
+		}
+		h.logf("chaos: server back at %s", url)
+	}
+	return nil
+}
+
+func (h *harness) waitReady(ctx context.Context, url string) error {
+	cc := clarens.NewClientTimeout(url, 5*time.Second)
+	for {
+		if _, err := cc.Call(ctx, "system.ping"); err == nil {
+			return nil
+		}
+		if err := sleep(ctx, 25*time.Millisecond); err != nil {
+			return fmt.Errorf("endpoint %s never answered: %w", url, err)
+		}
+	}
+}
+
+// reconcile compares the acked-op log against the recovered server
+// state over a clean (fault-free) connection.
+func (h *harness) reconcile(ctx context.Context, acked []OpRecord, rep *Report) error {
+	// Retry the dial briefly: the HTTP connection pool may still hold
+	// connections the last kill severed.
+	var cl *gae.Client
+	var err error
+	for {
+		cl, err = gae.Dial(ctx, h.endpoint(),
+			gae.WithCredentials(h.cfg.User, h.cfg.Pass),
+			gae.WithTimeout(10*time.Second))
+		if err == nil {
+			break
+		}
+		if serr := sleep(ctx, 25*time.Millisecond); serr != nil {
+			return fmt.Errorf("chaos: reconciling dial: %w", err)
+		}
+	}
+	defer cl.Close(ctx)
+
+	grants := 0
+	for _, r := range acked {
+		switch r.Kind {
+		case "submit":
+			if _, err := cl.Plan(ctx, r.Key); err != nil {
+				rep.LostAcked = append(rep.LostAcked,
+					fmt.Sprintf("%s: acked plan %q not in recovered state: %v", r.RID, r.Key, err))
+			}
+		case "grant":
+			grants++
+		case "set":
+			v, err := cl.GetState(ctx, r.Key)
+			if err != nil {
+				rep.LostAcked = append(rep.LostAcked,
+					fmt.Sprintf("%s: acked state key %q not in recovered state: %v", r.RID, r.Key, err))
+			} else if v != r.RID {
+				rep.DoubleApplied = append(rep.DoubleApplied,
+					fmt.Sprintf("%s: state key %q holds %q, want %q", r.RID, r.Key, v, r.RID))
+			}
+		}
+	}
+
+	// Grants all added GrantAmount to the harness user: the balance
+	// pins the exact apply count. Low means an acked grant was lost;
+	// high means one applied more than once.
+	balance, err := cl.Balance(ctx)
+	if err != nil {
+		return fmt.Errorf("chaos: reconciling balance: %w", err)
+	}
+	rep.BalanceAt = balance
+	want := h.startBalance + float64(grants)*GrantAmount
+	if diff := balance - want; math.Abs(diff) > 1e-6 {
+		msg := fmt.Sprintf("quota: balance %.2f, want %.2f (%d acked grants of %.0f from %.2f)",
+			balance, want, grants, GrantAmount, h.startBalance)
+		if diff < 0 {
+			rep.LostAcked = append(rep.LostAcked, msg)
+		} else {
+			rep.DoubleApplied = append(rep.DoubleApplied, msg)
+		}
+	}
+	return nil
+}
+
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -31,6 +31,7 @@ type ctxKey int
 const (
 	ctxSessionToken ctxKey = iota
 	ctxRemoteAddr
+	ctxRequestID
 )
 
 // SessionToken extracts the caller's session token from a handler context;
@@ -46,8 +47,28 @@ func RemoteAddr(ctx context.Context) string {
 	return s
 }
 
+// RequestID extracts the caller's idempotency key from a handler context;
+// empty when the call was not stamped. The key identifies one logical
+// mutation across retries: a server that has already applied it returns
+// the recorded result instead of applying it again.
+func RequestID(ctx context.Context) string {
+	s, _ := ctx.Value(ctxRequestID).(string)
+	return s
+}
+
+// WithRequestID stamps an idempotency key onto a context. On the wire the
+// key travels in RequestIDHeader; on the local transport the context
+// reaches the service layer directly.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxRequestID, id)
+}
+
 // ErrBadCredentials is returned by Authenticator implementations.
 var ErrBadCredentials = errors.New("clarens: bad credentials")
 
 // SessionHeader is the HTTP header carrying the Clarens session token.
 const SessionHeader = "X-Clarens-Session"
+
+// RequestIDHeader is the HTTP header carrying a mutating call's
+// idempotency key.
+const RequestIDHeader = "X-Clarens-Request-Id"

@@ -40,9 +40,25 @@ func NewClientTimeout(endpoint string, timeout time.Duration) *Client {
 // the bound, leaving cancellation to per-call contexts. Like SetToken
 // and the Headers map, it is part of client configuration: call it
 // before the client is shared between goroutines (typically right after
-// construction), not concurrently with Call.
+// construction), not concurrently with Call. A custom Transport
+// installed with SetTransport survives the change.
 func (c *Client) SetTimeout(timeout time.Duration) {
-	c.HTTP = &http.Client{Timeout: timeout}
+	var transport http.RoundTripper
+	if c.HTTP != nil {
+		transport = c.HTTP.Transport
+	}
+	c.HTTP = &http.Client{Timeout: timeout, Transport: transport}
+}
+
+// SetTransport installs a custom HTTP round-tripper (nil restores the
+// default), preserving the configured timeout. Fault-injection harnesses
+// wrap the transport here.
+func (c *Client) SetTransport(rt http.RoundTripper) {
+	var timeout time.Duration
+	if c.HTTP != nil {
+		timeout = c.HTTP.Timeout
+	}
+	c.HTTP = &http.Client{Timeout: timeout, Transport: rt}
 }
 
 // Login authenticates and attaches the session token to future calls.

@@ -60,3 +60,50 @@ func TestSetTimeoutReplacesBound(t *testing.T) {
 		t.Fatal("call after SetTimeout against a hung server succeeded")
 	}
 }
+
+// countingTransport stands in for a fault-injection wrapper: the test
+// only cares that installed transports stay on the request path.
+type countingTransport struct {
+	calls int
+	base  http.RoundTripper
+}
+
+func (ct *countingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	ct.calls++
+	return ct.base.RoundTrip(req)
+}
+
+// TestSetTimeoutPreservesTransport pins the regression where SetTimeout
+// rebuilt the http.Client from scratch and silently discarded a custom
+// round-tripper — fault-injection harnesses lost their faults the
+// moment a timeout was configured.
+func TestSetTimeoutPreservesTransport(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body) //nolint:errcheck
+		w.Write([]byte(`<?xml version="1.0"?><methodResponse><params><param><value><string>ok</string></value></param></params></methodResponse>`))
+	}))
+	t.Cleanup(hs.Close)
+
+	ct := &countingTransport{base: http.DefaultTransport}
+	c := NewClient(hs.URL)
+	c.SetTransport(ct)
+	c.SetTimeout(5 * time.Second)
+	if _, err := c.Call(context.Background(), "system.ping"); err != nil {
+		t.Fatal(err)
+	}
+	if ct.calls != 1 {
+		t.Fatalf("custom transport saw %d calls after SetTimeout, want 1 (SetTimeout discarded it)", ct.calls)
+	}
+	if c.HTTP.Timeout != 5*time.Second {
+		t.Fatalf("timeout = %v after SetTimeout, want 5s", c.HTTP.Timeout)
+	}
+
+	// And the converse: SetTransport keeps the configured timeout.
+	c.SetTransport(ct)
+	if c.HTTP.Timeout != 5*time.Second {
+		t.Fatalf("timeout = %v after SetTransport, want 5s preserved", c.HTTP.Timeout)
+	}
+	if c.HTTP.Transport != http.RoundTripper(ct) {
+		t.Fatal("SetTransport did not install the round-tripper")
+	}
+}

@@ -28,6 +28,7 @@ type Server struct {
 	peers    []string
 	listener net.Listener
 	httpSrv  *http.Server
+	draining bool
 }
 
 // NewServer creates a host named name. The clock governs session expiry;
@@ -47,7 +48,12 @@ func NewServer(name string, clock vtime.Clock) *Server {
 }
 
 // intercept enforces authentication and access control on every dispatch.
+// A draining host rejects everything with FaultUnavailable — the one
+// fault clients may retry, against this host or a successor.
 func (s *Server) intercept(ctx context.Context, method string, args []any, next xmlrpc.Handler) (any, error) {
+	if s.Draining() {
+		return nil, xmlrpc.NewFault(xmlrpc.FaultUnavailable, "host %s is draining", s.Name)
+	}
 	sess, _ := s.Sessions.Lookup(SessionToken(ctx))
 	if !s.ACL.Check(sess, method) {
 		if sess == nil {
@@ -262,6 +268,9 @@ func (s *Server) Discover(ctx context.Context, name string, forward bool) (Servi
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	ctx := context.WithValue(r.Context(), ctxSessionToken, r.Header.Get(SessionHeader))
 	ctx = context.WithValue(ctx, ctxRemoteAddr, r.RemoteAddr)
+	if rid := r.Header.Get(RequestIDHeader); rid != "" {
+		ctx = WithRequestID(ctx, rid)
+	}
 	s.mux.ServeHTTP(w, r.WithContext(ctx))
 }
 
@@ -301,6 +310,37 @@ func (s *Server) Start(addr string) (string, error) {
 	s.SetBaseURL(url)
 	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Stop
 	return url, nil
+}
+
+// SetDraining switches the host in or out of draining mode. A draining
+// host answers every call with FaultUnavailable; servers flip it on
+// before a graceful stop so clients fail over (or back off) instead of
+// queueing behind a dying listener.
+func (s *Server) SetDraining(v bool) {
+	s.mu.Lock()
+	s.draining = v
+	s.mu.Unlock()
+}
+
+// Draining reports whether the host is refusing calls ahead of a stop.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Kill abruptly closes the HTTP server without waiting for in-flight
+// requests — the chaos harness's stand-in for a crash.
+func (s *Server) Kill() error {
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.httpSrv = nil
+	s.listener = nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
 }
 
 // Stop shuts the HTTP listener down.

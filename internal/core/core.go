@@ -86,6 +86,12 @@ type Config struct {
 	// claims expired and the affected jobs requeued.
 	LeaseTTL time.Duration
 
+	// IdemWindow bounds the per-user duplicate-suppression window for
+	// idempotency-keyed RPCs (default DefaultIdemPerUser). The window is
+	// part of the durable state: snapshots carry it and journal replay
+	// rebuilds it, so retried duplicates dedup across restarts.
+	IdemWindow int
+
 	// FairShare, when non-nil, enables time-aware fair-share arbitration:
 	// every pool orders idle jobs by effective priority, the scheduler
 	// breaks site-selection ties by fair-share standing, and the transfer
@@ -122,6 +128,7 @@ type GAE struct {
 	persistMu sync.RWMutex
 	store     *durable.Store
 	leaseTTL  time.Duration
+	idem      *idemWindow
 }
 
 // New builds a deployment from cfg. It panics on structural errors
@@ -145,6 +152,7 @@ func New(cfg Config) *GAE {
 		pools:    make(map[string]*condor.Pool),
 		plans:    make(map[string]*scheduler.ConcretePlan),
 		leaseTTL: cfg.LeaseTTL,
+		idem:     newIdemWindow(cfg.IdemWindow),
 	}
 
 	// Sites, nodes, pools.

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/clarens"
 	"repro/internal/durable"
 	"repro/internal/scheduler"
 	"repro/internal/steering"
@@ -138,6 +139,7 @@ func (g *GAE) captureStateLocked() (durable.State, error) {
 	st.Replicas = g.Replicas.Export()
 	st.UserState = g.State.Export()
 	st.Steering = durable.SteeringState{Preference: g.Steering.Preference.String()}
+	st.Idempotency = g.idem.export()
 
 	// The estimator layer feeds placement and the EstimatedRuntime
 	// stamped into job ads at submission — without it, the first
@@ -209,6 +211,7 @@ func (g *GAE) RestoreState(simTime time.Time, st *durable.State) error {
 		g.FairShare.Restore(st.FairShare)
 	}
 	g.State.Restore(st.UserState)
+	g.idem.restore(st.Idempotency)
 	if st.Steering.Preference != "" {
 		pref, err := steering.ParsePreference(st.Steering.Preference)
 		if err != nil {
@@ -262,7 +265,10 @@ func (g *GAE) RestoreState(simTime time.Time, st *durable.State) error {
 // ApplyOp re-applies one journaled RPC: the engine advances to the op's
 // recorded simulated time, then the call runs through the unjournaled
 // service layer as the recorded user — the same code path that served it
-// live.
+// live. Ops that carried an idempotency key are re-recorded into the
+// duplicate-suppression window (a journaled op is an acknowledged op),
+// with the same result shapes journalCall/journalDo recorded live, so a
+// retry arriving after recovery still dedups.
 func (g *GAE) ApplyOp(op durable.Op) error {
 	if d := op.Time.Sub(g.Now()); d > 0 {
 		g.Grid.Engine.RunFor(d)
@@ -275,86 +281,92 @@ func (g *GAE) ApplyOp(op durable.Op) error {
 		}
 		return nil
 	}
-	switch op.Service + "." + op.Method {
-	case "scheduler.submit":
-		var a opSubmit
-		if err := dec(&a); err != nil {
-			return err
+	out, err := func() (any, error) {
+		switch op.Service + "." + op.Method {
+		case "scheduler.submit":
+			var a opSubmit
+			if err := dec(&a); err != nil {
+				return nil, err
+			}
+			return svcs.Scheduler.Submit(ctx, a.Spec)
+		case "steering.kill":
+			var a opTaskRef
+			if err := dec(&a); err != nil {
+				return nil, err
+			}
+			return true, svcs.Steering.Kill(ctx, a.Plan, a.Task)
+		case "steering.pause":
+			var a opTaskRef
+			if err := dec(&a); err != nil {
+				return nil, err
+			}
+			return true, svcs.Steering.Pause(ctx, a.Plan, a.Task)
+		case "steering.resume":
+			var a opTaskRef
+			if err := dec(&a); err != nil {
+				return nil, err
+			}
+			return true, svcs.Steering.Resume(ctx, a.Plan, a.Task)
+		case "steering.move":
+			var a opMove
+			if err := dec(&a); err != nil {
+				return nil, err
+			}
+			return svcs.Steering.Move(ctx, a.Plan, a.Task, a.Site)
+		case "steering.setpriority":
+			var a opPriority
+			if err := dec(&a); err != nil {
+				return nil, err
+			}
+			return true, svcs.Steering.SetPriority(ctx, a.Plan, a.Task, a.Priority)
+		case "steering.setpreference":
+			var a opPreference
+			if err := dec(&a); err != nil {
+				return nil, err
+			}
+			return svcs.Steering.SetPreference(ctx, a.Preference)
+		case "state.set":
+			var a opStateSet
+			if err := dec(&a); err != nil {
+				return nil, err
+			}
+			return true, svcs.State.SetState(ctx, a.Key, a.Value)
+		case "state.delete":
+			var a opStateKey
+			if err := dec(&a); err != nil {
+				return nil, err
+			}
+			return svcs.State.DeleteState(ctx, a.Key)
+		case "replica.register":
+			var a opReplica
+			if err := dec(&a); err != nil {
+				return nil, err
+			}
+			return true, svcs.Replica.RegisterReplica(ctx, a.Dataset, a.Site, a.SizeMB)
+		case "quota.grant":
+			var a opGrant
+			if err := dec(&a); err != nil {
+				return nil, err
+			}
+			return true, svcs.Quota.Grant(ctx, a.User, a.Credits)
+		case "quota.charge":
+			var a gae.ChargeRequest
+			if err := dec(&a); err != nil {
+				return nil, err
+			}
+			return svcs.Quota.ChargeUsage(ctx, a)
 		}
-		_, err := svcs.Scheduler.Submit(ctx, a.Spec)
-		return err
-	case "steering.kill":
-		var a opTaskRef
-		if err := dec(&a); err != nil {
-			return err
-		}
-		return svcs.Steering.Kill(ctx, a.Plan, a.Task)
-	case "steering.pause":
-		var a opTaskRef
-		if err := dec(&a); err != nil {
-			return err
-		}
-		return svcs.Steering.Pause(ctx, a.Plan, a.Task)
-	case "steering.resume":
-		var a opTaskRef
-		if err := dec(&a); err != nil {
-			return err
-		}
-		return svcs.Steering.Resume(ctx, a.Plan, a.Task)
-	case "steering.move":
-		var a opMove
-		if err := dec(&a); err != nil {
-			return err
-		}
-		_, err := svcs.Steering.Move(ctx, a.Plan, a.Task, a.Site)
-		return err
-	case "steering.setpriority":
-		var a opPriority
-		if err := dec(&a); err != nil {
-			return err
-		}
-		return svcs.Steering.SetPriority(ctx, a.Plan, a.Task, a.Priority)
-	case "steering.setpreference":
-		var a opPreference
-		if err := dec(&a); err != nil {
-			return err
-		}
-		_, err := svcs.Steering.SetPreference(ctx, a.Preference)
-		return err
-	case "state.set":
-		var a opStateSet
-		if err := dec(&a); err != nil {
-			return err
-		}
-		return svcs.State.SetState(ctx, a.Key, a.Value)
-	case "state.delete":
-		var a opStateKey
-		if err := dec(&a); err != nil {
-			return err
-		}
-		_, err := svcs.State.DeleteState(ctx, a.Key)
-		return err
-	case "replica.register":
-		var a opReplica
-		if err := dec(&a); err != nil {
-			return err
-		}
-		return svcs.Replica.RegisterReplica(ctx, a.Dataset, a.Site, a.SizeMB)
-	case "quota.grant":
-		var a opGrant
-		if err := dec(&a); err != nil {
-			return err
-		}
-		return svcs.Quota.Grant(ctx, a.User, a.Credits)
-	case "quota.charge":
-		var a gae.ChargeRequest
-		if err := dec(&a); err != nil {
-			return err
-		}
-		_, err := svcs.Quota.ChargeUsage(ctx, a)
+		return nil, fmt.Errorf("core: journal op %d names unknown method %s.%s", op.Seq, op.Service, op.Method)
+	}()
+	if err != nil {
 		return err
 	}
-	return fmt.Errorf("core: journal op %d names unknown method %s.%s", op.Seq, op.Service, op.Method)
+	if op.RequestID != "" && op.User != "" {
+		if res, merr := json.Marshal(out); merr == nil {
+			g.idem.record(op.User, op.RequestID, op.Service+"."+op.Method, res, op.Seq)
+		}
+	}
+	return nil
 }
 
 // journaled wraps the mutating methods of every service with journal
@@ -368,21 +380,67 @@ func (g *GAE) journaled(svcs gae.Services, userOf gae.UserResolver) gae.Services
 	return svcs
 }
 
-// journalAs runs a mutating RPC under the shared durability barrier
-// and, once it has succeeded, appends its journal record — the call is
-// acknowledged only after the record is fsynced, so every acknowledged
-// mutation survives a crash. args is deferred so wrappers can journal
-// values resolved by the call itself (e.g. the site a move landed on).
-func (g *GAE) journalAs(user, service, method string, args func() any, apply func() error) error {
+// journalCall runs a mutating RPC under the shared durability barrier
+// with duplicate suppression and, once it has succeeded, appends its
+// journal record — the call is acknowledged only after the record is
+// fsynced, so every acknowledged mutation survives a crash. args is
+// deferred so wrappers can journal values resolved by the call itself
+// (e.g. the site a move landed on).
+//
+// Exactly-once protocol: if the context carries an idempotency key the
+// per-user window has already acknowledged, the recorded result is
+// returned without re-applying — the retry of an ack-lost call. Fresh
+// calls run apply → journal append (fsync) → window record → ack, so the
+// window holds only acknowledged ops, which is precisely the set the
+// chaos harness reconciles client ack logs against. A call that applied
+// but failed its journal append is NOT recorded: the client sees an
+// error, the journal is sticky-broken until the next checkpoint, and
+// recovery rolls the un-journaled mutation back.
+func journalCall[T any](g *GAE, ctx context.Context, user, service, method string, args func() any, apply func() (T, error)) (T, error) {
+	var zero T
 	g.persistMu.RLock()
 	defer g.persistMu.RUnlock()
-	if err := apply(); err != nil {
-		return err
+	fq := service + "." + method
+	rid := clarens.RequestID(ctx)
+	if rid != "" && user != "" {
+		if e, ok := g.idem.lookup(user, rid); ok {
+			if e.Method != fq {
+				return zero, fmt.Errorf("core: request id %q reused for %s (recorded for %s)", rid, fq, e.Method)
+			}
+			var out T
+			if len(e.Result) > 0 {
+				if err := json.Unmarshal(e.Result, &out); err != nil {
+					return zero, fmt.Errorf("core: decoding recorded %s result: %w", fq, err)
+				}
+			}
+			return out, nil
+		}
 	}
-	if g.store == nil {
-		return nil
+	out, err := apply()
+	if err != nil {
+		return zero, err
 	}
-	return g.store.Append(g.Now(), user, service, method, args())
+	var seq uint64
+	if g.store != nil {
+		seq, err = g.store.Append(g.Now(), user, service, method, rid, args())
+		if err != nil {
+			return zero, err
+		}
+	}
+	if rid != "" && user != "" {
+		if res, merr := json.Marshal(out); merr == nil {
+			g.idem.record(user, rid, fq, res, seq)
+		}
+	}
+	return out, nil
+}
+
+// journalDo is journalCall for void mutations; the recorded result is
+// the conventional true.
+func journalDo(g *GAE, ctx context.Context, user, service, method string, args func() any, apply func() error) error {
+	_, err := journalCall(g, ctx, user, service, method, args,
+		func() (bool, error) { return true, apply() })
+	return err
 }
 
 type journaledScheduler struct {
@@ -392,11 +450,9 @@ type journaledScheduler struct {
 }
 
 func (s journaledScheduler) Submit(ctx context.Context, spec gae.PlanSpec) (string, error) {
-	var name string
-	err := s.g.journalAs(s.userOf(ctx), "scheduler", "submit",
+	return journalCall(s.g, ctx, s.userOf(ctx), "scheduler", "submit",
 		func() any { return opSubmit{Spec: spec} },
-		func() (err error) { name, err = s.Scheduler.Submit(ctx, spec); return })
-	return name, err
+		func() (string, error) { return s.Scheduler.Submit(ctx, spec) })
 }
 
 type journaledSteering struct {
@@ -406,19 +462,19 @@ type journaledSteering struct {
 }
 
 func (s journaledSteering) Kill(ctx context.Context, plan, task string) error {
-	return s.g.journalAs(s.userOf(ctx), "steering", "kill",
+	return journalDo(s.g, ctx, s.userOf(ctx), "steering", "kill",
 		func() any { return opTaskRef{Plan: plan, Task: task} },
 		func() error { return s.Steering.Kill(ctx, plan, task) })
 }
 
 func (s journaledSteering) Pause(ctx context.Context, plan, task string) error {
-	return s.g.journalAs(s.userOf(ctx), "steering", "pause",
+	return journalDo(s.g, ctx, s.userOf(ctx), "steering", "pause",
 		func() any { return opTaskRef{Plan: plan, Task: task} },
 		func() error { return s.Steering.Pause(ctx, plan, task) })
 }
 
 func (s journaledSteering) Resume(ctx context.Context, plan, task string) error {
-	return s.g.journalAs(s.userOf(ctx), "steering", "resume",
+	return journalDo(s.g, ctx, s.userOf(ctx), "steering", "resume",
 		func() any { return opTaskRef{Plan: plan, Task: task} },
 		func() error { return s.Steering.Resume(ctx, plan, task) })
 }
@@ -428,24 +484,30 @@ func (s journaledSteering) Move(ctx context.Context, plan, task, site string) (g
 	// The journal records the site the move actually landed on, not the
 	// request's (possibly empty) preference: replay must not re-run site
 	// selection against monitoring state that no longer exists.
-	err := s.g.journalAs(s.userOf(ctx), "steering", "move",
+	return journalCall(s.g, ctx, s.userOf(ctx), "steering", "move",
 		func() any { return opMove{Plan: plan, Task: task, Site: res.Site} },
-		func() (err error) { res, err = s.Steering.Move(ctx, plan, task, site); return })
-	return res, err
+		func() (gae.MoveResult, error) {
+			var err error
+			res, err = s.Steering.Move(ctx, plan, task, site)
+			return res, err
+		})
 }
 
 func (s journaledSteering) SetPriority(ctx context.Context, plan, task string, priority int) error {
-	return s.g.journalAs(s.userOf(ctx), "steering", "setpriority",
+	return journalDo(s.g, ctx, s.userOf(ctx), "steering", "setpriority",
 		func() any { return opPriority{Plan: plan, Task: task, Priority: priority} },
 		func() error { return s.Steering.SetPriority(ctx, plan, task, priority) })
 }
 
 func (s journaledSteering) SetPreference(ctx context.Context, preference string) (string, error) {
 	var applied string
-	err := s.g.journalAs(s.userOf(ctx), "steering", "setpreference",
+	return journalCall(s.g, ctx, s.userOf(ctx), "steering", "setpreference",
 		func() any { return opPreference{Preference: applied} },
-		func() (err error) { applied, err = s.Steering.SetPreference(ctx, preference); return })
-	return applied, err
+		func() (string, error) {
+			var err error
+			applied, err = s.Steering.SetPreference(ctx, preference)
+			return applied, err
+		})
 }
 
 type journaledState struct {
@@ -455,17 +517,15 @@ type journaledState struct {
 }
 
 func (s journaledState) SetState(ctx context.Context, key, value string) error {
-	return s.g.journalAs(s.userOf(ctx), "state", "set",
+	return journalDo(s.g, ctx, s.userOf(ctx), "state", "set",
 		func() any { return opStateSet{Key: key, Value: value} },
 		func() error { return s.State.SetState(ctx, key, value) })
 }
 
 func (s journaledState) DeleteState(ctx context.Context, key string) (bool, error) {
-	var existed bool
-	err := s.g.journalAs(s.userOf(ctx), "state", "delete",
+	return journalCall(s.g, ctx, s.userOf(ctx), "state", "delete",
 		func() any { return opStateKey{Key: key} },
-		func() (err error) { existed, err = s.State.DeleteState(ctx, key); return })
-	return existed, err
+		func() (bool, error) { return s.State.DeleteState(ctx, key) })
 }
 
 type journaledReplica struct {
@@ -475,7 +535,7 @@ type journaledReplica struct {
 }
 
 func (s journaledReplica) RegisterReplica(ctx context.Context, dataset, site string, sizeMB float64) error {
-	return s.g.journalAs(s.userOf(ctx), "replica", "register",
+	return journalDo(s.g, ctx, s.userOf(ctx), "replica", "register",
 		func() any { return opReplica{Dataset: dataset, Site: site, SizeMB: sizeMB} },
 		func() error { return s.Replica.RegisterReplica(ctx, dataset, site, sizeMB) })
 }
@@ -487,15 +547,13 @@ type journaledQuota struct {
 }
 
 func (s journaledQuota) Grant(ctx context.Context, user string, credits float64) error {
-	return s.g.journalAs(s.userOf(ctx), "quota", "grant",
+	return journalDo(s.g, ctx, s.userOf(ctx), "quota", "grant",
 		func() any { return opGrant{User: user, Credits: credits} },
 		func() error { return s.Quota.Grant(ctx, user, credits) })
 }
 
 func (s journaledQuota) ChargeUsage(ctx context.Context, req gae.ChargeRequest) (float64, error) {
-	var credits float64
-	err := s.g.journalAs(s.userOf(ctx), "quota", "charge",
+	return journalCall(s.g, ctx, s.userOf(ctx), "quota", "charge",
 		func() any { return req },
-		func() (err error) { credits, err = s.Quota.ChargeUsage(ctx, req); return })
-	return credits, err
+		func() (float64, error) { return s.Quota.ChargeUsage(ctx, req) })
 }

@@ -78,6 +78,10 @@ type Op struct {
 	Service string          `json:"service"`
 	Method  string          `json:"method"`
 	Args    json.RawMessage `json:"args,omitempty"`
+	// RequestID is the client's idempotency key for the op (empty for
+	// unstamped calls). Replay re-records it in the dedup window so a
+	// retry arriving after a crash+recovery is still suppressed.
+	RequestID string `json:"rid,omitempty"`
 }
 
 // encodeOp renders the op as a journal payload.

@@ -1,0 +1,98 @@
+package durable
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected marks failures produced by a FaultyFile script, so tests
+// can tell injected faults from real I/O errors.
+var ErrInjected = errors.New("durable: injected fault")
+
+// FaultyFile wraps a journal File with scripted failures: the journal's
+// error paths — a failed group-commit fsync, a short write — are
+// otherwise unreachable in tests without yanking real disks. The zero
+// script passes everything through.
+//
+// Scripts count down: FailSyncs(2) fails the next two Sync calls then
+// recovers; ShortWriteNext() truncates the next write and reports an
+// injected error, the way a full disk does.
+type FaultyFile struct {
+	F File
+
+	mu         sync.Mutex
+	failSyncs  int
+	shortWrite bool
+	syncs      int
+	writes     int
+}
+
+// NewFaultyFile wraps f with a pass-through script.
+func NewFaultyFile(f File) *FaultyFile { return &FaultyFile{F: f} }
+
+// FailSyncs makes the next n Sync calls fail with ErrInjected.
+func (f *FaultyFile) FailSyncs(n int) {
+	f.mu.Lock()
+	f.failSyncs = n
+	f.mu.Unlock()
+}
+
+// ShortWriteNext makes the next Write deliver only half its payload and
+// fail with ErrInjected.
+func (f *FaultyFile) ShortWriteNext() {
+	f.mu.Lock()
+	f.shortWrite = true
+	f.mu.Unlock()
+}
+
+// Syncs reports how many Sync calls were attempted (failed ones included).
+func (f *FaultyFile) Syncs() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}
+
+// Writes reports how many Write calls were attempted.
+func (f *FaultyFile) Writes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes
+}
+
+func (f *FaultyFile) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	f.writes++
+	short := f.shortWrite
+	f.shortWrite = false
+	f.mu.Unlock()
+	if short {
+		n, err := f.F.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjected
+	}
+	return f.F.Write(p)
+}
+
+func (f *FaultyFile) Sync() error {
+	f.mu.Lock()
+	f.syncs++
+	fail := f.failSyncs > 0
+	if fail {
+		f.failSyncs--
+	}
+	f.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return f.F.Sync()
+}
+
+func (f *FaultyFile) Seek(offset int64, whence int) (int64, error) {
+	return f.F.Seek(offset, whence)
+}
+
+func (f *FaultyFile) Truncate(size int64) error { return f.F.Truncate(size) }
+
+func (f *FaultyFile) Close() error { return f.F.Close() }

@@ -21,7 +21,7 @@ import (
 type Journal struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
-	f        *os.File
+	f        File
 	pending  []byte // encoded records awaiting the next flush
 	flushing bool   // a flusher is in the write+fsync critical section
 	queued   uint64 // generation of the batch currently accumulating
@@ -30,15 +30,32 @@ type Journal struct {
 	closed   bool
 }
 
+// File is the slice of *os.File the journal writes through. It is an
+// interface so fault-injection tests (and the chaos harness) can
+// substitute a FaultyFile and script fsync failures or short writes.
+type File interface {
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+}
+
 // OpenJournal opens (creating if needed) the journal file for appending.
 func OpenJournal(path string) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("durable: opening journal: %w", err)
 	}
+	return NewJournal(f), nil
+}
+
+// NewJournal wraps an already-open journal file. Production code uses
+// OpenJournal; this entry point exists so tests can inject failing files.
+func NewJournal(f File) *Journal {
 	j := &Journal{f: f}
 	j.cond = sync.NewCond(&j.mu)
-	return j, nil
+	return j
 }
 
 // appendFrame frames one payload into the pending batch and returns the

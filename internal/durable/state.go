@@ -33,14 +33,35 @@ type Snapshot struct {
 // identical logical state are byte-identical, which is what the crash-
 // recovery suite asserts.
 type State struct {
-	Pools     []PoolState                  `json:"pools,omitempty"`
-	FairShare *FairShareState              `json:"fair_share,omitempty"`
-	Quota     QuotaState                   `json:"quota"`
-	Replicas  []ReplicaLocation            `json:"replicas,omitempty"`
-	Plans     []PlanState                  `json:"plans,omitempty"`
-	Steering  SteeringState                `json:"steering"`
-	Estimator *EstimatorState              `json:"estimator,omitempty"`
-	UserState map[string]map[string]string `json:"user_state,omitempty"`
+	Pools       []PoolState                  `json:"pools,omitempty"`
+	FairShare   *FairShareState              `json:"fair_share,omitempty"`
+	Quota       QuotaState                   `json:"quota"`
+	Replicas    []ReplicaLocation            `json:"replicas,omitempty"`
+	Plans       []PlanState                  `json:"plans,omitempty"`
+	Steering    SteeringState                `json:"steering"`
+	Estimator   *EstimatorState              `json:"estimator,omitempty"`
+	UserState   map[string]map[string]string `json:"user_state,omitempty"`
+	Idempotency []IdemUser                   `json:"idempotency,omitempty"`
+}
+
+// IdemUser is one user's idempotency window: the request IDs of their
+// most recent acknowledged mutations with the acknowledged results, in
+// acknowledgment order (oldest first, the eviction order). Snapshotting
+// the window is what lets duplicate suppression survive a restart that
+// falls between a call's first delivery and its retry.
+type IdemUser struct {
+	User    string      `json:"user"`
+	Entries []IdemEntry `json:"entries"`
+}
+
+// IdemEntry records one acknowledged mutation: a retry bearing the same
+// request ID gets Result back instead of a second application. Method is
+// the fully-qualified RPC name and guards against a key reused across
+// different calls.
+type IdemEntry struct {
+	ID     string          `json:"id"`
+	Method string          `json:"method"`
+	Result json.RawMessage `json:"result,omitempty"`
 }
 
 // PoolState is one execution service's queue: every job ever submitted

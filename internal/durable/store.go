@@ -129,34 +129,36 @@ func (s *Store) LastSeq() uint64 {
 }
 
 // Append journals one acknowledged mutation, assigning it the next
-// sequence number, and returns once it is durable. Safe for concurrent
-// use; concurrent appends share fsyncs via group commit.
-func (s *Store) Append(at time.Time, user, service, method string, args any) error {
+// sequence number, and returns the assigned sequence once the record is
+// durable. requestID is the call's idempotency key ("" for unstamped
+// calls). Safe for concurrent use; concurrent appends share fsyncs via
+// group commit.
+func (s *Store) Append(at time.Time, user, service, method, requestID string, args any) (uint64, error) {
 	var raw json.RawMessage
 	if args != nil {
 		b, err := json.Marshal(args)
 		if err != nil {
-			return fmt.Errorf("durable: encoding args for %s.%s: %w", service, method, err)
+			return 0, fmt.Errorf("durable: encoding args for %s.%s: %w", service, method, err)
 		}
 		raw = b
 	}
 	// Assign the sequence number and enqueue under one lock so journal
 	// order always matches sequence order; wait for the fsync outside it.
 	s.mu.Lock()
-	op := Op{Seq: s.seq + 1, Time: at.UTC(), User: user, Service: service, Method: method, Args: raw}
+	op := Op{Seq: s.seq + 1, Time: at.UTC(), User: user, Service: service, Method: method, Args: raw, RequestID: requestID}
 	payload, err := encodeOp(op)
 	if err != nil {
 		s.mu.Unlock()
-		return err
+		return 0, err
 	}
 	gen, err := s.journal.enqueue(payload)
 	if err != nil {
 		s.mu.Unlock()
-		return err
+		return 0, err
 	}
 	s.seq = op.Seq
 	s.mu.Unlock()
-	return s.journal.waitDurable(gen)
+	return op.Seq, s.journal.waitDurable(gen)
 }
 
 // Checkpoint writes snap (stamped with the current version and sequence

@@ -32,7 +32,7 @@ func TestStoreCheckpointCycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		if err := s.Append(storeEpoch.Add(time.Duration(i)*time.Second), "alice", "state", "set", map[string]string{"k": "v"}); err != nil {
+		if _, err := s.Append(storeEpoch.Add(time.Duration(i)*time.Second), "alice", "state", "set", "", map[string]string{"k": "v"}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -42,7 +42,7 @@ func TestStoreCheckpointCycle(t *testing.T) {
 	}
 	// Post-checkpoint appends form the replay tail.
 	for i := 5; i < 8; i++ {
-		if err := s.Append(storeEpoch.Add(time.Duration(i)*time.Second), "bob", "state", "set", nil); err != nil {
+		if _, err := s.Append(storeEpoch.Add(time.Duration(i)*time.Second), "bob", "state", "set", "", nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -88,7 +88,7 @@ func TestStoreSkipsCoveredOps(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		if err := s.Append(storeEpoch, "alice", "state", "set", nil); err != nil {
+		if _, err := s.Append(storeEpoch, "alice", "state", "set", "", nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -123,7 +123,7 @@ func TestStoreTruncatesCorruptSuffix(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if err := s.Append(storeEpoch, "alice", "state", "set", nil); err != nil {
+		if _, err := s.Append(storeEpoch, "alice", "state", "set", "", nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -152,7 +152,7 @@ func TestStoreTruncatesCorruptSuffix(t *testing.T) {
 		t.Fatalf("verified tail = %d ops, want 2", len(tail))
 	}
 	// New appends continue the sequence after the verified prefix.
-	if err := s2.Append(storeEpoch, "alice", "state", "set", nil); err != nil {
+	if _, err := s2.Append(storeEpoch, "alice", "state", "set", "", nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := s2.Close(); err != nil {

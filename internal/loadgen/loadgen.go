@@ -48,8 +48,13 @@ type Result struct {
 	Ops    int `json:"ops"`
 	Errors int `json:"errors"`
 	// ByOp counts operations per workload kind.
-	ByOp           map[string]int `json:"by_op,omitempty"`
-	ElapsedSeconds float64        `json:"elapsed_seconds"`
+	ByOp map[string]int `json:"by_op,omitempty"`
+	// ErrorsByOp counts failed operations per workload kind.
+	ErrorsByOp map[string]int `json:"errors_by_op,omitempty"`
+	// Retries sums the clients' transport-level re-attempts (zero unless
+	// the dialer enabled a retry policy).
+	Retries        int64   `json:"retries"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	// RPS is Ops / ElapsedSeconds across all workers.
 	RPS float64 `json:"rps"`
 	// Latency percentiles over individual operations, in milliseconds.
@@ -80,6 +85,7 @@ func Run(ctx context.Context, cfg Config, dial Dialer) (Result, error) {
 	}
 
 	perWorker := make([][]sample, cfg.Clients)
+	clients := make([]*gae.Client, cfg.Clients)
 	dialErrs := make([]error, cfg.Clients)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -92,6 +98,7 @@ func Run(ctx context.Context, cfg Config, dial Dialer) (Result, error) {
 				dialErrs[w] = fmt.Errorf("loadgen: worker %d dial: %w", w, err)
 				return
 			}
+			clients[w] = client
 			perWorker[w] = runWorker(ctx, cfg, client, w)
 		}(w)
 	}
@@ -106,6 +113,7 @@ func Run(ctx context.Context, cfg Config, dial Dialer) (Result, error) {
 	res := Result{
 		Clients:        cfg.Clients,
 		ByOp:           make(map[string]int),
+		ErrorsByOp:     make(map[string]int),
 		ElapsedSeconds: elapsed.Seconds(),
 	}
 	var lat []time.Duration
@@ -115,8 +123,14 @@ func Run(ctx context.Context, cfg Config, dial Dialer) (Result, error) {
 			res.ByOp[s.op]++
 			if s.err != nil {
 				res.Errors++
+				res.ErrorsByOp[s.op]++
 			}
 			lat = append(lat, s.d)
+		}
+	}
+	for _, c := range clients {
+		if c != nil {
+			res.Retries += c.TransportStats().Retries
 		}
 	}
 	if elapsed > 0 {

@@ -22,6 +22,34 @@ import (
 type SiteServices struct {
 	Pool    *condor.Pool
 	Runtime *estimator.RuntimeEstimator
+	// RuntimeSource, when set, overrides Runtime as the site's runtime
+	// oracle — typically a proxy to a remote Estimator Service, which can
+	// be down. An error degrades the estimate to the plan's own hints
+	// (ReqHours, then the scheduler default) instead of failing the
+	// submit.
+	RuntimeSource RuntimeSource
+}
+
+// RuntimeSource is a fallible per-site runtime oracle.
+type RuntimeSource interface {
+	EstimateRuntime(rec estimator.TaskRecord) (float64, error)
+}
+
+// LoadSource supplies a site's observed load for scoring. It is
+// fallible on purpose: a deployment may proxy a remote monitor, and an
+// unreachable monitor must degrade site selection (zero load assumed),
+// not break it.
+type LoadSource interface {
+	SiteLoad(site string) (float64, error)
+}
+
+// repoLoad adapts the in-process MonALISA repository to LoadSource.
+type repoLoad struct {
+	repo *monalisa.Repository
+}
+
+func (r repoLoad) SiteLoad(site string) (float64, error) {
+	return r.repo.LatestValue(site, monalisa.MetricLoadAvg, 0), nil
 }
 
 // Scheduler is the Sphinx-like middleware.
@@ -29,6 +57,7 @@ type Scheduler struct {
 	grid     *simgrid.Grid
 	wake     *simgrid.Wake
 	repo     *monalisa.Repository
+	load     LoadSource // nil: score with zero load
 	estDB    *estimator.EstimateDB
 	transfer *estimator.TransferEstimator
 	quota    *quota.Service         // optional
@@ -88,8 +117,12 @@ type planTask struct {
 
 // Config carries the scheduler's collaborators.
 type Config struct {
-	Grid     *simgrid.Grid
-	Monitor  *monalisa.Repository
+	Grid    *simgrid.Grid
+	Monitor *monalisa.Repository
+	// Load, when set, replaces Monitor as the site-load oracle (e.g. a
+	// proxy to a remote Grid-weather service). Errors degrade scoring to
+	// zero load for that site; they never fail a submit.
+	Load     LoadSource
 	EstDB    *estimator.EstimateDB
 	Transfer *estimator.TransferEstimator
 	Quota    *quota.Service
@@ -116,9 +149,14 @@ func New(cfg Config) *Scheduler {
 	if cfg.Transfer == nil {
 		cfg.Transfer = &estimator.TransferEstimator{Network: cfg.Grid.Network}
 	}
+	load := cfg.Load
+	if load == nil && cfg.Monitor != nil {
+		load = repoLoad{repo: cfg.Monitor}
+	}
 	s := &Scheduler{
 		grid:            cfg.Grid,
 		repo:            cfg.Monitor,
+		load:            load,
 		estDB:           cfg.EstDB,
 		transfer:        cfg.Transfer,
 		quota:           cfg.Quota,
@@ -409,8 +447,12 @@ func (s *Scheduler) SelectSiteFor(owner string, t TaskPlan, exclude map[string]b
 		est.RuntimeSeconds = s.runtimeEstimate(svc, t)
 		est.QueueSeconds = s.backlogSeconds(site, svc)
 		est.TransferSeconds = s.transferSeconds(t, site)
-		if s.repo != nil {
-			est.Load = s.repo.LatestValue(site, monalisa.MetricLoadAvg, 0)
+		if s.load != nil {
+			// Graceful degradation: an unreachable monitor contributes
+			// zero load rather than failing the placement.
+			if v, err := s.load.SiteLoad(site); err == nil {
+				est.Load = v
+			}
 		}
 		if s.quota != nil {
 			if c, err := s.quota.Cost(site, est.RuntimeSeconds, inputMB(t)); err == nil {
@@ -450,10 +492,16 @@ func (s *Scheduler) SelectSiteFor(owner string, t TaskPlan, exclude map[string]b
 	return best, all, nil
 }
 
-// runtimeEstimate queries a site's decentralized estimator, falling back
-// to the requested-hours hint and then the scheduler default.
+// runtimeEstimate queries a site's runtime oracle — the injected
+// RuntimeSource if any, else the decentralized estimator — falling back
+// to the requested-hours hint and then the scheduler default. Oracle
+// errors (an unreachable Estimator Service) degrade, never fail.
 func (s *Scheduler) runtimeEstimate(svc *SiteServices, t TaskPlan) float64 {
-	if svc.Runtime != nil {
+	if svc.RuntimeSource != nil {
+		if sec, err := svc.RuntimeSource.EstimateRuntime(taskRecordOf(t)); err == nil && sec > 0 {
+			return sec
+		}
+	} else if svc.Runtime != nil {
 		est, err := svc.Runtime.Estimate(taskRecordOf(t))
 		if err == nil && est.Seconds > 0 {
 			return est.Seconds

@@ -18,6 +18,30 @@ type Client struct {
 	Headers map[string]string
 }
 
+// ctxHeadersKey carries per-call HTTP headers through a context.
+type ctxHeadersKey struct{}
+
+type headerKV struct{ key, value string }
+
+// WithCallHeader returns a context that attaches one extra HTTP header to
+// every XML-RPC request issued with it. Unlike Client.Headers — client
+// configuration, set before sharing — call headers are per-request and
+// safe to vary across concurrent calls (idempotency keys ride here).
+func WithCallHeader(ctx context.Context, key, value string) context.Context {
+	prev, _ := ctx.Value(ctxHeadersKey{}).([]headerKV)
+	// Copy-on-append: contexts fork, so the slice must not be shared
+	// mutable state between siblings.
+	next := make([]headerKV, len(prev), len(prev)+1)
+	copy(next, prev)
+	next = append(next, headerKV{key, value})
+	return context.WithValue(ctx, ctxHeadersKey{}, next)
+}
+
+func callHeaders(ctx context.Context) []headerKV {
+	hs, _ := ctx.Value(ctxHeadersKey{}).([]headerKV)
+	return hs
+}
+
 // NewClient returns a client for the endpoint with a default timeout
 // suitable for LAN service calls.
 func NewClient(url string) *Client {
@@ -41,6 +65,9 @@ func (c *Client) Call(ctx context.Context, method string, args ...any) (any, err
 	req.Header.Set("Content-Type", "text/xml; charset=utf-8")
 	for k, v := range c.Headers {
 		req.Header.Set(k, v)
+	}
+	for _, h := range callHeaders(ctx) {
+		req.Header.Set(h.key, h.value)
 	}
 	httpClient := c.HTTP
 	if httpClient == nil {

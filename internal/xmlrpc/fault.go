@@ -13,6 +13,7 @@ const (
 	FaultApplication    = -32500 // generic application error
 	FaultAuth           = -32401 // authentication / authorization failure
 	FaultQuota          = -32402 // quota exhausted
+	FaultUnavailable    = -32503 // server temporarily unavailable (draining, overloaded); safe to retry
 )
 
 // Fault is an XML-RPC fault: the remote peer executed the call and reports

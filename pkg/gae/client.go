@@ -40,20 +40,25 @@ type Client struct {
 	// credentials); only those are closed server-side by Close, so a
 	// token borrowed via WithToken stays valid for its other holders.
 	ownsSession bool
+	retry       *retryState // nil unless Dial got WithRetryPolicy
 }
 
 // NewClient assembles a client from service implementations. Deployments
-// normally use core.GAE.Client (local) or Dial (remote) instead.
+// normally use core.GAE.Client (local) or Dial (remote) instead. Every
+// mutating method is wrapped to stamp an idempotency key into its
+// context (see ids.go), on both transports, so retried duplicates are
+// suppressed server-side.
 func NewClient(s Services) *Client {
+	st := stamper{ids: newIDGen()}
 	return &Client{
-		Scheduler: s.Scheduler,
-		Steering:  s.Steering,
+		Scheduler: stampScheduler{Scheduler: s.Scheduler, stamper: st},
+		Steering:  stampSteering{Steering: s.Steering, stamper: st},
 		JobMon:    s.JobMon,
 		Estimator: s.Estimator,
-		Quota:     s.Quota,
-		Replica:   s.Replica,
+		Quota:     stampQuota{Quota: s.Quota, stamper: st},
+		Replica:   stampReplica{Replica: s.Replica, stamper: st},
 		Monitor:   s.Monitor,
-		State:     s.State,
+		State:     stampState{State: s.State, stamper: st},
 	}
 }
 

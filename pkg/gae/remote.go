@@ -3,6 +3,7 @@ package gae
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"time"
 
 	"repro/internal/clarens"
@@ -22,6 +23,8 @@ type dialOptions struct {
 	user, pass string
 	token      string
 	timeout    time.Duration
+	retry      *RetryPolicy
+	transport  http.RoundTripper
 }
 
 // WithCredentials makes Dial authenticate and attach the resulting
@@ -41,6 +44,20 @@ func WithTimeout(d time.Duration) Option {
 	return func(o *dialOptions) { o.timeout = d }
 }
 
+// WithRetryPolicy enables the retry layer (see retry.go): transport
+// failures and FaultUnavailable are retried with exponential backoff
+// under a per-endpoint circuit breaker. Without this option every wire
+// error surfaces directly, as before.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(o *dialOptions) { o.retry = &p }
+}
+
+// WithTransport installs a custom HTTP round-tripper on the underlying
+// client — fault-injection harnesses wrap the real transport here.
+func WithTransport(rt http.RoundTripper) Option {
+	return func(o *dialOptions) { o.transport = rt }
+}
+
 // Dial connects to a Clarens endpoint and returns a remote-transport
 // Client. With WithCredentials it logs in before returning.
 func Dial(ctx context.Context, endpoint string, opts ...Option) (*Client, error) {
@@ -49,6 +66,9 @@ func Dial(ctx context.Context, endpoint string, opts ...Option) (*Client, error)
 		opt(&o)
 	}
 	cc := clarens.NewClientTimeout(endpoint, o.timeout)
+	if o.transport != nil {
+		cc.SetTransport(o.transport)
+	}
 	if o.token != "" {
 		cc.SetToken(o.token)
 	}
@@ -60,22 +80,29 @@ func Dial(ctx context.Context, endpoint string, opts ...Option) (*Client, error)
 		loggedIn = true
 	}
 	r := &remote{c: cc}
+	if o.retry != nil {
+		r.retry = newRetryState(*o.retry)
+	}
 	client := NewClient(Services{
 		Scheduler: r, Steering: r, JobMon: r, Estimator: r,
 		Quota: r, Replica: r, Monitor: r, State: r,
 	})
 	client.session = cc
 	client.ownsSession = loggedIn
+	client.retry = r.retry
 	return client, nil
 }
 
 // remote implements every service interface over one Clarens client.
 type remote struct {
-	c *clarens.Client
+	c     *clarens.Client
+	retry *retryState // nil unless Dial got WithRetryPolicy
 }
 
 // call marshals typed arguments, performs the XML-RPC call, and
-// unmarshals the result into R.
+// unmarshals the result into R. The context's idempotency key (stamped
+// by the Client façade) rides as a header so the server can suppress
+// duplicates; with a retry policy, every attempt reuses the same key.
 func call[R any](ctx context.Context, r *remote, method string, args ...any) (R, error) {
 	var out R
 	wire := make([]any, len(args))
@@ -86,7 +113,18 @@ func call[R any](ctx context.Context, r *remote, method string, args ...any) (R,
 		}
 		wire[i] = w
 	}
-	res, err := r.c.Call(ctx, method, wire...)
+	if rid := clarens.RequestID(ctx); rid != "" {
+		ctx = xmlrpc.WithCallHeader(ctx, clarens.RequestIDHeader, rid)
+	}
+	var res any
+	var err error
+	if r.retry != nil {
+		res, err = r.retry.do(ctx, func(ctx context.Context) (any, error) {
+			return r.c.Call(ctx, method, wire...)
+		})
+	} else {
+		res, err = r.c.Call(ctx, method, wire...)
+	}
 	if err != nil {
 		return out, err
 	}

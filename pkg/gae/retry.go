@@ -1,0 +1,288 @@
+package gae
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/xmlrpc"
+)
+
+// The retry layer sits at the remote transport's single chokepoint
+// (call in remote.go) and re-attempts only what is safe and useful:
+// transport failures (the server may never have seen the call — and if
+// it did, the idempotency key makes the retry harmless) and the
+// explicit FaultUnavailable a draining server answers with. Semantic
+// rejections — auth failures, quota exhaustion, bad arguments — are
+// the server's answer and are never retried. A per-endpoint circuit
+// breaker stops a dead server from absorbing every caller's full retry
+// budget: once it opens, attempts fail fast until a cooldown probe
+// succeeds.
+
+// ErrCircuitOpen is returned (wrapped in the call's error) when the
+// endpoint's circuit breaker is shedding calls.
+var ErrCircuitOpen = errors.New("gae: circuit breaker open")
+
+// RetryPolicy tunes the remote transport's retry loop. The zero value
+// of each field selects the documented default; Dial enables the layer
+// only when WithRetryPolicy is given.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries per call, first included (default 4).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; it doubles per
+	// attempt (default 50ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the (pre-jitter) delay (default 2s).
+	MaxBackoff time.Duration
+	// Jitter spreads each delay uniformly over ±Jitter/2 of itself
+	// (default 0.5; negative disables jitter).
+	Jitter float64
+	// Budget bounds one logical call's wall-clock across all attempts,
+	// backoffs included (default 0: only the caller's context bounds it).
+	Budget time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens the
+	// circuit (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long the circuit stays open before one
+	// probe call may test the endpoint (default 1s).
+	BreakerCooldown time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 50 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.5
+	} else if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.BreakerThreshold <= 0 {
+		p.BreakerThreshold = 5
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = time.Second
+	}
+	return p
+}
+
+// IsRetryable classifies a remote-call error. Retryable: transport
+// failures (connection refused, reset, EOF — the ack-lost shapes) and
+// the explicit FaultUnavailable. Not retryable: every other fault (the
+// server executed or rejected the call) and the caller's own context
+// ending.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, ErrCircuitOpen) {
+		return true
+	}
+	if f, ok := xmlrpc.AsFault(err); ok {
+		return f.Code == xmlrpc.FaultUnavailable
+	}
+	return true
+}
+
+// TransportStats counts the remote transport's retry activity.
+type TransportStats struct {
+	// Calls is the number of wire attempts made (retries included).
+	Calls int64
+	// Retries is the number of re-attempts after retryable failures.
+	Retries int64
+	// BreakerOpens is how many times the circuit tripped open.
+	BreakerOpens int64
+}
+
+// TransportStats reports the client's retry counters. A local-transport
+// client, or a remote one dialed without WithRetryPolicy, reports zeros.
+func (c *Client) TransportStats() TransportStats {
+	if c.retry == nil {
+		return TransportStats{}
+	}
+	return c.retry.snapshot()
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a consecutive-failure circuit breaker. Open it fails fast;
+// after the cooldown exactly one probe is let through, and its outcome
+// closes or re-opens the circuit.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int
+	openedAt time.Time
+	opens    int64
+}
+
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		return true
+	case breakerHalfOpen:
+		// A probe is already in flight.
+		return false
+	}
+	return true
+}
+
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.mu.Unlock()
+}
+
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.opens++
+		return
+	}
+	b.failures++
+	if b.state == breakerClosed && b.failures >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.opens++
+	}
+}
+
+// retryState is one dialed endpoint's retry machinery: policy, breaker,
+// counters, and an injectable sleep for tests.
+type retryState struct {
+	policy RetryPolicy
+	br     breaker
+	sleep  func(ctx context.Context, d time.Duration) error
+
+	mu      sync.Mutex
+	calls   int64
+	retries int64
+}
+
+func newRetryState(p RetryPolicy) *retryState {
+	p = p.withDefaults()
+	return &retryState{
+		policy: p,
+		br:     breaker{threshold: p.BreakerThreshold, cooldown: p.BreakerCooldown},
+		sleep:  sleepCtx,
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (rs *retryState) snapshot() TransportStats {
+	rs.mu.Lock()
+	calls, retries := rs.calls, rs.retries
+	rs.mu.Unlock()
+	rs.br.mu.Lock()
+	opens := rs.br.opens
+	rs.br.mu.Unlock()
+	return TransportStats{Calls: calls, Retries: retries, BreakerOpens: opens}
+}
+
+// backoffFor computes the (jittered) delay before retry number attempt
+// (1-based).
+func (rs *retryState) backoffFor(attempt int) time.Duration {
+	d := rs.policy.BaseBackoff
+	for i := 1; i < attempt && d < rs.policy.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > rs.policy.MaxBackoff {
+		d = rs.policy.MaxBackoff
+	}
+	if j := rs.policy.Jitter; j > 0 {
+		f := 1 + j*(rand.Float64()-0.5)
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+// do runs one wire call under the retry policy. The same ctx — and so
+// the same idempotency key — rides every attempt, which is what makes
+// retrying a mutation safe.
+func (rs *retryState) do(ctx context.Context, call func(ctx context.Context) (any, error)) (any, error) {
+	p := rs.policy
+	if p.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.Budget)
+		defer cancel()
+	}
+	var lastErr error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			rs.mu.Lock()
+			rs.retries++
+			rs.mu.Unlock()
+			if err := rs.sleep(ctx, rs.backoffFor(attempt)); err != nil {
+				// Budget or caller context ended mid-backoff; the last
+				// attempt's error says why we were still retrying.
+				return nil, lastErr
+			}
+		}
+		if !rs.br.allow() {
+			// Breaker-open counts as a retryable failure: keep backing
+			// off (the cooldown may admit a probe) without touching the
+			// wire.
+			lastErr = ErrCircuitOpen
+			continue
+		}
+		rs.mu.Lock()
+		rs.calls++
+		rs.mu.Unlock()
+		out, err := call(ctx)
+		if err == nil {
+			rs.br.success()
+			return out, nil
+		}
+		lastErr = err
+		if !IsRetryable(err) {
+			// A semantic fault is a healthy server answering; it resets
+			// the breaker rather than counting against it.
+			if _, ok := xmlrpc.AsFault(err); ok {
+				rs.br.success()
+			}
+			return nil, err
+		}
+		rs.br.failure()
+	}
+	return nil, lastErr
+}
