@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race bench bench-json bench-smoke load-smoke chaos-smoke sim fmt vet
+.PHONY: build test test-race bench bench-json bench-smoke load-smoke chaos-smoke obs-smoke sim fmt vet
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ bench:
 # One-iteration sweep parsed into the repo's perf-trajectory JSON
 # (ns/op, allocs/op, and b.ReportMetric custom metrics per benchmark).
 # Bump BENCH_OUT per PR so the trajectory accumulates.
-BENCH_OUT ?= BENCH_5.json
+BENCH_OUT ?= BENCH_6.json
 bench-json:
 	$(GO) run ./cmd/gae-benchjson -out $(BENCH_OUT)
 
@@ -38,6 +38,12 @@ load-smoke:
 # Exits non-zero if any acked op is lost or applied twice.
 chaos-smoke:
 	$(GO) run ./cmd/gae-chaos -clients 3 -ops 12 -kills 2
+
+# Observability smoke: boots a gae-server, drives a loadgen burst, and
+# fails unless every required /metrics family is live, /healthz answers,
+# and /debug/rpcs carries the burst's trace spans.
+obs-smoke:
+	$(GO) run ./cmd/gae-obs-smoke
 
 # Replay a fairness scenario; override with e.g.
 #   make sim SCENARIO=bursty-tenant SIMFLAGS=-fairshare=false

@@ -176,8 +176,10 @@ func (sp *serverProc) start() (string, error) {
 	cmd := exec.Command(sp.bin,
 		"-addr", sp.addr,
 		"-data", sp.data,
-		"-sites", "siteA:2:0.0:0.1",
-		"-links", "",
+		// Two sites: the workload's targetless move ops need a second
+		// site for the scheduler to redirect to.
+		"-sites", "siteA:2:0.0:0.1,siteB:2:0.0:0.1",
+		"-links", "siteA-siteB:10:5",
 		"-users", "alice:pw:1000",
 		"-checkpoint", "2s",
 		"-drain-timeout", "5s",

@@ -59,6 +59,9 @@ func main() {
 	ctx := context.Background()
 	rep := report{Store: "memory", Target: *url}
 	var dial loadgen.Dialer
+	// serverStats reads the deployment's metrics after the run: an HTTP
+	// scrape in wire mode, a direct registry snapshot when embedded.
+	var serverStats func() *loadgen.ServerStats
 	switch {
 	case *url != "":
 		rep.Transport = "xmlrpc"
@@ -68,6 +71,14 @@ func main() {
 		}
 		dial = func(ctx context.Context, _ int) (*gae.Client, error) {
 			return gae.Dial(ctx, *url, opts...)
+		}
+		serverStats = func() *loadgen.ServerStats {
+			st, err := loadgen.ScrapeServerStats(ctx, *url)
+			if err != nil {
+				log.Printf("gae-loadgen: scraping %s/metrics: %v", *url, err)
+				return nil
+			}
+			return st
 		}
 	default:
 		rep.Transport = "local"
@@ -90,6 +101,9 @@ func main() {
 		dial = func(context.Context, int) (*gae.Client, error) {
 			return g.Client(*user), nil
 		}
+		serverStats = func() *loadgen.ServerStats {
+			return loadgen.ServerStatsOf(g.Telemetry.Snapshot())
+		}
 	}
 
 	res, err := loadgen.Run(ctx, loadgen.Config{
@@ -99,6 +113,7 @@ func main() {
 		log.Fatalf("gae-loadgen: %v", err)
 	}
 	rep.Result = res
+	rep.Server = serverStats()
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -28,9 +28,16 @@ type testServer struct {
 }
 
 func serverConfig() core.Config {
+	// Two sites with a link: the workload's move ops redirect tasks with
+	// no explicit target, and the scheduler always excludes the current
+	// site, so a second site must exist for a move to land anywhere.
 	return core.Config{
-		Seed:  11,
-		Sites: []core.SiteSpec{{Name: "siteA", Nodes: 2, CostPerCPUSecond: 0.1}},
+		Seed: 11,
+		Sites: []core.SiteSpec{
+			{Name: "siteA", Nodes: 2, CostPerCPUSecond: 0.1},
+			{Name: "siteB", Nodes: 2, CostPerCPUSecond: 0.1},
+		},
+		Links: []core.LinkSpec{{A: "siteA", B: "siteB", MBps: 10, LatencyMS: 5}},
 		Users: []core.UserSpec{{Name: "alice", Password: "pw", Credits: 100, Admin: true}},
 	}
 }

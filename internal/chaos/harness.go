@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/clarens"
+	"repro/internal/loadgen"
 	"repro/internal/xmlrpc"
 	"repro/pkg/gae"
 )
@@ -56,9 +58,9 @@ type OpRecord struct {
 	Worker   int
 	N        int
 	RID      string // the pinned idempotency key
-	Kind     string // "submit" | "grant" | "set"
+	Kind     string // "submit" | "grant" | "set" | "move" | "setprio"
 	Key      string // plan name / grantee / state key
-	Result   string // acked result (submit: plan name)
+	Result   string // acked result (submit: plan name; move: landed site; setprio: priority)
 	Attempts int    // deliveries tried before the ack
 }
 
@@ -70,6 +72,11 @@ type Report struct {
 	Kills     int
 	Faults    Stats
 	BalanceAt float64 // harness user's balance after the run
+
+	// Server is the recovered server's own /metrics view — journal fsync
+	// p99, per-method RPC p99, dedup hits — scraped after reconciliation
+	// (nil if the scrape failed; it never fails the run).
+	Server *loadgen.ServerStats `json:",omitempty"`
 
 	// LostAcked lists acked ops missing from the recovered state.
 	LostAcked []string
@@ -184,6 +191,13 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if err := h.reconcile(ctx, acked, rep); err != nil {
 		return nil, err
 	}
+	// Fold in the recovered server's own telemetry; chaos runs survive a
+	// missing /metrics (e.g. an externally managed older server).
+	if st, err := loadgen.ScrapeServerStats(ctx, h.endpoint()); err == nil {
+		rep.Server = st
+	} else {
+		h.logf("chaos: scraping %s/metrics: %v", h.endpoint(), err)
+	}
 	return rep, nil
 }
 
@@ -213,8 +227,13 @@ func (h *harness) runWorker(ctx context.Context, w int) ([]OpRecord, error) {
 	if err != nil {
 		return nil, err
 	}
-	kinds := []string{"submit", "grant", "set"}
+	// Each five-op cycle opens with a submission, so the cycle's move and
+	// setprio always have a live plan of their own to steer. Move runs
+	// before setprio: a move reschedules the task and resets its job-level
+	// priority, so this order leaves the priority observable at reconcile.
+	kinds := []string{"submit", "grant", "set", "move", "setprio"}
 	var recs []OpRecord
+	var lastPlan string
 	for n := 0; n < h.cfg.Ops; n++ {
 		kind := kinds[n%len(kinds)]
 		rid := fmt.Sprintf("%s-w%d-op%d", h.cfg.Nonce, w, n)
@@ -231,13 +250,18 @@ func (h *harness) runWorker(ctx context.Context, w int) ([]OpRecord, error) {
 				name := fmt.Sprintf("%s-plan-w%d-op%d", h.cfg.Nonce, w, n)
 				rec.Key = name
 				var got string
+				// Long-running tasks: the cycle's later steering ops (and
+				// reconciliation) need the task still queued or running.
 				got, err = cl.Submit(opCtx, gae.PlanSpec{
 					Name: name,
 					Tasks: []gae.TaskSpec{{
-						ID: "t0", CPUSeconds: 60, Queue: "batch", Nodes: 1, ReqHours: 1,
+						ID: "t0", CPUSeconds: 600, Queue: "batch", Nodes: 1, ReqHours: 1,
 					}},
 				})
 				rec.Result = got
+				if err == nil {
+					lastPlan = name
+				}
 			case "grant":
 				rec.Key = h.cfg.User
 				err = cl.Grant(opCtx, h.cfg.User, GrantAmount)
@@ -245,6 +269,20 @@ func (h *harness) runWorker(ctx context.Context, w int) ([]OpRecord, error) {
 				key := fmt.Sprintf("%s-key-w%d-op%d", h.cfg.Nonce, w, n)
 				rec.Key = key
 				err = cl.SetState(opCtx, key, rid)
+			case "move":
+				rec.Key = lastPlan
+				var res gae.MoveResult
+				// Empty site: the scheduler picks the best other site, so
+				// the run needs at least two sites configured.
+				res, err = cl.Move(opCtx, lastPlan, "t0", "")
+				rec.Result = res.Site
+			case "setprio":
+				rec.Key = lastPlan
+				// A per-op unique priority, so reconciliation can pin this
+				// exact op's effect in the recovered state.
+				prio := 1 + w*h.cfg.Ops + n
+				rec.Result = strconv.Itoa(prio)
+				err = cl.SetPriority(opCtx, lastPlan, "t0", prio)
 			}
 			if err == nil {
 				break
@@ -357,6 +395,28 @@ func (h *harness) reconcile(ctx context.Context, acked []OpRecord, rep *Report) 
 			} else if v != r.RID {
 				rep.DoubleApplied = append(rep.DoubleApplied,
 					fmt.Sprintf("%s: state key %q holds %q, want %q", r.RID, r.Key, v, r.RID))
+			}
+		case "move":
+			st, err := cl.TaskStatus(ctx, r.Key, "t0")
+			if err != nil {
+				rep.LostAcked = append(rep.LostAcked,
+					fmt.Sprintf("%s: acked move target %q not in recovered state: %v", r.RID, r.Key, err))
+			} else if st.Site != r.Result {
+				rep.LostAcked = append(rep.LostAcked,
+					fmt.Sprintf("%s: task %q/t0 at site %q, move acked landing at %q", r.RID, r.Key, st.Site, r.Result))
+			}
+		case "setprio":
+			st, err := cl.TaskStatus(ctx, r.Key, "t0")
+			switch {
+			case err != nil:
+				rep.LostAcked = append(rep.LostAcked,
+					fmt.Sprintf("%s: acked setprio target %q not in recovered state: %v", r.RID, r.Key, err))
+			case st.Job == nil:
+				rep.LostAcked = append(rep.LostAcked,
+					fmt.Sprintf("%s: task %q/t0 has no pool job to carry priority %s", r.RID, r.Key, r.Result))
+			case strconv.Itoa(st.Job.Priority) != r.Result:
+				rep.LostAcked = append(rep.LostAcked,
+					fmt.Sprintf("%s: task %q/t0 priority %d, acked %s", r.RID, r.Key, st.Job.Priority, r.Result))
 			}
 		}
 	}

@@ -29,6 +29,8 @@ type Server struct {
 	listener net.Listener
 	httpSrv  *http.Server
 	draining bool
+	httpMu   sync.RWMutex
+	http     map[string]http.Handler // extra plain-HTTP paths (exact match)
 }
 
 // NewServer creates a host named name. The clock governs session expiry;
@@ -263,9 +265,34 @@ func (s *Server) Discover(ctx context.Context, name string, forward bool) (Servi
 	return ServiceInfo{}, false
 }
 
-// ServeHTTP implements http.Handler: it moves the session header into the
-// request context and dispatches through the XML-RPC mux.
+// HandleHTTP mounts a plain-HTTP handler at an exact path beside the
+// XML-RPC dispatcher ("/metrics", "/healthz"). These paths are served
+// directly — no session, ACL, or drain interception — so read-only
+// observability endpoints keep answering while the host drains. The
+// XML-RPC surface is unaffected: it serves every path not claimed here.
+func (s *Server) HandleHTTP(path string, h http.Handler) {
+	if path == "" || path[0] != '/' {
+		panic(fmt.Sprintf("clarens: HandleHTTP path %q must start with /", path))
+	}
+	s.httpMu.Lock()
+	if s.http == nil {
+		s.http = make(map[string]http.Handler)
+	}
+	s.http[path] = h
+	s.httpMu.Unlock()
+}
+
+// ServeHTTP implements http.Handler: extra plain-HTTP paths mounted by
+// HandleHTTP are dispatched directly; everything else moves the session
+// header into the request context and goes through the XML-RPC mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.httpMu.RLock()
+	h := s.http[r.URL.Path]
+	s.httpMu.RUnlock()
+	if h != nil {
+		h.ServeHTTP(w, r)
+		return
+	}
 	ctx := context.WithValue(r.Context(), ctxSessionToken, r.Header.Get(SessionHeader))
 	ctx = context.WithValue(ctx, ctxRemoteAddr, r.RemoteAddr)
 	if rid := r.Header.Get(RequestIDHeader); rid != "" {

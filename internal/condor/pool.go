@@ -10,6 +10,7 @@ import (
 	"repro/internal/classad"
 	"repro/internal/fairshare"
 	"repro/internal/simgrid"
+	"repro/internal/telemetry"
 )
 
 // ErrPoolDown is returned by every operation while the pool's execution
@@ -86,6 +87,25 @@ type Pool struct {
 	// observe the machine idle.
 	relMu      sync.Mutex
 	pendingRel []*machine
+
+	// Pre-resolved telemetry handles (nil without SetTelemetry; nil
+	// instruments no-op). Negotiation metrics cover the indexed path
+	// only — the reference negotiator exists for the parity test, not
+	// production serving.
+	obsWakes       *telemetry.Counter
+	obsPasses      *telemetry.Counter
+	obsMatches     *telemetry.Counter
+	obsPassSeconds *telemetry.Histogram
+}
+
+// SetTelemetry registers the pool's negotiation metrics in reg, labeled
+// by site: wake-ups, negotiation passes (those with at least one idle
+// job), matches started, and wall-clock pass duration.
+func (p *Pool) SetTelemetry(reg *telemetry.Registry) {
+	p.obsWakes = reg.LabeledCounter("pool_wakes_total", "site", p.Name)
+	p.obsPasses = reg.LabeledCounter("negotiation_passes_total", "site", p.Name)
+	p.obsMatches = reg.LabeledCounter("negotiation_matches_total", "site", p.Name)
+	p.obsPassSeconds = reg.LabeledHistogram("negotiation_pass_seconds", "site", p.Name, nil)
 }
 
 // dynamicBucket indexes machines whose Arch is not a literal string
@@ -527,6 +547,7 @@ func (p *Pool) onWake(now time.Time) {
 	if p.down {
 		return
 	}
+	p.obsWakes.Inc()
 	p.harvestLocked(now)
 	p.negotiateLocked(now)
 	if p.needsTickLocked() {
@@ -685,12 +706,17 @@ func (p *Pool) negotiateLocked(now time.Time) {
 	if len(idle) == 0 {
 		return
 	}
+	var t0 time.Time
+	if p.obsPasses != nil {
+		t0 = time.Now()
+	}
 	p.refreshFreeLocked(now)
 	var peerFree []*machine
 	if p.flockPeer != nil {
 		peerFree = p.flockPeer.snapshotFreeFor(now, p.peerScratch[:0])
 		p.peerScratch = peerFree
 	}
+	matched := 0
 	for _, j := range idle {
 		m := p.pickIndexedLocked(j)
 		if m == nil && len(peerFree) > 0 {
@@ -701,6 +727,12 @@ func (p *Pool) negotiateLocked(now time.Time) {
 			continue
 		}
 		p.startLocked(j, m, now)
+		matched++
+	}
+	if p.obsPasses != nil {
+		p.obsPasses.Inc()
+		p.obsMatches.Add(int64(matched))
+		p.obsPassSeconds.Observe(time.Since(t0).Seconds())
 	}
 }
 

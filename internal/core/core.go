@@ -29,6 +29,7 @@ import (
 	"repro/internal/scheduler"
 	"repro/internal/simgrid"
 	"repro/internal/steering"
+	"repro/internal/telemetry"
 	"repro/pkg/gae"
 )
 
@@ -92,6 +93,14 @@ type Config struct {
 	// rebuilds it, so retried duplicates dedup across restarts.
 	IdemWindow int
 
+	// IdemTTL additionally bounds the window by age in simulated time:
+	// when a new mutation is acknowledged, entries acknowledged more than
+	// IdemTTL before it are evicted even if the count budget has room. A
+	// hot multi-session user can wrap a count-only window in seconds;
+	// the TTL keeps the guarantee time-shaped ("retries within IdemTTL
+	// dedup") instead of load-shaped. Zero disables age eviction.
+	IdemTTL time.Duration
+
 	// FairShare, when non-nil, enables time-aware fair-share arbitration:
 	// every pool orders idle jobs by effective priority, the scheduler
 	// breaks site-selection ties by fair-share standing, and the transfer
@@ -115,7 +124,15 @@ type GAE struct {
 	Replicas  *replica.Catalog
 	State     *clarens.StateStore
 
+	// Telemetry is the deployment's metrics registry: every serving
+	// layer (journaled RPCs, the durable store, pools, the scheduler)
+	// records into it, and the Clarens host serves it at /metrics.
+	Telemetry *telemetry.Registry
+
 	pools map[string]*condor.Pool
+
+	obs   *rpcObserver         // per-method RPC handles over Telemetry
+	trace *telemetry.TraceRing // recent RPC spans, served at /debug/rpcs
 
 	planMu sync.Mutex
 	plans  map[string]*scheduler.ConcretePlan
@@ -145,20 +162,26 @@ func New(cfg Config) *GAE {
 	grid := simgrid.NewGrid(tick, cfg.Seed)
 	repo := monalisa.NewRepository()
 	q := quota.NewService()
+	reg := telemetry.NewRegistry()
 	g := &GAE{
-		Grid:     grid,
-		MonALISA: repo,
-		Quota:    q,
-		pools:    make(map[string]*condor.Pool),
-		plans:    make(map[string]*scheduler.ConcretePlan),
-		leaseTTL: cfg.LeaseTTL,
-		idem:     newIdemWindow(cfg.IdemWindow),
+		Grid:      grid,
+		MonALISA:  repo,
+		Quota:     q,
+		Telemetry: reg,
+		pools:     make(map[string]*condor.Pool),
+		plans:     make(map[string]*scheduler.ConcretePlan),
+		leaseTTL:  cfg.LeaseTTL,
+		idem:      newIdemWindow(cfg.IdemWindow, cfg.IdemTTL),
+		obs:       newRPCObserver(reg),
+		trace:     telemetry.NewTraceRing(0),
 	}
+	g.idem.setTelemetry(reg)
 
 	// Sites, nodes, pools.
 	for _, spec := range cfg.Sites {
 		site := grid.AddSite(spec.Name)
 		pool := condor.NewPool(spec.Name, grid, site)
+		pool.SetTelemetry(reg)
 		mips := spec.Mips
 		if mips <= 0 {
 			mips = 1
@@ -242,6 +265,7 @@ func New(cfg Config) *GAE {
 		Transfer:  g.Transfer,
 		Replicas:  g.Replicas,
 		FairShare: g.FairShare,
+		Telemetry: reg,
 	})
 	for name, pool := range g.pools {
 		g.Scheduler.RegisterSite(name, &scheduler.SiteServices{
@@ -321,7 +345,20 @@ func (g *GAE) registerServices() {
 	srv.ACL.Allow("authenticated", "replica.*")
 	srv.ACL.Allow("authenticated", "monitor.*")
 	srv.ACL.Allow("authenticated", "state.*")
+
+	// Observability endpoints, served as plain HTTP GET beside the
+	// XML-RPC dispatcher. They bypass the session/drain intercept on
+	// purpose: a draining host must still answer /healthz (that is how a
+	// balancer learns to stop routing) and /metrics (that is how the
+	// drain is watched).
+	srv.HandleHTTP("/metrics", telemetry.Handler(g.Telemetry))
+	srv.HandleHTTP("/debug/rpcs", telemetry.TraceHandler(g.trace))
+	srv.HandleHTTP("/healthz", http.HandlerFunc(g.healthz))
 }
+
+// Trace exposes the deployment's RPC trace ring (what /debug/rpcs
+// serves).
+func (g *GAE) Trace() *telemetry.TraceRing { return g.trace }
 
 // PutDataset stores a dataset at a site's storage element and registers
 // it in the replica catalog, making it stageable by name from any task.

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/durable"
+	"repro/internal/telemetry"
 )
 
 // DefaultIdemPerUser bounds each user's idempotency window when
@@ -35,21 +37,45 @@ type idemUserWin struct {
 // persistMu) and is exported into every snapshot, so duplicate
 // suppression survives a restart that falls between a call's first
 // delivery and its retry.
+//
+// The window is bounded two ways: by count (limit, per user) and — when
+// ttl > 0 — by age in simulated time. Age pruning happens only when a
+// new entry is recorded, against the new entry's own timestamp: both
+// the live path and journal replay record at the op's journaled sim
+// time, so the two evict identically and the byte-identity suite keeps
+// holding. Lookups never prune (a lookup has no deterministic clock).
 type idemWindow struct {
 	mu    sync.Mutex
 	limit int
+	ttl   time.Duration
 	users map[string]*idemUserWin
 	// fallbackSeq orders entries recorded with no journal sequence (a
 	// storeless deployment). Restored entries are renumbered from 1, which
 	// stays below any journal sequence a later attach could assign.
 	fallbackSeq uint64
+
+	// Telemetry handles (nil when unobserved; nil instruments no-op).
+	obsHits     *telemetry.Counter
+	obsEvictCap *telemetry.Counter
+	obsEvictAge *telemetry.Counter
 }
 
-func newIdemWindow(limit int) *idemWindow {
+func newIdemWindow(limit int, ttl time.Duration) *idemWindow {
 	if limit <= 0 {
 		limit = DefaultIdemPerUser
 	}
-	return &idemWindow{limit: limit, users: make(map[string]*idemUserWin)}
+	if ttl < 0 {
+		ttl = 0
+	}
+	return &idemWindow{limit: limit, ttl: ttl, users: make(map[string]*idemUserWin)}
+}
+
+// setTelemetry registers the window's counters in reg: dedup hits and
+// evictions split by cause (capacity vs age).
+func (w *idemWindow) setTelemetry(reg *telemetry.Registry) {
+	w.obsHits = reg.Counter("idem_hits_total")
+	w.obsEvictCap = reg.LabeledCounter("idem_evictions_total", "cause", "capacity")
+	w.obsEvictAge = reg.LabeledCounter("idem_evictions_total", "cause", "age")
 }
 
 // lookup returns the recorded entry for (user, id), if any.
@@ -64,16 +90,22 @@ func (w *idemWindow) lookup(user, id string) (durable.IdemEntry, bool) {
 	if !ok {
 		return durable.IdemEntry{}, false
 	}
+	w.obsHits.Inc()
 	return it.entry, true
 }
 
 // record stores one acknowledged mutation. seq is the op's journal
-// sequence (0 when storeless; a private counter substitutes). The first
-// acknowledgment wins: a duplicate record for an ID already present is
-// ignored, so replay after a dedup hit cannot clobber the original.
-func (w *idemWindow) record(user, id, method string, result json.RawMessage, seq uint64) {
+// sequence (0 when storeless; a private counter substitutes); at is the
+// op's simulated acknowledgment time (the journal record's timestamp).
+// The first acknowledgment wins: a duplicate record for an ID already
+// present is ignored, so replay after a dedup hit cannot clobber the
+// original.
+func (w *idemWindow) record(user, id, method string, result json.RawMessage, seq uint64, at time.Time) {
 	if user == "" || id == "" {
 		return
+	}
+	if !at.IsZero() {
+		at = at.UTC()
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -91,7 +123,7 @@ func (w *idemWindow) record(user, id, method string, result json.RawMessage, seq
 	if _, dup := u.byID[id]; dup {
 		return
 	}
-	it := &idemItem{seq: seq, entry: durable.IdemEntry{ID: id, Method: method, Result: result}}
+	it := &idemItem{seq: seq, entry: durable.IdemEntry{ID: id, Method: method, At: at, Result: result}}
 	u.byID[id] = it
 	// Sequences almost always arrive ascending; insert from the tail.
 	pos := len(u.list)
@@ -101,10 +133,28 @@ func (w *idemWindow) record(user, id, method string, result json.RawMessage, seq
 	u.list = append(u.list, nil)
 	copy(u.list[pos+1:], u.list[pos:])
 	u.list[pos] = it
+	// Age eviction first: entries whose acknowledgment is more than ttl
+	// of simulated time behind this record's are past any client's retry
+	// horizon. The list is seq-ordered and op times are monotone with
+	// seq, so expired entries form a prefix. Entries with a zero At
+	// (pre-TTL snapshots, storeless deployments without a recorded time)
+	// are exempt.
+	if w.ttl > 0 && !at.IsZero() {
+		for len(u.list) > 0 {
+			head := u.list[0]
+			if head.entry.At.IsZero() || at.Sub(head.entry.At) <= w.ttl {
+				break
+			}
+			u.list = u.list[1:]
+			delete(u.byID, head.entry.ID)
+			w.obsEvictAge.Inc()
+		}
+	}
 	for len(u.list) > w.limit {
 		evicted := u.list[0]
 		u.list = u.list[1:]
 		delete(u.byID, evicted.entry.ID)
+		w.obsEvictCap.Inc()
 	}
 }
 
@@ -135,7 +185,10 @@ func (w *idemWindow) export() []durable.IdemUser {
 
 // restore rebuilds the window from a snapshot export, renumbering
 // entries from 1 in their recorded order. Journal replay then layers its
-// ops on top with their (strictly larger) sequence numbers.
+// ops on top with their (strictly larger) sequence numbers. Restore
+// re-records through the normal path — including TTL pruning against
+// each entry's own snapshotted timestamp — so a window restored under a
+// tighter ttl converges to what a live window would hold.
 func (w *idemWindow) restore(users []durable.IdemUser) {
 	w.mu.Lock()
 	w.users = make(map[string]*idemUserWin)
@@ -143,7 +196,7 @@ func (w *idemWindow) restore(users []durable.IdemUser) {
 	w.mu.Unlock()
 	for _, u := range users {
 		for _, e := range u.Entries {
-			w.record(u.User, e.ID, e.Method, e.Result, 0)
+			w.record(u.User, e.ID, e.Method, e.Result, 0, e.At)
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/scheduler"
 	"repro/internal/steering"
+	"repro/internal/telemetry"
 	"repro/pkg/gae"
 )
 
@@ -67,6 +68,7 @@ type (
 // tail replay — and every subsequent mutating RPC is journaled. Attach at
 // most once, before serving traffic.
 func (g *GAE) AttachStore(s *durable.Store) error {
+	s.SetTelemetry(g.Telemetry)
 	snap, tail := s.Recovery()
 	if snap != nil {
 		if err := g.RestoreState(snap.SimTime, &snap.State); err != nil {
@@ -363,7 +365,7 @@ func (g *GAE) ApplyOp(op durable.Op) error {
 	}
 	if op.RequestID != "" && op.User != "" {
 		if res, merr := json.Marshal(out); merr == nil {
-			g.idem.record(op.User, op.RequestID, op.Service+"."+op.Method, res, op.Seq)
+			g.idem.record(op.User, op.RequestID, op.Service+"."+op.Method, res, op.Seq, op.Time)
 		}
 	}
 	return nil
@@ -402,9 +404,16 @@ func journalCall[T any](g *GAE, ctx context.Context, user, service, method strin
 	defer g.persistMu.RUnlock()
 	fq := service + "." + method
 	rid := clarens.RequestID(ctx)
+	mo := g.obs.forMethod(fq)
+	var t0 time.Time
+	if mo != nil {
+		t0 = time.Now()
+		mo.requests.Inc()
+	}
 	if rid != "" && user != "" {
 		if e, ok := g.idem.lookup(user, rid); ok {
 			if e.Method != fq {
+				g.finishSpan(mo, t0, fq, user, rid, "mismatch", 0, false, errRequestIDReuse)
 				return zero, fmt.Errorf("core: request id %q reused for %s (recorded for %s)", rid, fq, e.Method)
 			}
 			var out T
@@ -413,26 +422,94 @@ func journalCall[T any](g *GAE, ctx context.Context, user, service, method strin
 					return zero, fmt.Errorf("core: decoding recorded %s result: %w", fq, err)
 				}
 			}
+			g.finishSpan(mo, t0, fq, user, rid, "dedup", 0, true, nil)
 			return out, nil
 		}
 	}
 	out, err := apply()
+	var applied time.Time
+	if mo != nil {
+		applied = time.Now()
+	}
 	if err != nil {
+		g.finishSpan(mo, t0, fq, user, rid, "handler", 0, false, err)
 		return zero, err
 	}
 	var seq uint64
+	// One sim-time read serves both the journal record and the window
+	// entry: replay re-records at the journaled op.Time, so the live and
+	// replayed windows must stamp the identical instant (the recovery
+	// byte-identity suite compares the two).
+	now := g.Now()
 	if g.store != nil {
-		seq, err = g.store.Append(g.Now(), user, service, method, rid, args())
+		seq, err = g.store.Append(now, user, service, method, rid, args())
 		if err != nil {
+			g.finishSpan(mo, t0, fq, user, rid, "journal", 0, false, err)
 			return zero, err
 		}
 	}
 	if rid != "" && user != "" {
 		if res, merr := json.Marshal(out); merr == nil {
-			g.idem.record(user, rid, fq, res, seq)
+			g.idem.record(user, rid, fq, res, seq, now)
 		}
 	}
+	if mo != nil {
+		end := time.Now()
+		total := end.Sub(t0)
+		mo.latency.Observe(total.Seconds())
+		span := telemetry.Span{
+			RequestID:   rid,
+			Method:      fq,
+			User:        user,
+			Start:       t0,
+			TotalMillis: float64(total) / float64(time.Millisecond),
+			Seq:         seq,
+			Stages: []telemetry.Stage{
+				{Name: "handler", Millis: float64(applied.Sub(t0)) / float64(time.Millisecond)},
+			},
+		}
+		if g.store != nil {
+			span.Stages = append(span.Stages, telemetry.Stage{
+				Name: "journal", Millis: float64(end.Sub(applied)) / float64(time.Millisecond),
+			})
+		}
+		g.trace.Add(span)
+	}
 	return out, nil
+}
+
+// errRequestIDReuse tags the reuse-span error without allocating the
+// formatted message twice.
+var errRequestIDReuse = fmt.Errorf("request id reused across methods")
+
+// finishSpan records the latency observation and trace span for the
+// non-happy exits of journalCall (dedup hits, handler errors, journal
+// append failures). A nil mo means telemetry is off and the whole call
+// is skipped.
+func (g *GAE) finishSpan(mo *methodObs, t0 time.Time, fq, user, rid, stage string, seq uint64, dedup bool, err error) {
+	if mo == nil {
+		return
+	}
+	end := time.Now()
+	total := end.Sub(t0)
+	mo.latency.Observe(total.Seconds())
+	if err != nil {
+		mo.errors.Inc()
+	}
+	span := telemetry.Span{
+		RequestID:   rid,
+		Method:      fq,
+		User:        user,
+		Start:       t0,
+		TotalMillis: float64(total) / float64(time.Millisecond),
+		Seq:         seq,
+		Dedup:       dedup,
+		Stages:      []telemetry.Stage{{Name: stage, Millis: float64(total) / float64(time.Millisecond)}},
+	}
+	if err != nil {
+		span.Err = err.Error()
+	}
+	g.trace.Add(span)
 }
 
 // journalDo is journalCall for void mutations; the recorded result is

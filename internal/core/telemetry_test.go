@@ -1,0 +1,222 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// --- idempotency window: TTL sizing and eviction causes ---
+
+func idemAt(sec int) time.Time {
+	return time.Date(2005, 6, 1, 0, 0, sec, 0, time.UTC)
+}
+
+func TestIdemWindowTTLEviction(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	w := newIdemWindow(100, 10*time.Second)
+	w.setTelemetry(reg)
+
+	for i := 0; i < 5; i++ {
+		w.record("alice", fmt.Sprintf("r%d", i), "quota.grant", nil, uint64(i+1), idemAt(i))
+	}
+	// All five are within 10s of each other: nothing ages out.
+	if _, ok := w.lookup("alice", "r0"); !ok {
+		t.Fatal("r0 evicted inside the TTL")
+	}
+
+	// An entry 11s after r0 pushes r0 (and only r0) past the horizon.
+	w.record("alice", "late", "quota.grant", nil, 6, idemAt(11))
+	if _, ok := w.lookup("alice", "r0"); ok {
+		t.Fatal("r0 still present 11s after acknowledgment with a 10s TTL")
+	}
+	if _, ok := w.lookup("alice", "r1"); !ok {
+		t.Fatal("r1 evicted at age 10s with a 10s TTL (boundary is exclusive)")
+	}
+
+	snap := reg.Snapshot()
+	if got, _ := snap.Value("idem_evictions_total", "age"); got != 1 {
+		t.Fatalf("age evictions = %v, want 1", got)
+	}
+	if got, _ := snap.Value("idem_evictions_total", "capacity"); got != 0 {
+		t.Fatalf("capacity evictions = %v, want 0", got)
+	}
+	// The successful lookups above count as dedup hits.
+	if got := snap.Total("idem_hits_total"); got == 0 {
+		t.Fatal("idem hits not counted")
+	}
+}
+
+func TestIdemWindowCapacityEvictionCounted(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	w := newIdemWindow(2, 0)
+	w.setTelemetry(reg)
+	for i := 0; i < 4; i++ {
+		w.record("alice", fmt.Sprintf("r%d", i), "state.set", nil, uint64(i+1), idemAt(i))
+	}
+	snap := reg.Snapshot()
+	if got, _ := snap.Value("idem_evictions_total", "capacity"); got != 2 {
+		t.Fatalf("capacity evictions = %v, want 2", got)
+	}
+	if got, _ := snap.Value("idem_evictions_total", "age"); got != 0 {
+		t.Fatalf("age evictions = %v, want 0 with ttl disabled", got)
+	}
+}
+
+// Entries without a recorded acknowledgment time (pre-TTL snapshots)
+// must never age out: there is nothing deterministic to age them
+// against.
+func TestIdemWindowZeroTimeExemptFromTTL(t *testing.T) {
+	w := newIdemWindow(100, time.Second)
+	w.record("alice", "old", "state.set", nil, 1, time.Time{})
+	w.record("alice", "new", "state.set", nil, 2, idemAt(3600))
+	if _, ok := w.lookup("alice", "old"); !ok {
+		t.Fatal("zero-time entry was age-evicted")
+	}
+}
+
+func TestConfigIdemTTLPlumbed(t *testing.T) {
+	g := New(Config{
+		Seed:    1,
+		Sites:   []SiteSpec{{Name: "siteA", Nodes: 1}},
+		Users:   []UserSpec{{Name: "alice", Password: "pw"}},
+		IdemTTL: 42 * time.Second,
+	})
+	if g.idem.ttl != 42*time.Second {
+		t.Fatalf("idem ttl = %v, want 42s", g.idem.ttl)
+	}
+}
+
+// --- HTTP observability endpoints on the Clarens host ---
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	g, c := startGAE(t, twoSiteConfig())
+	ctx := context.Background()
+	// Drive the journaled RPC path so the server-side families have data.
+	if _, err := c.Call(ctx, "state.set", "k1", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	base := g.Clarens.BaseURL()
+
+	code, text := httpGet(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE rpc_requests_total counter",
+		`rpc_requests_total{method="state.set"} 1`,
+		"# TYPE rpc_latency_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics text missing %q", want)
+		}
+	}
+
+	code, body := httpGet(t, base+"/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics?format=json: status %d", code)
+	}
+	snap, err := telemetry.ParseJSON(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("parsing /metrics JSON: %v", err)
+	}
+	if got := snap.Total("rpc_requests_total"); got != 1 {
+		t.Fatalf("rpc_requests_total = %v, want 1", got)
+	}
+	if _, ok := snap.Find("rpc_latency_seconds", "state.set"); !ok {
+		t.Fatal("rpc_latency_seconds{state.set} missing from snapshot")
+	}
+}
+
+func TestHealthzDrainAware(t *testing.T) {
+	g := New(twoSiteConfig())
+	hs := httptest.NewServer(g.Handler())
+	defer hs.Close()
+
+	code, body := httpGet(t, hs.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz: status %d, body %q", code, body)
+	}
+	var st struct {
+		Status   string `json:"status"`
+		Draining bool   `json:"draining"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("parsing /healthz: %v", err)
+	}
+	if st.Status != "ok" || st.Draining {
+		t.Fatalf("/healthz = %+v, want ok/not-draining", st)
+	}
+
+	// While draining, RPC traffic is refused but /healthz must still
+	// answer — it deliberately bypasses the drain intercept — and report
+	// the drain with a 503 so balancers stop routing here.
+	g.Clarens.SetDraining(true)
+	code, body = httpGet(t, hs.URL+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz while draining: status %d, body %q", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("parsing draining /healthz: %v", err)
+	}
+	if st.Status != "draining" || !st.Draining {
+		t.Fatalf("draining /healthz = %+v", st)
+	}
+}
+
+func TestDebugRPCsEndpoint(t *testing.T) {
+	g, c := startGAE(t, twoSiteConfig())
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Call(ctx, "state.set", fmt.Sprintf("k%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	code, body := httpGet(t, g.Clarens.BaseURL()+"/debug/rpcs?limit=2")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/rpcs: status %d", code)
+	}
+	var out struct {
+		Total uint64           `json:"total"`
+		Spans []telemetry.Span `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("parsing /debug/rpcs: %v", err)
+	}
+	if out.Total != 3 {
+		t.Fatalf("span total = %d, want 3", out.Total)
+	}
+	if len(out.Spans) != 2 {
+		t.Fatalf("spans returned = %d, want limit 2", len(out.Spans))
+	}
+	for _, sp := range out.Spans {
+		if sp.Method != "state.set" || sp.User != "alice" {
+			t.Fatalf("span = %+v, want state.set by alice", sp)
+		}
+		if len(sp.Stages) == 0 || sp.Stages[0].Name != "handler" {
+			t.Fatalf("span stages = %+v, want leading handler stage", sp.Stages)
+		}
+	}
+}

@@ -8,6 +8,9 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Journal is the append-only RPC log. Records are framed as
@@ -23,11 +26,32 @@ type Journal struct {
 	cond     *sync.Cond
 	f        File
 	pending  []byte // encoded records awaiting the next flush
+	pendingN int64  // record count in pending
 	flushing bool   // a flusher is in the write+fsync critical section
 	queued   uint64 // generation of the batch currently accumulating
 	synced   uint64 // highest generation known durable
 	err      error  // sticky I/O error; fails all subsequent appends
 	closed   bool
+
+	// Pre-resolved telemetry handles (nil without SetTelemetry; nil
+	// instruments no-op). The flush metrics are per group-commit batch,
+	// which is the unit that actually hits the disk.
+	obsAppends      *telemetry.Counter
+	obsFlushes      *telemetry.Counter
+	obsFsyncSeconds *telemetry.Histogram
+	obsBatchBytes   *telemetry.Histogram
+	obsBatchRecords *telemetry.Histogram
+}
+
+// SetTelemetry registers the journal's metrics in reg: per-record
+// appends, per-batch flush counts, write+fsync latency, and batch
+// size in bytes and records. Call before concurrent appends begin.
+func (j *Journal) SetTelemetry(reg *telemetry.Registry) {
+	j.obsAppends = reg.Counter("journal_appends_total")
+	j.obsFlushes = reg.Counter("journal_flushes_total")
+	j.obsFsyncSeconds = reg.Histogram("journal_fsync_seconds", nil)
+	j.obsBatchBytes = reg.Histogram("journal_batch_bytes", telemetry.SizeBuckets)
+	j.obsBatchRecords = reg.Histogram("journal_batch_records", telemetry.CountBuckets)
 }
 
 // File is the slice of *os.File the journal writes through. It is an
@@ -105,6 +129,8 @@ func (j *Journal) enqueue(payload []byte) (uint64, error) {
 		return 0, j.err
 	}
 	j.pending = appendFrame(j.pending, payload)
+	j.pendingN++
+	j.obsAppends.Inc()
 	return j.queued, nil
 }
 
@@ -132,17 +158,29 @@ func (j *Journal) waitDurable(gen uint64) error {
 // mutex held; releases it around the I/O.
 func (j *Journal) flushLocked() {
 	batch := j.pending
+	records := j.pendingN
 	j.pending = nil
+	j.pendingN = 0
 	j.queued++
 	gen := j.queued
 	j.flushing = true
 	j.mu.Unlock()
 
+	var t0 time.Time
+	if j.obsFlushes != nil {
+		t0 = time.Now()
+	}
 	var err error
 	if _, werr := j.f.Write(batch); werr != nil {
 		err = fmt.Errorf("durable: journal write: %w", werr)
 	} else if serr := j.f.Sync(); serr != nil {
 		err = fmt.Errorf("durable: journal fsync: %w", serr)
+	}
+	if j.obsFlushes != nil {
+		j.obsFlushes.Inc()
+		j.obsFsyncSeconds.Observe(time.Since(t0).Seconds())
+		j.obsBatchBytes.Observe(float64(len(batch)))
+		j.obsBatchRecords.Observe(float64(records))
 	}
 
 	j.mu.Lock()

@@ -57,10 +57,14 @@ type IdemUser struct {
 // IdemEntry records one acknowledged mutation: a retry bearing the same
 // request ID gets Result back instead of a second application. Method is
 // the fully-qualified RPC name and guards against a key reused across
-// different calls.
+// different calls. At is the simulated acknowledgment instant — the
+// same timestamp the op's journal record carries — and is what TTL
+// (age-based) window eviction compares against; a zero At (an entry
+// from a pre-TTL snapshot) is never age-evicted.
 type IdemEntry struct {
 	ID     string          `json:"id"`
 	Method string          `json:"method"`
+	At     time.Time       `json:"at,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
 }
 

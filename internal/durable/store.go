@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Standard file names inside a durable data directory.
@@ -32,6 +34,21 @@ type Store struct {
 	snapshot *Snapshot // as found at Open (nil on cold start)
 	tail     []Op      // verified journal ops with Seq > snapshot.LastSeq
 	scanErr  error     // non-fatal corruption note from the journal scan
+
+	// Pre-resolved telemetry handles (nil without SetTelemetry).
+	obsCkpts       *telemetry.Counter
+	obsCkptSeconds *telemetry.Histogram
+	obsCkptBytes   *telemetry.Gauge
+}
+
+// SetTelemetry registers the store's checkpoint metrics in reg and
+// forwards reg to the journal for append/fsync instrumentation. Call
+// before serving traffic.
+func (s *Store) SetTelemetry(reg *telemetry.Registry) {
+	s.obsCkpts = reg.Counter("checkpoints_total")
+	s.obsCkptSeconds = reg.Histogram("checkpoint_seconds", nil)
+	s.obsCkptBytes = reg.Gauge("checkpoint_bytes")
+	s.journal.SetTelemetry(reg)
 }
 
 // Open prepares dir (creating it if needed), loads the latest snapshot,
@@ -168,11 +185,27 @@ func (s *Store) Append(at time.Time, user, service, method, requestID string, ar
 func (s *Store) Checkpoint(simTime time.Time, st State) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var t0 time.Time
+	if s.obsCkpts != nil {
+		t0 = time.Now()
+	}
 	snap := &Snapshot{Version: SnapshotVersion, LastSeq: s.seq, SimTime: simTime.UTC(), State: st}
-	if err := SaveSnapshot(filepath.Join(s.dir, SnapshotFile), snap); err != nil {
+	data, err := snap.Encode()
+	if err != nil {
 		return err
 	}
-	return s.journal.Truncate()
+	if err := WriteFileAtomic(filepath.Join(s.dir, SnapshotFile), data, 0o644); err != nil {
+		return err
+	}
+	if err := s.journal.Truncate(); err != nil {
+		return err
+	}
+	if s.obsCkpts != nil {
+		s.obsCkpts.Inc()
+		s.obsCkptSeconds.Observe(time.Since(t0).Seconds())
+		s.obsCkptBytes.Set(float64(len(data)))
+	}
+	return nil
 }
 
 // Dir returns the store's data directory.

@@ -61,6 +61,9 @@ type Result struct {
 	P50Millis float64 `json:"p50_ms"`
 	P95Millis float64 `json:"p95_ms"`
 	P99Millis float64 `json:"p99_ms"`
+	// Server holds the server-side view from the deployment's /metrics
+	// (nil when the target exposes none).
+	Server *ServerStats `json:"server,omitempty"`
 }
 
 // sample is one timed operation.

@@ -14,6 +14,7 @@ import (
 	"repro/internal/quota"
 	"repro/internal/replica"
 	"repro/internal/simgrid"
+	"repro/internal/telemetry"
 )
 
 // SiteServices bundles what the scheduler needs per execution site: the
@@ -103,6 +104,13 @@ type Scheduler struct {
 	backlogAt    time.Time
 	backlogCache map[string]float64
 	backlogGen   uint64
+
+	// Pre-resolved telemetry handles (nil without Config.Telemetry; nil
+	// instruments no-op).
+	obsWakes        *telemetry.Counter
+	obsPlaceSeconds *telemetry.Histogram
+	obsDegradedLoad *telemetry.Counter
+	obsDegradedRun  *telemetry.Counter
 }
 
 type jobKey struct {
@@ -133,6 +141,11 @@ type Config struct {
 	// FairShare, when set, supplies per-tenant per-site standing used as
 	// the site-selection tie-break (see Scheduler.TieMargin).
 	FairShare fairshare.SiteStanding
+	// Telemetry, when set, records scheduler vitals: wake-ups, site-
+	// selection latency, and oracle degradations (a load or runtime
+	// oracle answering with an error while placement proceeds on
+	// fallbacks).
+	Telemetry *telemetry.Registry
 }
 
 // New creates a scheduler and registers it with the grid engine.
@@ -170,6 +183,12 @@ func New(cfg Config) *Scheduler {
 		sites:           make(map[string]*SiteServices),
 		jobIndex:        make(map[jobKey]planTask),
 		backlogCache:    make(map[string]float64),
+	}
+	if cfg.Telemetry != nil {
+		s.obsWakes = cfg.Telemetry.Counter("scheduler_wakes_total")
+		s.obsPlaceSeconds = cfg.Telemetry.Histogram("scheduler_place_seconds", nil)
+		s.obsDegradedLoad = cfg.Telemetry.LabeledCounter("scheduler_degraded_total", "oracle", "load")
+		s.obsDegradedRun = cfg.Telemetry.LabeledCounter("scheduler_degraded_total", "oracle", "runtime")
 	}
 	s.wake = cfg.Grid.Engine.Register(s.onWake)
 	return s
@@ -264,6 +283,7 @@ func (s *Scheduler) Submit(plan *JobPlan) (*ConcretePlan, error) {
 // change no other way between wakeups — direct API calls do their own
 // launching), so an idle grid schedules nothing.
 func (s *Scheduler) onWake(now time.Time) {
+	s.obsWakes.Inc()
 	s.drainEvents()
 	s.pump()
 }
@@ -440,6 +460,11 @@ func (s *Scheduler) SelectSiteFor(owner string, t TaskPlan, exclude map[string]b
 	if len(names) == 0 {
 		return SiteEstimate{}, nil, fmt.Errorf("scheduler: no eligible sites for task %q", t.ID)
 	}
+	var t0 time.Time
+	if s.obsPlaceSeconds != nil {
+		t0 = time.Now()
+		defer func() { s.obsPlaceSeconds.Observe(time.Since(t0).Seconds()) }()
+	}
 	all := make([]SiteEstimate, 0, len(names))
 	for i, site := range names {
 		svc := svcs[i]
@@ -452,6 +477,8 @@ func (s *Scheduler) SelectSiteFor(owner string, t TaskPlan, exclude map[string]b
 			// zero load rather than failing the placement.
 			if v, err := s.load.SiteLoad(site); err == nil {
 				est.Load = v
+			} else {
+				s.obsDegradedLoad.Inc()
 			}
 		}
 		if s.quota != nil {
@@ -498,8 +525,12 @@ func (s *Scheduler) SelectSiteFor(owner string, t TaskPlan, exclude map[string]b
 // errors (an unreachable Estimator Service) degrade, never fail.
 func (s *Scheduler) runtimeEstimate(svc *SiteServices, t TaskPlan) float64 {
 	if svc.RuntimeSource != nil {
-		if sec, err := svc.RuntimeSource.EstimateRuntime(taskRecordOf(t)); err == nil && sec > 0 {
+		sec, err := svc.RuntimeSource.EstimateRuntime(taskRecordOf(t))
+		if err == nil && sec > 0 {
 			return sec
+		}
+		if err != nil {
+			s.obsDegradedRun.Inc()
 		}
 	} else if svc.Runtime != nil {
 		est, err := svc.Runtime.Estimate(taskRecordOf(t))

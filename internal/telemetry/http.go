@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Handler serves a registry as /metrics: Prometheus text exposition by
+// default, the JSON snapshot with ?format=json. GET and HEAD only.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "metrics endpoint is read-only", http.StatusMethodNotAllowed)
+			return
+		}
+		snap := r.Snapshot()
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(snap) //nolint:errcheck // best-effort write to client
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, snap)
+	})
+}
+
+// TraceHandler serves a trace ring as /debug/rpcs: the most recent
+// spans as JSON, newest first, ?limit=N to bound the count (default 50).
+func TraceHandler(t *TraceRing) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "trace endpoint is read-only", http.StatusMethodNotAllowed)
+			return
+		}
+		limit := 50
+		if s := req.URL.Query().Get("limit"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				limit = n
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		out := struct {
+			Total uint64 `json:"total"`
+			Spans []Span `json:"spans"`
+		}{Total: t.Total(), Spans: t.Recent(limit)}
+		if out.Spans == nil {
+			out.Spans = []Span{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out) //nolint:errcheck // best-effort write to client
+	})
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (untyped labels, one # TYPE line per family).
+func WritePrometheus(w io.Writer, s Snapshot) {
+	lastName := ""
+	for _, m := range s.Metrics {
+		if m.Name != lastName {
+			fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind)
+			lastName = m.Name
+		}
+		switch m.Kind {
+		case kindHistogram:
+			var cum int64
+			for i, c := range m.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(m.Bounds) {
+					le = formatFloat(m.Bounds[i])
+				}
+				fmt.Fprintf(w, "%s_bucket{%s} %d\n", m.Name, promLabels(m, "le", le), cum)
+			}
+			fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, promLabelBlock(m), formatFloat(m.Sum))
+			fmt.Fprintf(w, "%s_count%s %d\n", m.Name, promLabelBlock(m), m.Count)
+		default:
+			fmt.Fprintf(w, "%s%s %s\n", m.Name, promLabelBlock(m), formatFloat(m.Value))
+		}
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// promLabels renders the metric's own label (if any) plus one extra
+// pair, for histogram bucket lines.
+func promLabels(m Metric, extraKey, extraVal string) string {
+	var parts []string
+	if m.LabelKey != "" {
+		parts = append(parts, fmt.Sprintf("%s=%q", m.LabelKey, escapeLabel(m.Label)))
+	}
+	parts = append(parts, fmt.Sprintf("%s=%q", extraKey, escapeLabel(extraVal)))
+	return strings.Join(parts, ",")
+}
+
+// promLabelBlock renders "{key=\"label\"}" or "" for unlabeled metrics.
+func promLabelBlock(m Metric) string {
+	if m.LabelKey == "" {
+		return ""
+	}
+	return fmt.Sprintf("{%s=%q}", m.LabelKey, escapeLabel(m.Label))
+}
+
+// ParseJSON decodes a snapshot previously served by Handler with
+// format=json.
+func ParseJSON(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("telemetry: decoding snapshot: %w", err)
+	}
+	sort.Slice(s.Metrics, func(i, j int) bool {
+		if s.Metrics[i].Name != s.Metrics[j].Name {
+			return s.Metrics[i].Name < s.Metrics[j].Name
+		}
+		return s.Metrics[i].Label < s.Metrics[j].Label
+	})
+	return s, nil
+}
+
+// Scrape fetches baseURL's /metrics endpoint in JSON form and parses
+// it. baseURL is the server root ("http://host:port").
+func Scrape(ctx context.Context, baseURL string) (Snapshot, error) {
+	url := strings.TrimRight(baseURL, "/") + "/metrics?format=json"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("telemetry: scraping %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Snapshot{}, fmt.Errorf("telemetry: scraping %s: HTTP %d", url, resp.StatusCode)
+	}
+	return ParseJSON(resp.Body)
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/clarens"
+	"repro/internal/telemetry"
 	"repro/internal/xmlrpc"
 )
 
@@ -25,6 +26,7 @@ type dialOptions struct {
 	timeout    time.Duration
 	retry      *RetryPolicy
 	transport  http.RoundTripper
+	telemetry  *telemetry.Registry
 }
 
 // WithCredentials makes Dial authenticate and attach the resulting
@@ -58,6 +60,14 @@ func WithTransport(rt http.RoundTripper) Option {
 	return func(o *dialOptions) { o.transport = rt }
 }
 
+// WithTelemetry publishes the retry layer's activity — wire attempts,
+// retries, backoff sleeps, and circuit-breaker transitions, all labeled
+// by endpoint — into reg. It only has effect alongside WithRetryPolicy,
+// since those counters live in the retry layer.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(o *dialOptions) { o.telemetry = reg }
+}
+
 // Dial connects to a Clarens endpoint and returns a remote-transport
 // Client. With WithCredentials it logs in before returning.
 func Dial(ctx context.Context, endpoint string, opts ...Option) (*Client, error) {
@@ -81,7 +91,7 @@ func Dial(ctx context.Context, endpoint string, opts ...Option) (*Client, error)
 	}
 	r := &remote{c: cc}
 	if o.retry != nil {
-		r.retry = newRetryState(*o.retry)
+		r.retry = newRetryState(*o.retry, endpoint, o.telemetry)
 	}
 	client := NewClient(Services{
 		Scheduler: r, Steering: r, JobMon: r, Estimator: r,

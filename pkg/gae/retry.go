@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/xmlrpc"
 )
 
@@ -101,8 +102,40 @@ type TransportStats struct {
 	Calls int64
 	// Retries is the number of re-attempts after retryable failures.
 	Retries int64
-	// BreakerOpens is how many times the circuit tripped open.
+	// BreakerOpens is how many times the circuit tripped open (the sum
+	// of the ClosedOpen and HalfOpenOpen transitions).
 	BreakerOpens int64
+	// BreakerTransitions breaks the breaker's state changes down by
+	// edge. A client dials one endpoint, so these are per-endpoint
+	// counts by construction.
+	BreakerTransitions BreakerTransitions
+}
+
+// BreakerTransitions counts each circuit-breaker state change by edge.
+type BreakerTransitions struct {
+	// ClosedOpen: consecutive failures reached the threshold.
+	ClosedOpen int64
+	// OpenHalfOpen: the cooldown elapsed and a probe was admitted.
+	OpenHalfOpen int64
+	// HalfOpenClosed: the probe succeeded and the circuit closed.
+	HalfOpenClosed int64
+	// HalfOpenOpen: the probe failed and the circuit re-opened.
+	HalfOpenOpen int64
+}
+
+// breaker transition indices (the order of breakerTransitionNames).
+const (
+	transClosedOpen = iota
+	transOpenHalfOpen
+	transHalfOpenClosed
+	transHalfOpenOpen
+	numTransitions
+)
+
+// breakerTransitionNames are the metric label values for
+// client_breaker_transitions_total.
+var breakerTransitionNames = [numTransitions]string{
+	"closed_open", "open_halfopen", "halfopen_closed", "halfopen_open",
 }
 
 // TransportStats reports the client's retry counters. A local-transport
@@ -134,6 +167,16 @@ type breaker struct {
 	failures int
 	openedAt time.Time
 	opens    int64
+	trans    [numTransitions]int64
+
+	// obsTrans mirrors trans into the registry; nil counters no-op.
+	obsTrans [numTransitions]*telemetry.Counter
+}
+
+// transition records one state-machine edge. Callers hold b.mu.
+func (b *breaker) transition(t int) {
+	b.trans[t]++
+	b.obsTrans[t].Inc()
 }
 
 func (b *breaker) allow() bool {
@@ -145,6 +188,7 @@ func (b *breaker) allow() bool {
 			return false
 		}
 		b.state = breakerHalfOpen
+		b.transition(transOpenHalfOpen)
 		return true
 	case breakerHalfOpen:
 		// A probe is already in flight.
@@ -155,6 +199,9 @@ func (b *breaker) allow() bool {
 
 func (b *breaker) success() {
 	b.mu.Lock()
+	if b.state == breakerHalfOpen {
+		b.transition(transHalfOpenClosed)
+	}
 	b.state = breakerClosed
 	b.failures = 0
 	b.mu.Unlock()
@@ -167,6 +214,7 @@ func (b *breaker) failure() {
 		b.state = breakerOpen
 		b.openedAt = time.Now()
 		b.opens++
+		b.transition(transHalfOpenOpen)
 		return
 	}
 	b.failures++
@@ -174,6 +222,7 @@ func (b *breaker) failure() {
 		b.state = breakerOpen
 		b.openedAt = time.Now()
 		b.opens++
+		b.transition(transClosedOpen)
 	}
 }
 
@@ -184,18 +233,35 @@ type retryState struct {
 	br     breaker
 	sleep  func(ctx context.Context, d time.Duration) error
 
+	// Registry handles, all nil (no-op) unless Dial got WithTelemetry.
+	obsCalls   *telemetry.Counter
+	obsRetries *telemetry.Counter
+	obsBackoff *telemetry.Histogram
+
 	mu      sync.Mutex
 	calls   int64
 	retries int64
 }
 
-func newRetryState(p RetryPolicy) *retryState {
+// newRetryState builds the retry machinery for one dialed endpoint.
+// endpoint labels the client_* metric families; reg may be nil.
+func newRetryState(p RetryPolicy, endpoint string, reg *telemetry.Registry) *retryState {
 	p = p.withDefaults()
-	return &retryState{
+	rs := &retryState{
 		policy: p,
 		br:     breaker{threshold: p.BreakerThreshold, cooldown: p.BreakerCooldown},
 		sleep:  sleepCtx,
 	}
+	if reg != nil {
+		rs.obsCalls = reg.LabeledCounter("client_calls_total", "endpoint", endpoint)
+		rs.obsRetries = reg.LabeledCounter("client_retries_total", "endpoint", endpoint)
+		rs.obsBackoff = reg.LabeledHistogram("client_backoff_seconds", "endpoint", endpoint, telemetry.DefBuckets)
+		for i, name := range breakerTransitionNames {
+			rs.br.obsTrans[i] = reg.LabeledCounter(
+				"client_breaker_transitions_total", "endpoint_transition", endpoint+"|"+name)
+		}
+	}
+	return rs
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {
@@ -214,9 +280,19 @@ func (rs *retryState) snapshot() TransportStats {
 	calls, retries := rs.calls, rs.retries
 	rs.mu.Unlock()
 	rs.br.mu.Lock()
-	opens := rs.br.opens
+	opens, trans := rs.br.opens, rs.br.trans
 	rs.br.mu.Unlock()
-	return TransportStats{Calls: calls, Retries: retries, BreakerOpens: opens}
+	return TransportStats{
+		Calls:        calls,
+		Retries:      retries,
+		BreakerOpens: opens,
+		BreakerTransitions: BreakerTransitions{
+			ClosedOpen:     trans[transClosedOpen],
+			OpenHalfOpen:   trans[transOpenHalfOpen],
+			HalfOpenClosed: trans[transHalfOpenClosed],
+			HalfOpenOpen:   trans[transHalfOpenOpen],
+		},
+	}
 }
 
 // backoffFor computes the (jittered) delay before retry number attempt
@@ -252,7 +328,10 @@ func (rs *retryState) do(ctx context.Context, call func(ctx context.Context) (an
 			rs.mu.Lock()
 			rs.retries++
 			rs.mu.Unlock()
-			if err := rs.sleep(ctx, rs.backoffFor(attempt)); err != nil {
+			rs.obsRetries.Inc()
+			d := rs.backoffFor(attempt)
+			rs.obsBackoff.Observe(d.Seconds())
+			if err := rs.sleep(ctx, d); err != nil {
 				// Budget or caller context ended mid-backoff; the last
 				// attempt's error says why we were still retrying.
 				return nil, lastErr
@@ -268,6 +347,7 @@ func (rs *retryState) do(ctx context.Context, call func(ctx context.Context) (an
 		rs.mu.Lock()
 		rs.calls++
 		rs.mu.Unlock()
+		rs.obsCalls.Inc()
 		out, err := call(ctx)
 		if err == nil {
 			rs.br.success()
