@@ -18,14 +18,17 @@ bench:
 # One-iteration sweep parsed into the repo's perf-trajectory JSON
 # (ns/op, allocs/op, and b.ReportMetric custom metrics per benchmark).
 # Bump BENCH_OUT per PR so the trajectory accumulates.
-BENCH_OUT ?= BENCH_6.json
+BENCH_OUT ?= BENCH_7.json
 bench-json:
-	$(GO) run ./cmd/gae-benchjson -out $(BENCH_OUT)
+	$(GO) run ./cmd/gae-benchjson -out $(BENCH_OUT) -timeout 150m
 
 # Short-run scenario smoke: exercises the discrete-event engine end to
-# end (tick and event drivers) without the full sweep.
+# end (tick and event drivers) without the full sweep. The million-job
+# scenario runs at its scaled-down CI size (100k jobs, 10k machines);
+# the full 1M-job scale is bench-json territory.
 bench-smoke:
-	$(GO) test -run xxx -bench Scenario -benchtime 1x .
+	GAE_SCENARIO_SCALE=smoke $(GO) test -run xxx -bench Scenario -benchtime 1x .
+	$(GO) test -run MillionSmokeWallBudget -count=1 .
 
 # Closed-loop serving smoke: the gae-loadgen mixed workload against an
 # embedded durable deployment — exits non-zero if any operation fails.

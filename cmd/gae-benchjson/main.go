@@ -59,7 +59,7 @@ func main() {
 		bench     = flag.String("bench", ".", "benchmark name pattern (go test -bench)")
 		benchtime = flag.String("benchtime", "1x", "per-benchmark budget (go test -benchtime)")
 		pkg       = flag.String("pkg", ".", "package pattern holding the benchmarks")
-		timeout   = flag.String("timeout", "30m", "go test timeout")
+		timeout   = flag.String("timeout", "150m", "go test timeout")
 	)
 	flag.Parse()
 

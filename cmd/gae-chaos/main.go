@@ -26,6 +26,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/chaos"
@@ -47,6 +48,15 @@ func main() {
 		dup     = flag.Float64("dup", 0.10, "probability a request is delivered twice")
 		timeout = flag.Duration("timeout", 2*time.Minute, "overall run deadline")
 		out     = flag.String("out", "-", "report destination ('-' = stdout)")
+
+		fsyncAfter = flag.Duration("fault-fsync-after", 25*time.Millisecond,
+			"arm journal fsync faults in a spawned server this long after it starts (0 = no fsync faults)")
+		fsyncCount = flag.Int("fault-fsync-count", 2,
+			"consecutive journal fsyncs to fail per armed fault")
+		fsyncLives = flag.Int("fault-lifetimes", 2,
+			"number of server lifetimes that get the fsync fault armed (later restarts run clean)")
+		shortWrite = flag.Bool("fault-short-write", false,
+			"also tear the faulted journal write (short write)")
 	)
 	flag.Parse()
 	log.SetPrefix("gae-chaos: ")
@@ -74,6 +84,7 @@ func main() {
 		Logf: log.Printf,
 	}
 
+	var sp *serverProc
 	if *url != "" {
 		cfg.URL = *url
 		cfg.Kills = 0
@@ -82,11 +93,27 @@ func main() {
 			Start: func() (string, error) { return *url, nil },
 		}
 	} else {
-		sp, err := newServerProc(ctx, *server, *data)
+		var err error
+		sp, err = newServerProc(ctx, *server, *data)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer sp.cleanup()
+		if *fsyncAfter > 0 {
+			// The first -fault-lifetimes servers re-arm the fault shortly
+			// after start, so fsync failures land while mutations are in
+			// flight: the server crashes itself (durability-lost exit) and
+			// the watchdog restarts it. Later lifetimes run clean so the
+			// run converges instead of crash-looping.
+			sp.faultBudget = *fsyncLives
+			sp.faultArgs = []string{
+				"-fault-fsync-after", fsyncAfter.String(),
+				"-fault-fsync-count", fmt.Sprint(*fsyncCount),
+			}
+			if *shortWrite {
+				sp.faultArgs = append(sp.faultArgs, "-fault-short-write")
+			}
+		}
 		u, err := sp.start()
 		if err != nil {
 			log.Fatal(err)
@@ -103,10 +130,15 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var faultCrashes int64
+	if sp != nil {
+		faultCrashes = sp.crashes.Load()
+	}
 	enc, err := json.MarshalIndent(struct {
 		*chaos.Report
-		Passed bool `json:"Passed"`
-	}{rep, rep.Passed()}, "", "  ")
+		FaultCrashes int64 `json:"FaultCrashes"`
+		Passed       bool  `json:"Passed"`
+	}{rep, faultCrashes, rep.Passed()}, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -124,16 +156,24 @@ func main() {
 }
 
 // serverProc supervises a gae-server child: SIGKILL on demand, restart
-// on the same pinned address over the same data directory.
+// on the same pinned address over the same data directory. A watchdog
+// also restarts the child when it crashes on its own — which the
+// injected fsync faults make it do: a durability-lost server exits
+// without draining so recovery can roll the dirty mutation back.
 type serverProc struct {
-	ctx     context.Context
-	bin     string
-	data    string
-	addr    string
-	scratch string // temp root to remove on exit, if we made one
+	ctx       context.Context
+	bin       string
+	data      string
+	addr      string
+	scratch   string // temp root to remove on exit, if we made one
+	faultArgs []string
 
-	mu  sync.Mutex
-	cmd *exec.Cmd
+	crashes atomic.Int64 // self-exits (fault crashes), not scripted kills
+
+	mu          sync.Mutex
+	cmd         *exec.Cmd
+	done        chan struct{} // closed once sp.cmd has been reaped
+	faultBudget int           // lifetimes left that arm the fsync fault
 }
 
 func newServerProc(ctx context.Context, bin, data string) (*serverProc, error) {
@@ -173,7 +213,7 @@ func newServerProc(ctx context.Context, bin, data string) (*serverProc, error) {
 }
 
 func (sp *serverProc) start() (string, error) {
-	cmd := exec.Command(sp.bin,
+	args := []string{
 		"-addr", sp.addr,
 		"-data", sp.data,
 		// Two sites: the workload's targetless move ops need a second
@@ -183,32 +223,70 @@ func (sp *serverProc) start() (string, error) {
 		"-users", "alice:pw:1000",
 		"-checkpoint", "2s",
 		"-drain-timeout", "5s",
-	)
+	}
+	sp.mu.Lock()
+	if sp.faultBudget > 0 {
+		sp.faultBudget--
+		args = append(args, sp.faultArgs...)
+	}
+	sp.mu.Unlock()
+	cmd := exec.Command(sp.bin, args...)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		return "", fmt.Errorf("starting gae-server: %w", err)
 	}
+	done := make(chan struct{})
 	sp.mu.Lock()
-	sp.cmd = cmd
+	sp.cmd, sp.done = cmd, done
 	sp.mu.Unlock()
+	go sp.watch(cmd, done)
 	return "http://" + sp.addr, nil
+}
+
+// watch reaps the child and, when it exited on its own rather than via
+// kill(), restarts it so the load keeps a server to retry against.
+func (sp *serverProc) watch(cmd *exec.Cmd, done chan struct{}) {
+	err := cmd.Wait()
+	close(done)
+	sp.mu.Lock()
+	unexpected := sp.cmd == cmd // kill() nils sp.cmd before signalling
+	if unexpected {
+		sp.cmd = nil
+	}
+	sp.mu.Unlock()
+	if !unexpected || sp.ctx.Err() != nil {
+		return
+	}
+	sp.crashes.Add(1)
+	log.Printf("server crashed (%v); watchdog restarting", err)
+	if _, err := sp.start(); err != nil {
+		log.Printf("watchdog restart failed: %v", err)
+	}
 }
 
 // kill is the crash: SIGKILL, no drain, no final checkpoint — recovery
 // must come from the snapshot plus the journal tail.
 func (sp *serverProc) kill() error {
-	sp.mu.Lock()
-	cmd := sp.cmd
-	sp.cmd = nil
-	sp.mu.Unlock()
-	if cmd == nil || cmd.Process == nil {
-		return fmt.Errorf("no server process to kill")
+	// A fault crash may have beaten us here: the watchdog nils sp.cmd
+	// before relaunching, so wait out that window instead of failing.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sp.mu.Lock()
+		cmd, done := sp.cmd, sp.done
+		sp.cmd = nil
+		sp.mu.Unlock()
+		if cmd != nil && cmd.Process != nil {
+			if err := cmd.Process.Kill(); err != nil {
+				return err
+			}
+			<-done // reaped by watch; a kill error status is expected
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no server process to kill")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
-	if err := cmd.Process.Kill(); err != nil {
-		return err
-	}
-	cmd.Wait() // reap; a kill error status is expected
-	return nil
 }
 
 func (sp *serverProc) cleanup() {

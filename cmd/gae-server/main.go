@@ -55,6 +55,12 @@ func main() {
 			"wall-clock period between checkpoints when -data is set")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second,
 			"bound on the graceful drain; past it the server exits nonzero (0 = unbounded)")
+		faultFsyncAfter = flag.Duration("fault-fsync-after", 0,
+			"arm injected journal fsync failures this long after start (0 = never; needs -data)")
+		faultFsyncCount = flag.Int("fault-fsync-count", 2,
+			"consecutive journal fsyncs to fail when -fault-fsync-after fires")
+		faultShortWrite = flag.Bool("fault-short-write", false,
+			"also truncate the journal write under the armed fault (torn-write shape)")
 	)
 	flag.Parse()
 
@@ -74,10 +80,40 @@ func main() {
 	if err != nil {
 		log.Fatalf("gae-server: %v", err)
 	}
+	if *data != "" {
+		// WAL rule: a failed journal append leaves the in-memory state
+		// ahead of the durable state — continuing (or checkpointing)
+		// would persist a mutation the client was never acked for and
+		// will retry. Crash without a drain; recovery replays the
+		// journal, rolling the un-journaled mutation back.
+		g.OnDurabilityLoss(func(err error) {
+			log.Printf("durability lost: %v — exiting for journal recovery", err)
+			os.Exit(3)
+		})
+	}
 	srv.Accel = *accel
 	srv.CheckpointEvery = *checkpoint
 	srv.DrainTimeout = *drainTimeout
 	srv.Logf = log.Printf
+	if *faultFsyncAfter > 0 {
+		// Interpose the fault file before traffic starts (the swap must not
+		// race live appends), then script it on a timer so the fsync
+		// failures land mid-load. The journal's sticky error nacks every
+		// append until the next checkpoint truncation clears it — clients
+		// retry through the outage and exactly-once must still hold.
+		if ff := srv.InjectFaults(); ff != nil {
+			after, count, short := *faultFsyncAfter, *faultFsyncCount, *faultShortWrite
+			time.AfterFunc(after, func() {
+				if short {
+					ff.ShortWriteNext()
+				}
+				ff.FailSyncs(count)
+				log.Printf("fault injection armed: next %d journal fsyncs fail (short write: %v)", count, short)
+			})
+		} else {
+			log.Printf("fault injection ignored: no durable store (-data unset)")
+		}
+	}
 	url, err := srv.Start(*addr)
 	if err != nil {
 		log.Fatalf("gae-server: %v", err)

@@ -21,6 +21,14 @@ import (
 // exactly GrantAmount.
 const GrantAmount = 7.0
 
+// replicaSites are the sites replica-registration ops target, matching
+// the two sites every chaos deployment configures.
+var replicaSites = []string{"siteA", "siteB"}
+
+// replicaSize derives a per-op unique size in MB, so a recovered
+// registration can be pinned to exactly one acked op.
+func replicaSize(w, n, ops int) float64 { return float64(1 + w*ops + n) }
+
 // ServerControl lets the harness crash and restart the system under
 // test: Kill must stop it without a drain (the crash), Start must bring
 // it back over the same durable state and return its endpoint URL.
@@ -58,9 +66,9 @@ type OpRecord struct {
 	Worker   int
 	N        int
 	RID      string // the pinned idempotency key
-	Kind     string // "submit" | "grant" | "set" | "move" | "setprio"
-	Key      string // plan name / grantee / state key
-	Result   string // acked result (submit: plan name; move: landed site; setprio: priority)
+	Kind     string // "submit" | "grant" | "set" | "move" | "setprio" | "replica"
+	Key      string // plan name / grantee / state key / dataset
+	Result   string // acked result (submit: plan name; move: landed site; setprio: priority; replica: site)
 	Attempts int    // deliveries tried before the ack
 }
 
@@ -227,11 +235,13 @@ func (h *harness) runWorker(ctx context.Context, w int) ([]OpRecord, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Each five-op cycle opens with a submission, so the cycle's move and
+	// Each six-op cycle opens with a submission, so the cycle's move and
 	// setprio always have a live plan of their own to steer. Move runs
 	// before setprio: a move reschedules the task and resets its job-level
 	// priority, so this order leaves the priority observable at reconcile.
-	kinds := []string{"submit", "grant", "set", "move", "setprio"}
+	// The cycle closes by registering a replica — the data location
+	// service's journaled mutation — under a per-op unique dataset.
+	kinds := []string{"submit", "grant", "set", "move", "setprio", "replica"}
 	var recs []OpRecord
 	var lastPlan string
 	for n := 0; n < h.cfg.Ops; n++ {
@@ -283,6 +293,14 @@ func (h *harness) runWorker(ctx context.Context, w int) ([]OpRecord, error) {
 				prio := 1 + w*h.cfg.Ops + n
 				rec.Result = strconv.Itoa(prio)
 				err = cl.SetPriority(opCtx, lastPlan, "t0", prio)
+			case "replica":
+				ds := fmt.Sprintf("%s-ds-w%d-op%d", h.cfg.Nonce, w, n)
+				rec.Key = ds
+				site := replicaSites[(w+n)%len(replicaSites)]
+				rec.Result = site
+				// Per-op unique size: reconciliation checks the recovered
+				// catalog holds exactly this op's registration.
+				err = cl.RegisterReplica(opCtx, ds, site, replicaSize(w, n, h.cfg.Ops))
 			}
 			if err == nil {
 				break
@@ -417,6 +435,23 @@ func (h *harness) reconcile(ctx context.Context, acked []OpRecord, rep *Report) 
 			case strconv.Itoa(st.Job.Priority) != r.Result:
 				rep.LostAcked = append(rep.LostAcked,
 					fmt.Sprintf("%s: task %q/t0 priority %d, acked %s", r.RID, r.Key, st.Job.Priority, r.Result))
+			}
+		case "replica":
+			locs, err := cl.Replicas(ctx, r.Key)
+			wantSize := replicaSize(r.Worker, r.N, h.cfg.Ops)
+			switch {
+			case err != nil || len(locs) == 0:
+				rep.LostAcked = append(rep.LostAcked,
+					fmt.Sprintf("%s: acked replica of %q not in recovered catalog: %v", r.RID, r.Key, err))
+			case len(locs) > 1:
+				// The dataset name is op-unique, so a second location can
+				// only come from a duplicated delivery landing elsewhere.
+				rep.DoubleApplied = append(rep.DoubleApplied,
+					fmt.Sprintf("%s: dataset %q has %d locations, one op registered one", r.RID, r.Key, len(locs)))
+			case locs[0].Site != r.Result || locs[0].SizeMB != wantSize:
+				rep.LostAcked = append(rep.LostAcked,
+					fmt.Sprintf("%s: dataset %q recovered at %s (%.0f MB), acked %s (%.0f MB)",
+						r.RID, r.Key, locs[0].Site, locs[0].SizeMB, r.Result, wantSize))
 			}
 		}
 	}

@@ -266,6 +266,27 @@ type Ad struct {
 	// version counts mutations; compiled Matchers use it to detect that
 	// their cached Requirements/Rank entries are stale.
 	version uint64
+	// onMutate hooks fire synchronously after every mutation. Negotiators
+	// subscribe to advertised machine ads so an attribute change wakes
+	// them instead of being discovered by per-tick polling. Hooks are not
+	// carried by Clone/Project — derived ads are private snapshots.
+	onMutate []func()
+}
+
+// OnMutate registers fn to run after every mutation of this ad (Set,
+// SetExpr, Delete). Hooks must be fast and must not mutate the ad.
+func (a *Ad) OnMutate(fn func()) {
+	if fn != nil {
+		a.onMutate = append(a.onMutate, fn)
+	}
+}
+
+// mutated bumps the version and fires mutation hooks.
+func (a *Ad) mutated() {
+	a.version++
+	for _, fn := range a.onMutate {
+		fn()
+	}
 }
 
 type entry struct {
@@ -280,7 +301,7 @@ func New() *Ad { return &Ad{attrs: make(map[string]entry)} }
 // Set stores a literal attribute, converting the Go value via From.
 func (a *Ad) Set(name string, v any) *Ad {
 	a.attrs[lowered(name)] = entry{name: name, val: From(v)}
-	a.version++
+	a.mutated()
 	return a
 }
 
@@ -291,7 +312,7 @@ func (a *Ad) SetExpr(name, src string) error {
 		return fmt.Errorf("classad: attribute %s: %w", name, err)
 	}
 	a.attrs[lowered(name)] = entry{name: name, expr: e}
-	a.version++
+	a.mutated()
 	return nil
 }
 
@@ -306,7 +327,7 @@ func (a *Ad) MustSetExpr(name, src string) *Ad {
 // Delete removes an attribute.
 func (a *Ad) Delete(name string) {
 	delete(a.attrs, lowered(name))
-	a.version++
+	a.mutated()
 }
 
 // Has reports whether the attribute exists.

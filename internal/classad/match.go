@@ -105,6 +105,16 @@ func (m *Matcher) sync() {
 	}
 }
 
+// ConstantRank reports whether this ad's Rank is independent of the
+// match target — absent, or a literal value. Matchmakers use it to pick
+// the first acceptable candidate in a total preference order instead of
+// scoring every candidate: with a constant rank the tie-break alone
+// decides, so an ordered scan's first match IS the winner.
+func (m *Matcher) ConstantRank() bool {
+	m.sync()
+	return !m.hasRank || m.rankExpr == nil
+}
+
 // entryParts fetches an attribute's compiled pieces by pre-lowered name.
 func (a *Ad) entryParts(lowerName string) (ok bool, e Expr, v Value) {
 	ent, ok := a.attrs[lowerName]

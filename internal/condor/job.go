@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/classad"
+	"repro/internal/fairshare"
 	"repro/internal/simgrid"
 )
 
@@ -127,6 +128,24 @@ type job struct {
 	// usageRecorded is the locally-executed CPU already reported to the
 	// fair-share sink, so accrual stays incremental and exactly-once.
 	usageRecorded float64
+
+	// qgen invalidates this job's entries in the incremental negotiation
+	// queues: SetPriority bumps it and re-inserts, so the stale entry in
+	// the old priority bucket is skipped rather than searched for.
+	qgen int
+
+	// supervised marks a running job that needs the per-tick wakeup:
+	// fault injection (failAfter) or eager fair-share accrual when no
+	// usage flow could be opened. The pool counts supervised running
+	// jobs; zero means completions alone drive the wake schedule.
+	supervised bool
+
+	// flow is the job's lazily-accrued fair-share usage stream (nil when
+	// accruing eagerly); flowRate is its current analytic rate and
+	// flowNode the node whose load segment the rate was derived from.
+	flow     fairshare.UsageFlow
+	flowRate float64
+	flowNode *simgrid.Node
 }
 
 // JobInfo is an immutable snapshot of a job, carrying every field the

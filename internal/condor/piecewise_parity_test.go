@@ -1,0 +1,99 @@
+package condor
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/classad"
+	"repro/internal/fairshare"
+	"repro/internal/simgrid"
+)
+
+// Driver parity across load-segment boundaries: machines whose background
+// load steps (StepLoad) or cycles (DiurnalLoad) gate matching through
+// LoadAvg requirements, so a job can only start once a segment boundary
+// lowers the load. The event driver computes those boundaries analytically
+// (loadWakeAt); the tick driver samples every boundary. Their traces must
+// be byte-identical, and the event run must stay sparse when every load
+// is piecewise. An opaque NoisyLoad machine pins the per-tick fallback.
+
+func runPiecewiseParityScenario(t *testing.T, driver simgrid.Driver, noisy bool) (*driverTrace, int64) {
+	t.Helper()
+	epoch := time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)
+	g := simgrid.NewGrid(time.Second, 1)
+	g.Engine.SetDriver(driver)
+	site := g.AddSite("s")
+	pool := NewPool("s", g, site)
+
+	step := simgrid.StepLoad(epoch,
+		[]time.Duration{100 * time.Second, 300 * time.Second, 900 * time.Second},
+		[]float64{0.9, 0.2, 0.7, 0.1})
+	for i := 0; i < 3; i++ {
+		pool.AddMachine(site.AddNode(g.Engine, fmt.Sprintf("step%d", i), 1, step), nil)
+	}
+	for i := 0; i < 2; i++ {
+		pool.AddMachine(site.AddNode(g.Engine, fmt.Sprintf("diurnal%d", i), 2, simgrid.DiurnalLoad(0.3, 0.4, 0)), nil)
+	}
+	if noisy {
+		pool.AddMachine(site.AddNode(g.Engine, "noisy", 1, simgrid.NoisyLoad(simgrid.ConstantLoad(0.4), 0.2, 5)), nil)
+	}
+
+	mgr := fairshare.NewManager(fairshare.Config{Clock: g.Engine.Clock(), HalfLife: time.Minute})
+	pool.SetFairShare(mgr)
+
+	tr := &driverTrace{}
+	pool.Subscribe(func(e Event) { tr.events = append(tr.events, e) })
+
+	owners := []string{"alice", "bob", "carol"}
+	for i := 0; i < 18; i++ {
+		i := i
+		at := time.Duration(3+7*i) * time.Second
+		g.Engine.Schedule(at, func(time.Time) {
+			ad := classad.New().
+				Set(AttrOwner, owners[i%len(owners)]).
+				Set(AttrCpuSeconds, float64(40+10*(i%5))).
+				Set(AttrPriority, i%3)
+			if i%2 == 0 {
+				// Only matchable once a segment boundary drops the load.
+				ad.MustSetExpr(AttrRequirements, "TARGET.LoadAvg < 0.5")
+			}
+			if _, err := pool.Submit(ad); err != nil {
+				t.Errorf("submit %d: %v", i, err)
+			}
+		})
+	}
+	g.Engine.RunFor(3 * time.Hour)
+	tr.outcomes = collectOutcomes(t, pool)
+	return tr, g.Engine.Ticks()
+}
+
+func TestDriverEquivalencePiecewiseLoads(t *testing.T) {
+	tick, tickN := runPiecewiseParityScenario(t, simgrid.DriverTick, false)
+	ev, evN := runPiecewiseParityScenario(t, simgrid.DriverEvent, false)
+	if d := tick.diff(ev); d != "" {
+		t.Fatalf("tick and event drivers diverged: %s", d)
+	}
+	completed := 0
+	for _, o := range tick.outcomes {
+		if o.Status == StatusCompleted {
+			completed++
+		}
+	}
+	if completed == 0 {
+		t.Fatal("no job completed; scenario is vacuous")
+	}
+	// Piecewise loads everywhere: the event driver needs at most one wake
+	// per load segment, not one per tick.
+	if evN*10 > tickN {
+		t.Fatalf("event driver visited %d boundaries vs %d ticks — expected ≥10x sparser", evN, tickN)
+	}
+}
+
+func TestDriverEquivalenceOpaqueLoadFallback(t *testing.T) {
+	tick, _ := runPiecewiseParityScenario(t, simgrid.DriverTick, true)
+	ev, _ := runPiecewiseParityScenario(t, simgrid.DriverEvent, true)
+	if d := tick.diff(ev); d != "" {
+		t.Fatalf("tick and event drivers diverged with an opaque load present: %s", d)
+	}
+}

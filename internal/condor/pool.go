@@ -3,6 +3,7 @@ package condor
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -65,16 +66,56 @@ type Pool struct {
 	active      []int
 	idleScratch []*job
 	peerScratch []*machine
-	nextID      int
-	down        bool
-	flockPeer   *Pool
-	listeners   []func(Event)
-	fair        fairshare.Ranker
-	fairSink    fairshare.Sink
-	fairStart   fairshare.StartObserver
+	refScratch  []fairshare.JobRef
+	curScratch  []ownerCursor
+	// streamScratch is the recycled negotiation stream: one stream is
+	// live per pass (built and drained under p.mu), so its slices are
+	// reused instead of reallocated on every wake.
+	streamScratch negotiationStream
+	// pickGen/pickSorted back the constant-rank ordered pick: per pass,
+	// large free buckets are snapshotted in machine-name order and
+	// consumed by a cursor (see pickFromBucketLocked).
+	pickGen    uint64
+	pickSorted map[string]*pickBucket
+	nextID     int
+	down       bool
+	flockPeer  *Pool
+	listeners  []func(Event)
+	fair       fairshare.Ranker
+	fairSink   fairshare.Sink
+	fairFlow   fairshare.FlowSink
+	fairStart  fairshare.StartObserver
 	// refNegotiate switches negotiation to the retained reference
 	// implementation; set only by the golden-parity test.
 	refNegotiate bool
+
+	// owners holds the incrementally maintained negotiation queues (see
+	// queue.go): per-owner when a KeyRanker policy is installed
+	// (streamByOwner), one shared queue under the static policy.
+	owners        map[string]*ownerQueue
+	streamByOwner bool
+
+	// idleCount / liveCount / superviseCount summarize the queue so the
+	// wake-up policy never walks it: idle jobs awaiting a match,
+	// non-terminal jobs (for lazy active-list compaction), and running
+	// jobs that need per-tick supervision (fault injection or eager
+	// fair-share accrual). When superviseCount is zero the pool wakes
+	// only on events — submit, machine freed, ad mutated, node changed,
+	// completion deadline — plus the analytic load-segment boundary
+	// computed by the last pass (loadWakeAt).
+	idleCount      int
+	liveCount      int
+	superviseCount int
+	loadWakeAt     time.Time
+
+	// doneQ collects jobs whose completion deadline fired since the last
+	// harvest; with no supervised jobs, harvest promotes exactly these
+	// instead of walking every active job.
+	doneQ []*job
+
+	// nodeJob maps a node to the flow-accounted job running on it, so
+	// node-change notifications can re-rate or demote the flow.
+	nodeJob map[*simgrid.Node]*job
 
 	// relMu guards pendingRel, the cross-pool release queue. A flocked
 	// job's terminal transition can run on an arbitrary API goroutine
@@ -87,6 +128,15 @@ type Pool struct {
 	// observe the machine idle.
 	relMu      sync.Mutex
 	pendingRel []*machine
+	// dirtyNodes (relMu-guarded, like pendingRel) collects nodes whose
+	// load, task set, or wake observer fired since the last pass; the
+	// pool folds them in at the next wake to re-rate usage flows.
+	// flockedFrom lists pools flocking into this one; they are woken
+	// whenever this pool's machine picture changes, since their
+	// negotiation reads it. Guarded by relMu because the notification
+	// paths run under the notifying pool's main lock.
+	dirtyNodes  map[*simgrid.Node]struct{}
+	flockedFrom []*Pool
 
 	// Pre-resolved telemetry handles (nil without SetTelemetry; nil
 	// instruments no-op). Negotiation metrics cover the indexed path
@@ -126,9 +176,13 @@ type machine struct {
 	matchAd   *classad.Ad
 	matcher   *classad.Matcher
 	adVersion uint64
-	archKey   string // lowered Arch value, or dynamicBucket
-	opsKey    string // lowered OpSys value when opsKnown
-	opsKnown  bool
+	// loadAvg mirrors the LoadAvg last written into matchAd so unchanged
+	// values skip the ad mutation on every negotiation pass.
+	loadAvg    float64
+	loadAvgSet bool
+	archKey    string // lowered Arch value, or dynamicBucket
+	opsKey     string // lowered OpSys value when opsKnown
+	opsKnown   bool
 	// freeIdx is the machine's position in its owner's free bucket, -1
 	// while claimed by a job.
 	freeIdx int
@@ -148,6 +202,8 @@ func NewPool(name string, grid *simgrid.Grid, site *simgrid.Site) *Pool {
 		site:        site,
 		jobs:        make(map[int]*job),
 		freeBuckets: make(map[string][]*machine),
+		owners:      make(map[string]*ownerQueue),
+		nodeJob:     make(map[*simgrid.Node]*job),
 	}
 	p.wake = grid.Engine.Register(p.onWake)
 	return p
@@ -181,10 +237,47 @@ func (p *Pool) AddMachine(node *simgrid.Node, ad *classad.Ad) {
 	}
 	m := &machine{node: node, owner: p, ad: ad, freeIdx: -1}
 	m.snapshotAd()
+	// Subscriptions replace per-tick polling: an ad attribute change or a
+	// node-level change (load segment rollover, task placed or removed,
+	// progress settled) marks the node dirty and wakes the negotiator —
+	// this pool's and any pool flocking into it. The hook is registered
+	// after the standard attributes above so the pool's own writes don't
+	// self-wake. One observer per node: a node advertised to several
+	// pools keeps only the last registration.
+	ad.OnMutate(func() { p.machineChanged(nil) })
+	node.SetObserver(func() { p.machineChanged(node) })
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.machines = append(p.machines, m)
 	p.addFreeLocked(m)
+	p.requestWake()
+	p.wakeFlockedFrom()
+}
+
+// machineChanged records a machine-side change and wakes every
+// negotiator that reads this pool's machines. It must not take p.mu:
+// node observers fire from paths already holding it (detach, harvest).
+func (p *Pool) machineChanged(n *simgrid.Node) {
+	if n != nil {
+		p.relMu.Lock()
+		if p.dirtyNodes == nil {
+			p.dirtyNodes = make(map[*simgrid.Node]struct{})
+		}
+		p.dirtyNodes[n] = struct{}{}
+		p.relMu.Unlock()
+	}
+	p.requestWake()
+	p.wakeFlockedFrom()
+}
+
+// wakeFlockedFrom wakes the pools flocking into this one.
+func (p *Pool) wakeFlockedFrom() {
+	p.relMu.Lock()
+	ff := p.flockedFrom
+	p.relMu.Unlock()
+	for _, q := range ff {
+		q.requestWake()
+	}
 }
 
 // snapshotAd (re)builds the machine's match ad, compiled matcher, and
@@ -193,6 +286,7 @@ func (m *machine) snapshotAd() {
 	m.adVersion = m.ad.Version()
 	m.matchAd = m.ad.Clone()
 	m.matcher = classad.NewMatcher(m.matchAd)
+	m.loadAvgSet = false
 	// Only literal attributes are safe index keys: an expression-valued
 	// Arch/OpSys can evaluate differently per candidate job, so such
 	// machines take the catch-all bucket / skip the OpSys pre-filter.
@@ -234,6 +328,12 @@ func (p *Pool) EnableFlocking(peer *Pool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.flockPeer = peer
+	if peer != nil {
+		peer.relMu.Lock()
+		peer.flockedFrom = append(peer.flockedFrom, p)
+		peer.relMu.Unlock()
+	}
+	p.requestWake()
 }
 
 // SetFairShare installs a fair-share policy: negotiation (and the
@@ -249,9 +349,34 @@ func (p *Pool) SetFairShare(pol fairshare.Ranker) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	// Settle usage flows opened against the outgoing sink before the
+	// policy swap: each closes with its measured total, so the old sink's
+	// books end exactly where the eager path's would.
+	for _, id := range p.active {
+		j := p.jobs[id]
+		if j.flow != nil {
+			p.closeFlowLocked(j)
+		}
+	}
 	p.fair = pol
 	p.fairSink, _ = pol.(fairshare.Sink)
+	p.fairFlow, _ = pol.(fairshare.FlowSink)
 	p.fairStart, _ = pol.(fairshare.StartObserver)
+	_, byOwner := p.fair.(fairshare.KeyRanker)
+	if byOwner != p.streamByOwner {
+		p.streamByOwner = byOwner
+		p.rebuildQueuesLocked()
+	}
+	// Re-derive supervision for running jobs under the new policy:
+	// existing jobs accrue eagerly (flows reopen only at start time).
+	p.superviseCount = 0
+	for _, id := range p.active {
+		j := p.jobs[id]
+		j.supervised = j.failAfter > 0 || p.fairSink != nil
+		if j.supervised && j.status == StatusRunning {
+			p.superviseCount++
+		}
+	}
 	if p.fairSink != nil {
 		p.requestWake() // running jobs now need per-tick usage accrual
 	}
@@ -274,6 +399,9 @@ func (p *Pool) Fail() {
 	for _, j := range p.jobs {
 		if j.status == StatusRunning && j.task != nil {
 			j.task.Suspend()
+			if j.flow != nil {
+				j.flow.SetRate(0) // tasks stop progressing while down
+			}
 		}
 	}
 }
@@ -287,9 +415,13 @@ func (p *Pool) Recover() {
 	for _, j := range p.jobs {
 		if j.status == StatusRunning && j.task != nil {
 			j.task.Resume()
+			if j.flow != nil {
+				j.flow.SetRate(j.flowRate)
+			}
 		}
 	}
 	p.requestWake()
+	p.wakeFlockedFrom() // peers can match against this pool again
 }
 
 // Healthy reports whether the execution service answers requests — the
@@ -332,6 +464,9 @@ func (p *Pool) Submit(ad *classad.Ad) (int, error) {
 	j.reqOpSys, _ = j.ad.ReqStringConstraint("OpSys")
 	p.jobs[id] = j
 	p.active = append(p.active, id)
+	p.liveCount++
+	p.idleCount++
+	p.enqueueIdleLocked(j)
 	p.emitLocked(j, 0, StatusIdle)
 	p.requestWake()
 	return id, nil
@@ -453,6 +588,9 @@ func (p *Pool) Suspend(id int) error {
 			return fmt.Errorf("condor: job %d is %v, cannot suspend", id, j.status)
 		}
 		j.task.Suspend()
+		if j.flow != nil {
+			j.flow.SetRate(0) // a paused task consumes nothing
+		}
 		p.setStatusLocked(j, StatusSuspended)
 		return nil
 	})
@@ -465,7 +603,15 @@ func (p *Pool) Resume(id int) error {
 			return fmt.Errorf("condor: job %d is %v, cannot resume", id, j.status)
 		}
 		j.task.Resume()
+		if j.flow != nil {
+			j.flow.SetRate(j.flowRate)
+		}
 		p.setStatusLocked(j, StatusRunning)
+		if j.task.State() == simgrid.TaskDone {
+			// The completion deadline fired while suspended; re-enter the
+			// harvest queue so the fast path still promotes it.
+			p.doneQ = append(p.doneQ, j)
+		}
 		p.requestWake() // the job may need per-tick supervision again
 		return nil
 	})
@@ -494,6 +640,9 @@ func (p *Pool) SetPriority(id, prio int) error {
 		}
 		j.priority = prio
 		j.ad.Set(AttrPriority, prio)
+		if j.status == StatusIdle {
+			p.refileIdleLocked(j)
+		}
 		p.requestWake() // queue order changed; re-negotiate next boundary
 		return nil
 	})
@@ -536,10 +685,9 @@ func (p *Pool) transition(id int, fn func(*job) error) error {
 	return fn(j)
 }
 
-// onWake runs one negotiation cycle and harvests task completions/faults,
-// then re-arms the periodic wakeup if the queue still needs per-tick
-// attention. A failed (down) pool does not re-arm: Recover requests a
-// fresh wakeup.
+// onWake folds queued machine/node signals in, harvests task
+// completions and faults, runs one negotiation cycle, and re-arms. A
+// failed (down) pool does not re-arm: Recover requests a fresh wakeup.
 func (p *Pool) onWake(now time.Time) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -548,68 +696,149 @@ func (p *Pool) onWake(now time.Time) {
 		return
 	}
 	p.obsWakes.Inc()
+	p.drainDirtyLocked()
 	p.harvestLocked(now)
 	p.negotiateLocked(now)
-	if p.needsTickLocked() {
+	p.rearmLocked(now)
+}
+
+// rearmLocked schedules the pool's next wakeup. The per-tick drumbeat
+// survives only while a running job needs per-tick supervision, or while
+// idle jobs wait under a policy the incremental stream cannot serve
+// (an opaque Ranker, or the reference negotiator, which is specified as
+// a per-tick rescan). Otherwise the pool sleeps until an event wakes it
+// — with one analytic exception: when idle jobs went unmatched and some
+// free machine's advertised load will change at a known segment
+// boundary, the pass recorded that instant in loadWakeAt.
+func (p *Pool) rearmLocked(now time.Time) {
+	if p.superviseCount > 0 || p.legacyTickLocked() {
 		p.wake.Request(now.Add(p.grid.Engine.Tick()))
+		return
+	}
+	if !p.loadWakeAt.IsZero() {
+		p.wake.Request(p.loadWakeAt)
 	}
 }
 
-// needsTickLocked reports whether the pool must run again at the very
-// next boundary: idle jobs re-negotiate every tick (machine loads — and
-// Requirements that reference them — change with time), and running jobs
-// need per-tick supervision only for fault injection or incremental
-// fair-share accrual. Completions alone need no polling; they arrive as
-// wakeups from the tasks' own completion deadlines.
-func (p *Pool) needsTickLocked() bool {
-	for _, id := range p.active {
-		j := p.jobs[id]
-		switch j.status {
-		case StatusIdle:
-			return true
-		case StatusRunning:
-			if p.fairSink != nil || j.failAfter > 0 {
-				return true
-			}
-		}
+// legacyTickLocked reports whether idle jobs still force per-tick
+// negotiation: only under the reference negotiator or a Ranker outside
+// the incremental stream's reach.
+func (p *Pool) legacyTickLocked() bool {
+	if p.idleCount == 0 {
+		return false
 	}
-	return false
+	if p.refNegotiate {
+		return true
+	}
+	_, ok := p.streamRankerLocked()
+	return !ok
 }
 
 // harvestLocked promotes finished tasks to Completed and applies fault
-// injection, compacting terminal jobs out of the active list as it goes.
-// Running jobs also accrue their fair-share usage here, tick by tick, so
-// a tenant holding machines with long jobs is penalized while it runs —
-// not only when the job finally completes (Condor's periodic usage update
-// does the same).
+// injection. While any running job is supervised (fault injection, or
+// eager fair-share accrual) it is the legacy walk over every active
+// job, accruing usage tick by tick so a tenant holding machines with
+// long jobs is penalized while it runs — not only when the job finally
+// completes (Condor's periodic usage update does the same). With no
+// supervised jobs the pass touches exactly the jobs whose completion
+// deadlines fired (doneQ), in ID order — the order the legacy walk
+// would have promoted them — and the active list compacts lazily.
 func (p *Pool) harvestLocked(now time.Time) {
-	kept := p.active[:0]
-	for _, id := range p.active {
-		j := p.jobs[id]
-		if j.status.Terminal() {
-			continue
+	if p.superviseCount > 0 {
+		p.doneQ = p.doneQ[:0]
+		kept := p.active[:0]
+		for _, id := range p.active {
+			j := p.jobs[id]
+			if j.status.Terminal() {
+				continue
+			}
+			kept = append(kept, id)
+			if j.status != StatusRunning || j.task == nil {
+				continue
+			}
+			p.accrueUsageLocked(j)
+			if fail := j.failAfter; fail > 0 && p.cpuSecondsLocked(j) >= fail {
+				j.task.Kill()
+				p.detachLocked(j)
+				j.completionTime = now
+				p.setStatusLocked(j, StatusFailed)
+				continue
+			}
+			if j.task.State() == simgrid.TaskDone {
+				j.node.Remove(j.task)
+				p.releaseClaimLocked(j)
+				j.completionTime = now
+				p.setStatusLocked(j, StatusCompleted)
+				p.produceOutputLocked(j)
+			}
 		}
-		kept = append(kept, id)
-		if j.status != StatusRunning || j.task == nil {
-			continue
-		}
-		p.accrueUsageLocked(j)
-		if fail := j.failAfter; fail > 0 && p.cpuSecondsLocked(j) >= fail {
-			j.task.Kill()
-			p.detachLocked(j)
-			j.completionTime = now
-			p.setStatusLocked(j, StatusFailed)
-			continue
-		}
-		if j.task.State() == simgrid.TaskDone {
+		p.active = kept
+		return
+	}
+	if len(p.doneQ) > 0 {
+		sort.Slice(p.doneQ, func(a, b int) bool { return p.doneQ[a].id < p.doneQ[b].id })
+		for _, j := range p.doneQ {
+			if j.status != StatusRunning || j.task == nil || j.task.State() != simgrid.TaskDone {
+				continue
+			}
 			j.node.Remove(j.task)
 			p.releaseClaimLocked(j)
 			j.completionTime = now
 			p.setStatusLocked(j, StatusCompleted)
 			p.produceOutputLocked(j)
 		}
+		p.doneQ = p.doneQ[:0]
 	}
-	p.active = kept
+	if len(p.active) > 128 && len(p.active) > 2*p.liveCount {
+		kept := p.active[:0]
+		for _, id := range p.active {
+			if !p.jobs[id].status.Terminal() {
+				kept = append(kept, id)
+			}
+		}
+		p.active = kept
+	}
+}
+
+// drainDirtyLocked folds queued node-change notifications in: each
+// dirty node carrying a flow-accounted job gets its analytic rate
+// re-derived — adjusted in place when the node still qualifies, or the
+// flow is closed and the job demoted to eager supervision when it no
+// longer does (a second task landed, or the load is no longer a
+// constant segment).
+func (p *Pool) drainDirtyLocked() {
+	p.relMu.Lock()
+	dirty := p.dirtyNodes
+	p.dirtyNodes = nil
+	p.relMu.Unlock()
+	for node := range dirty {
+		j := p.nodeJob[node]
+		if j == nil || j.flow == nil {
+			continue
+		}
+		if j.task != nil && j.task.State() == simgrid.TaskDone {
+			// Completing at this very wake (the completion is what marked
+			// the node dirty): the harvest's terminal settle closes the
+			// flow exactly. Demoting to eager supervision here would force
+			// a full active-list walk for every completion.
+			continue
+		}
+		rate, ok := p.flowRateFor(node)
+		if !ok {
+			p.closeFlowLocked(j)
+			j.supervised = j.failAfter > 0 || p.fairSink != nil
+			if j.supervised && j.status == StatusRunning {
+				p.superviseCount++
+			}
+			continue
+		}
+		if rate != j.flowRate {
+			j.flowRate = rate
+			if j.status == StatusRunning {
+				j.flow.SetRate(rate)
+			}
+		}
+	}
 }
 
 // produceOutputLocked materializes the job's declared output file in the
@@ -694,12 +923,22 @@ func jobRef(j *job) fairshare.JobRef {
 	}
 }
 
-// negotiateLocked matches idle jobs to free machines in negotiation order
-// (see idleOrderedLocked); each job picks its highest-Rank matching
-// machine.
+// negotiateLocked matches idle jobs to free machines in negotiation
+// order; each job picks its highest-Rank matching machine. Under the
+// static policy or a KeyRanker the order comes from the incremental
+// stream (see queue.go) and the pass ends as soon as every offer is
+// spent; other rankers take the legacy sorted pass over the whole
+// queue. Either way the pass records, in loadWakeAt, the earliest
+// instant a free machine's advertised load is known to change — the
+// only time-driven reason to negotiate again before the next event.
 func (p *Pool) negotiateLocked(now time.Time) {
+	p.loadWakeAt = time.Time{}
 	if p.refNegotiate {
 		p.negotiateReferenceLocked(now)
+		return
+	}
+	if kr, ok := p.streamRankerLocked(); ok {
+		p.negotiateStreamLocked(now, kr)
 		return
 	}
 	idle := p.idleOrderedLocked()
@@ -713,7 +952,7 @@ func (p *Pool) negotiateLocked(now time.Time) {
 	p.refreshFreeLocked(now)
 	var peerFree []*machine
 	if p.flockPeer != nil {
-		peerFree = p.flockPeer.snapshotFreeFor(now, p.peerScratch[:0])
+		peerFree, _ = p.flockPeer.snapshotFreeFor(now, p.peerScratch[:0])
 		p.peerScratch = peerFree
 	}
 	matched := 0
@@ -736,21 +975,134 @@ func (p *Pool) negotiateLocked(now time.Time) {
 	}
 }
 
+// negotiateStreamLocked is the event-driven pass: idle jobs arrive from
+// the incrementally maintained queues in negotiation order, and the
+// walk stops the moment no offer remains — O(matched) plus the stream's
+// small per-owner bookkeeping, instead of O(idle log idle) every pass.
+// Offers are counted up front: local free machines not excluded for
+// this pass, plus the flocking peer's snapshot. Jobs that match nothing
+// consume no offer and the stream simply moves on, so a queue full of
+// unmatchable jobs still drains passes quickly once offers run out.
+func (p *Pool) negotiateStreamLocked(now time.Time, kr fairshare.KeyRanker) {
+	if p.idleCount == 0 {
+		return
+	}
+	var t0 time.Time
+	if p.obsPasses != nil {
+		t0 = time.Now()
+	}
+	st := p.refreshFreeLocked(now)
+	var peerFree []*machine
+	if p.flockPeer != nil {
+		var pst freeStats
+		peerFree, pst = p.flockPeer.snapshotFreeFor(now, p.peerScratch[:0])
+		p.peerScratch = peerFree
+		st.merge(pst)
+	}
+	matched := 0
+	if st.avail > 0 || len(peerFree) > 0 {
+		stream := p.negotiationStreamLocked(now, kr)
+		for st.avail > 0 || len(peerFree) > 0 {
+			j := stream.next()
+			if j == nil {
+				break
+			}
+			var m *machine
+			if st.avail > 0 {
+				m = p.pickIndexedLocked(j)
+			}
+			if m != nil {
+				st.avail--
+			} else if len(peerFree) > 0 {
+				m, _ = p.bestCandidate(j, peerFree, nil, 0)
+				peerFree = removeMachine(peerFree, m)
+			}
+			if m == nil {
+				continue
+			}
+			p.startLocked(j, m, now)
+			matched++
+		}
+	}
+	if p.idleCount > 0 {
+		// Unmatched idle jobs remain: wake when a free machine's load is
+		// next known to change. Opaque (non-piecewise) loads force the
+		// legacy per-tick cadence; piecewise ones wake at the earliest
+		// segment boundary; with no free machines at all, only events can
+		// change the picture and no timer is needed.
+		if st.opaque {
+			p.loadWakeAt = now.Add(p.grid.Engine.Tick())
+		} else {
+			p.loadWakeAt = st.until
+		}
+	}
+	if p.obsPasses != nil {
+		p.obsPasses.Inc()
+		p.obsMatches.Add(int64(matched))
+		p.obsPassSeconds.Observe(time.Since(t0).Seconds())
+	}
+}
+
+// freeStats summarizes one pre-pass walk of the free machines: how many
+// offers the pass holds, and when their advertised loads next change —
+// the earliest piecewise segment boundary (until), or "unknowable
+// analytically" (opaque) when any free machine's load is not piecewise.
+type freeStats struct {
+	avail  int
+	opaque bool
+	until  time.Time
+}
+
+func (st *freeStats) observe(until time.Time, piecewise bool) {
+	st.avail++
+	if !piecewise {
+		st.opaque = true
+		return
+	}
+	if !until.IsZero() && (st.until.IsZero() || until.Before(st.until)) {
+		st.until = until
+	}
+}
+
+func (st *freeStats) merge(o freeStats) {
+	st.opaque = st.opaque || o.opaque
+	if !o.until.IsZero() && (st.until.IsZero() || o.until.Before(st.until)) {
+		st.until = o.until
+	}
+}
+
 // refreshFreeLocked prepares the pool's free machines for one negotiation
 // pass: queued cross-pool releases fold back in, machines whose caller ad
 // mutated resync, each machine's LoadAvg is written into its match ad
 // exactly once, and machines occupied by externally placed tasks (the
 // pool's free set only tracks its own placements) are excluded for this
 // pass.
-func (p *Pool) refreshFreeLocked(now time.Time) {
+func (p *Pool) refreshFreeLocked(now time.Time) freeStats {
+	p.pickGen++ // new pass: constant-rank pick cursors rebuild lazily
+	var st freeStats
 	p.visitFreeLocked(func(m *machine) {
 		if m.node.TaskCount() > 0 {
 			m.skipFor = p
 			return
 		}
 		m.skipFor = nil
-		m.matchAd.Set("LoadAvg", m.node.LoadAt(now))
+		v, until, piecewise := m.node.LoadSegment(now)
+		m.setLoadAvg(v)
+		st.observe(until, piecewise)
 	})
+	return st
+}
+
+// setLoadAvg writes the machine's current load into its match ad, skipping
+// the ad mutation (a map write plus a version bump) when the value hasn't
+// changed since the last pass — the overwhelmingly common case for idle and
+// piecewise-constant machines at scale.
+func (m *machine) setLoadAvg(v float64) {
+	if m.loadAvgSet && m.loadAvg == v {
+		return
+	}
+	m.matchAd.Set("LoadAvg", v)
+	m.loadAvg, m.loadAvgSet = v, true
 }
 
 // snapshotFreeFor lists this pool's free machines for a flocking peer's
@@ -758,21 +1110,24 @@ func (p *Pool) refreshFreeLocked(now time.Time) {
 // lock. The caller supplies (and re-owns) the scratch buffer. Safe against
 // deadlock: cross-pool calls happen only on the engine goroutine, where
 // ticks are serialized.
-func (p *Pool) snapshotFreeFor(now time.Time, buf []*machine) []*machine {
+func (p *Pool) snapshotFreeFor(now time.Time, buf []*machine) ([]*machine, freeStats) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	var st freeStats
 	if p.down {
-		return buf
+		return buf, st
 	}
 	p.visitFreeLocked(func(m *machine) {
 		if m.node.TaskCount() > 0 {
 			return
 		}
 		m.skipFor = nil
-		m.matchAd.Set("LoadAvg", m.node.LoadAt(now))
+		v, until, piecewise := m.node.LoadSegment(now)
+		m.setLoadAvg(v)
+		st.observe(until, piecewise)
 		buf = append(buf, m)
 	})
-	return buf
+	return buf, st
 }
 
 // visitFreeLocked is the single pre-pass walk both negotiation views
@@ -797,6 +1152,16 @@ func (p *Pool) visitFreeLocked(visit func(*machine)) {
 	}
 }
 
+// pickBucket is one arch bucket's per-pass pick state for constant-rank
+// jobs: the bucket's free machines in node-name order with a cursor that
+// permanently skips machines claimed (or pass-excluded) earlier in the
+// same pass. Rebuilt lazily once per pass per bucket.
+type pickBucket struct {
+	gen    uint64
+	sorted []*machine
+	cur    int
+}
+
 // pickIndexedLocked returns j's best matching local machine. Jobs whose
 // Requirements pin Arch scan only that bucket (plus machines with
 // non-literal Arch); unconstrained jobs scan every bucket. The winner is
@@ -804,16 +1169,79 @@ func (p *Pool) visitFreeLocked(visit func(*machine)) {
 // that makes the result independent of bucket iteration order.
 func (p *Pool) pickIndexedLocked(j *job) *machine {
 	if j.reqArch != "" {
-		best, bestRank := p.bestCandidate(j, p.freeBuckets[j.reqArch], nil, 0)
-		best, _ = p.bestCandidate(j, p.freeBuckets[dynamicBucket], best, bestRank)
+		best, bestRank := p.pickFromBucketLocked(j, j.reqArch, nil, 0)
+		best, _ = p.pickFromBucketLocked(j, dynamicBucket, best, bestRank)
 		return best
 	}
 	var best *machine
 	bestRank := 0.0
-	for _, b := range p.freeBuckets {
-		best, bestRank = p.bestCandidate(j, b, best, bestRank)
+	for key := range p.freeBuckets {
+		best, bestRank = p.pickFromBucketLocked(j, key, best, bestRank)
 	}
 	return best
+}
+
+// sortedPickThreshold is the free-bucket size above which constant-rank
+// picks switch from the full best-rank scan to the per-pass name-sorted
+// cursor. Small buckets (the steady state: a completion frees one
+// machine) scan directly — building the sorted view would cost more.
+const sortedPickThreshold = 16
+
+// pickFromBucketLocked folds one free bucket into the running
+// (best, bestRank) pair. For jobs whose Rank is constant the winner
+// under the pinned total order (rank, then machine name) is simply the
+// first acceptable machine in name order, so large buckets are consumed
+// through a per-pass sorted cursor with early exit instead of scoring
+// every free machine: the deep-backlog fill drops from
+// O(jobs x free machines) matches to O(jobs) without changing a single
+// placement. Target-dependent ranks keep the exhaustive scan.
+func (p *Pool) pickFromBucketLocked(j *job, key string, best *machine, bestRank float64) (*machine, float64) {
+	b := p.freeBuckets[key]
+	if len(b) <= sortedPickThreshold || !j.matcher.ConstantRank() {
+		return p.bestCandidate(j, b, best, bestRank)
+	}
+	pb := p.pickSorted[key]
+	if pb == nil {
+		if p.pickSorted == nil {
+			p.pickSorted = make(map[string]*pickBucket)
+		}
+		pb = &pickBucket{}
+		p.pickSorted[key] = pb
+	}
+	if pb.gen != p.pickGen {
+		pb.gen = p.pickGen
+		pb.sorted = append(pb.sorted[:0], b...)
+		sort.Slice(pb.sorted, func(a, c int) bool {
+			return pb.sorted[a].node.Name < pb.sorted[c].node.Name
+		})
+		pb.cur = 0
+	}
+	for i := pb.cur; i < len(pb.sorted); i++ {
+		m := pb.sorted[i]
+		if m.freeIdx < 0 || m.skipFor == p {
+			// Claimed earlier in this pass, or excluded for the whole
+			// pass: gone for good — compact the cursor past a leading run.
+			if i == pb.cur {
+				pb.cur++
+			}
+			continue
+		}
+		if j.reqOpSys != "" && m.opsKnown && m.opsKey != j.reqOpSys {
+			continue // rejected for this job only; later jobs may differ
+		}
+		if !j.matcher.Match(m.matcher) {
+			continue
+		}
+		// First acceptable machine in name order: no later machine in
+		// this bucket can beat it, so fold against the other buckets'
+		// carry and stop.
+		r := j.matcher.Rank(m.matcher)
+		if best == nil || r > bestRank || (r == bestRank && m.node.Name < best.node.Name) {
+			return m, r
+		}
+		return best, bestRank
+	}
+	return best, bestRank
 }
 
 // bestCandidate scans cands for j's best match, carrying the running
@@ -900,6 +1328,10 @@ func (p *Pool) releaseClaimLocked(j *job) {
 	j.claimed = nil
 	if m.owner == p {
 		p.addFreeLocked(m)
+		// A machine freed is the negotiator's signal to run again; pools
+		// flocking into this one read the same free set, so they wake too.
+		p.requestWake()
+		p.wakeFlockedFrom()
 		return
 	}
 	o := m.owner
@@ -909,6 +1341,7 @@ func (p *Pool) releaseClaimLocked(j *job) {
 	// Wake the owner so the queued release folds back into its free set
 	// even if it has nothing else scheduled.
 	o.requestWake()
+	o.wakeFlockedFrom()
 }
 
 // drainReleasesLocked folds queued foreign releases into the free
@@ -1036,10 +1469,12 @@ func (p *Pool) startLocked(j *job, m *machine, now time.Time) {
 	// set always mirrors the physical machine state a full rescan would
 	// observe, including for flocking peers that negotiate between this
 	// pool's harvests. The callback fires lock-free on the engine
-	// goroutine; job status still transitions at harvest time.
-	j.task = simgrid.NewTask(fmt.Sprintf("%s-%d", p.Name, j.id), need, func(*simgrid.Task) {
+	// goroutine; job status still transitions at harvest time, driven by
+	// the doneQ entry the callback leaves behind.
+	j.task = simgrid.NewTask(p.Name+"-"+strconv.Itoa(j.id), need, func(*simgrid.Task) {
 		p.mu.Lock()
 		p.releaseClaimLocked(j)
+		p.doneQ = append(p.doneQ, j)
 		p.mu.Unlock()
 		// Completion deadline fired: harvest at this boundary if the
 		// pool's turn is still ahead, otherwise at the next one — the
@@ -1051,7 +1486,61 @@ func (p *Pool) startLocked(j *job, m *machine, now time.Time) {
 	if j.startTime.IsZero() {
 		j.startTime = now
 	}
+	p.openUsageLocked(j, m)
 	p.setStatusLocked(j, StatusRunning)
+}
+
+// openUsageLocked decides how a starting job's fair-share usage will be
+// accounted: through a lazily-accrued flow when the sink supports flows
+// and the machine's execution rate is analytically constant (sole
+// occupant, constant-forever load segment, no fault injection), or by
+// eager per-tick supervision otherwise.
+func (p *Pool) openUsageLocked(j *job, m *machine) {
+	j.supervised = false
+	if p.fairFlow != nil && j.failAfter <= 0 {
+		if rate, ok := p.flowRateFor(m.node); ok {
+			j.flow = p.fairFlow.OpenFlow(j.owner, m.node.Site, rate)
+			j.flowRate = rate
+			j.flowNode = m.node
+			p.nodeJob[m.node] = j
+			return
+		}
+	}
+	if j.failAfter > 0 || p.fairSink != nil {
+		j.supervised = true
+	}
+}
+
+// flowRateFor returns the node's analytic execution rate — (1-load) ×
+// Mips while the sole task runs under a constant-forever load segment —
+// or ok=false when no constant rate exists and the job must be
+// supervised eagerly.
+func (p *Pool) flowRateFor(node *simgrid.Node) (float64, bool) {
+	v, until, piecewise := node.LoadSegment(p.grid.Engine.Now())
+	if !piecewise || !until.IsZero() || node.TaskCount() != 1 {
+		return 0, false
+	}
+	rate := (1 - v) * node.Mips
+	if rate < 0 {
+		rate = 0
+	}
+	return rate, true
+}
+
+// closeFlowLocked settles and closes a job's usage flow against its
+// measured CPU-seconds, switching the job back to exact bookkeeping.
+func (p *Pool) closeFlowLocked(j *job) {
+	cpu := p.cpuSecondsLocked(j) - j.cpuBase
+	if cpu < 0 {
+		cpu = 0
+	}
+	j.flow.Close(cpu)
+	j.flow = nil
+	j.usageRecorded = cpu
+	if j.flowNode != nil && p.nodeJob[j.flowNode] == j {
+		delete(p.nodeJob, j.flowNode)
+	}
+	j.flowNode = nil
 }
 
 // detachLocked removes the job's task from its node, if any, and releases
@@ -1081,8 +1570,8 @@ func (p *Pool) cpuSecondsLocked(j *job) float64 {
 // pool's. Checkpointed work carried in from another site is excluded;
 // that site already accounted for it.
 func (p *Pool) accrueUsageLocked(j *job) {
-	if p.fairSink == nil {
-		return
+	if p.fairSink == nil || j.flow != nil {
+		return // flow jobs accrue lazily inside the sink
 	}
 	cpu := p.cpuSecondsLocked(j) - j.cpuBase
 	if delta := cpu - j.usageRecorded; delta > 0 {
@@ -1095,14 +1584,33 @@ func (p *Pool) accrueUsageLocked(j *job) {
 	}
 }
 
-// setStatusLocked applies a state change and notifies listeners. Jobs
-// reaching a terminal state settle any CPU not yet accrued by the
-// per-tick update.
+// setStatusLocked applies a state change, maintains the queue summary
+// counters the wake-up policy reads, and notifies listeners. Jobs
+// reaching a terminal state settle any CPU not yet accounted — closing
+// their usage flow with the measured total, or accruing the eager
+// remainder.
 func (p *Pool) setStatusLocked(j *job, to Status) {
 	from := j.status
 	j.status = to
+	if from == StatusIdle && to != StatusIdle {
+		p.idleCount--
+		p.dequeueIdleLocked(j)
+	}
+	if j.supervised {
+		if from == StatusRunning && to != StatusRunning {
+			p.superviseCount--
+		} else if from != StatusRunning && to == StatusRunning {
+			p.superviseCount++
+		}
+	}
 	if to.Terminal() {
-		p.accrueUsageLocked(j)
+		p.liveCount--
+		if j.flow != nil {
+			p.closeFlowLocked(j)
+		} else {
+			p.accrueUsageLocked(j)
+		}
+		j.supervised = false
 	}
 	p.emitLocked(j, from, to)
 }

@@ -1,0 +1,119 @@
+package condor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/classad"
+	"repro/internal/fairshare"
+	"repro/internal/simgrid"
+)
+
+// The incremental negotiation stream (per-owner FIFO buckets merged by a
+// cursor heap) must yield exactly the order the legacy full re-sort
+// produces — under the fair-share KeyRanker (effective priority, the
+// starvation guard's FIFO phase, static priority, submit time, id) and
+// under the static policy (priority desc, id asc). The scenarios below
+// churn the queue through every mutation that can stale an entry:
+// submissions, matches, priority refiles, and starvation promotions.
+
+func orderIDs(js []*job) []int {
+	ids := make([]int, len(js))
+	for i, j := range js {
+		ids[i] = j.id
+	}
+	return ids
+}
+
+func checkOrderParity(t *testing.T, p *Pool, label string) {
+	t.Helper()
+	p.mu.Lock()
+	now := p.grid.Engine.Now()
+	stream := orderIDs(p.negotiationOrderLocked(now))
+	legacy := orderIDs(p.idleOrderedLocked())
+	p.mu.Unlock()
+	if len(stream) != len(legacy) {
+		t.Fatalf("%s: stream yields %d jobs, legacy sort %d\nstream: %v\nlegacy: %v",
+			label, len(stream), len(legacy), stream, legacy)
+	}
+	for i := range stream {
+		if stream[i] != legacy[i] {
+			t.Fatalf("%s: order diverges at %d\nstream: %v\nlegacy: %v", label, i, stream, legacy)
+		}
+	}
+}
+
+func runOrderParityScenario(t *testing.T, seed int64, static bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := simgrid.NewGrid(time.Second, 1)
+	g.Engine.SetDriver(simgrid.DriverEvent)
+	site := g.AddSite("s")
+	pool := NewPool("s", g, site)
+	// Few machines, many jobs: a deep backlog keeps a large idle queue
+	// alive across many negotiation passes.
+	for i := 0; i < 3; i++ {
+		pool.AddMachine(site.AddNode(g.Engine, fmt.Sprintf("n%d", i), 1, simgrid.ConstantLoad(0.25)), nil)
+	}
+	if !static {
+		mgr := fairshare.NewManager(fairshare.Config{
+			Clock:            g.Engine.Clock(),
+			HalfLife:         time.Minute,
+			StarvationWindow: 40 * time.Second, // small: force phase-a promotions
+		})
+		pool.SetFairShare(mgr)
+	}
+
+	owners := []string{"alice", "bob", "carol", "dave", "erin"}
+	var ids []int
+	for i := 0; i < 80; i++ {
+		at := time.Duration(rng.Intn(240)) * time.Second
+		owner := owners[rng.Intn(len(owners))]
+		prio := rng.Intn(4)
+		cpu := float64(20 + rng.Intn(200))
+		g.Engine.Schedule(at, func(time.Time) {
+			ad := classad.New().Set(AttrOwner, owner).Set(AttrCpuSeconds, cpu).Set(AttrPriority, prio)
+			id, err := pool.Submit(ad)
+			if err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			ids = append(ids, id)
+		})
+	}
+	// Random priority churn re-files queue entries mid-life.
+	for k := 0; k < 30; k++ {
+		at := time.Duration(30+rng.Intn(300)) * time.Second
+		newPrio := rng.Intn(5)
+		pick := rng.Intn(80)
+		g.Engine.Schedule(at, func(time.Time) {
+			if pick < len(ids) {
+				if err := pool.SetPriority(ids[pick], newPrio); err != nil {
+					t.Errorf("setpriority: %v", err)
+				}
+			}
+		})
+	}
+	for s := 10; s <= 400; s += 10 {
+		s := s
+		g.Engine.Schedule(time.Duration(s)*time.Second, func(time.Time) {
+			checkOrderParity(t, pool, fmt.Sprintf("seed %d t=%ds", seed, s))
+		})
+	}
+	g.Engine.RunFor(420 * time.Second)
+	checkOrderParity(t, pool, fmt.Sprintf("seed %d final", seed))
+}
+
+func TestNegotiationOrderMatchesLegacySortFairShare(t *testing.T) {
+	for _, seed := range []int64{1, 33, 512} {
+		runOrderParityScenario(t, seed, false)
+	}
+}
+
+func TestNegotiationOrderMatchesLegacySortStatic(t *testing.T) {
+	for _, seed := range []int64{2, 99} {
+		runOrderParityScenario(t, seed, true)
+	}
+}

@@ -101,6 +101,7 @@ func (p *Pool) Restore(st durable.PoolState) error {
 			continue
 		}
 		p.active = append(p.active, j.id)
+		p.liveCount++
 
 		if j.status == StatusRunning || j.status == StatusSuspended {
 			m := p.machineByNameLocked(js.Node)
@@ -114,6 +115,8 @@ func (p *Pool) Restore(st durable.PoolState) error {
 		}
 		// Idle: nothing held; cpuBase is whatever the capture carried
 		// (checkpointed submissions), which cpuSecondsLocked re-exports.
+		p.idleCount++
+		p.enqueueIdleLocked(j)
 	}
 	p.requestWake()
 	return nil
@@ -128,6 +131,8 @@ func (p *Pool) requeueRestoredLocked(j *job) {
 	}
 	j.status = StatusIdle
 	j.node = nil
+	p.idleCount++
+	p.enqueueIdleLocked(j)
 }
 
 // rebindLocked re-places a restored job on its leased machine: the task
@@ -140,6 +145,7 @@ func (p *Pool) rebindLocked(j *job, m *machine, now time.Time) {
 		// finished it, so finish it here.
 		j.completionTime = now
 		j.status = StatusCompleted
+		p.liveCount--
 		p.produceOutputLocked(j)
 		return
 	}
@@ -148,6 +154,7 @@ func (p *Pool) rebindLocked(j *job, m *machine, now time.Time) {
 	j.task = simgrid.NewTask(fmt.Sprintf("%s-%d", p.Name, j.id), remaining, func(*simgrid.Task) {
 		p.mu.Lock()
 		p.releaseClaimLocked(j)
+		p.doneQ = append(p.doneQ, j)
 		p.mu.Unlock()
 		p.requestWake()
 	})
@@ -155,6 +162,10 @@ func (p *Pool) rebindLocked(j *job, m *machine, now time.Time) {
 	m.node.Place(j.task)
 	if j.status == StatusSuspended {
 		j.task.Suspend()
+	}
+	j.supervised = j.failAfter > 0 || p.fairSink != nil
+	if j.supervised && j.status == StatusRunning {
+		p.superviseCount++
 	}
 }
 

@@ -40,7 +40,7 @@ type SiteSpec struct {
 	// Mips scales node speed (default 1.0).
 	Mips float64
 	// Load is the background CPU load (default idle).
-	Load simgrid.LoadFn
+	Load simgrid.Load
 	// CostPerCPUSecond configures the Quota & Accounting rate.
 	CostPerCPUSecond float64
 	// CostPerTransferMB prices data movement at this site. Besides
@@ -146,6 +146,17 @@ type GAE struct {
 	store     *durable.Store
 	leaseTTL  time.Duration
 	idem      *idemWindow
+
+	// durabilityLost fires (once) when a journal append fails after its
+	// mutation already applied in memory. From that moment the live
+	// state is ahead of the durable state in a way no retry can repair:
+	// a continued process would re-apply on the client's retry (the op
+	// was never recorded in the idempotency window) and the next
+	// checkpoint would persist both applications. The hook's job is to
+	// crash the process so recovery replays the journal — which rolls
+	// the un-journaled mutation back and keeps exactly-once intact.
+	durabilityLossOnce sync.Once
+	onDurabilityLoss   func(error)
 }
 
 // New builds a deployment from cfg. It panics on structural errors

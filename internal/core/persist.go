@@ -445,6 +445,7 @@ func journalCall[T any](g *GAE, ctx context.Context, user, service, method strin
 		seq, err = g.store.Append(now, user, service, method, rid, args())
 		if err != nil {
 			g.finishSpan(mo, t0, fq, user, rid, "journal", 0, false, err)
+			g.durabilityLost(err)
 			return zero, err
 		}
 	}
@@ -481,6 +482,21 @@ func journalCall[T any](g *GAE, ctx context.Context, user, service, method strin
 // errRequestIDReuse tags the reuse-span error without allocating the
 // formatted message twice.
 var errRequestIDReuse = fmt.Errorf("request id reused across methods")
+
+// OnDurabilityLoss registers fn to run — once, on the first occurrence —
+// when a journal append fails after its mutation already applied. See
+// the GAE field doc: the only safe response for a serving process is to
+// crash and recover from the journal; gae-server installs an exiting
+// hook. Without a hook the journal's sticky error keeps nacking appends
+// until the checkpoint cycle truncates it (the embedded/test behavior).
+func (g *GAE) OnDurabilityLoss(fn func(error)) { g.onDurabilityLoss = fn }
+
+func (g *GAE) durabilityLost(err error) {
+	if g.onDurabilityLoss == nil {
+		return
+	}
+	g.durabilityLossOnce.Do(func() { g.onDurabilityLoss(err) })
+}
 
 // finishSpan records the latency observation and trace span for the
 // non-happy exits of journalCall (dedup hits, handler errors, journal

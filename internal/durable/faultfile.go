@@ -30,6 +30,23 @@ type FaultyFile struct {
 // NewFaultyFile wraps f with a pass-through script.
 func NewFaultyFile(f File) *FaultyFile { return &FaultyFile{F: f} }
 
+// InjectFaults interposes a FaultyFile between the journal and its
+// backing file and returns it, so a live journal's fsync/write path can
+// be scripted mid-run (the chaos harness arms it on a timer). Call
+// before concurrent appends begin — the returned handle itself is safe
+// to script from any goroutine once flushing is underway.
+func (j *Journal) InjectFaults() *FaultyFile {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ff := NewFaultyFile(j.f)
+	j.f = ff
+	return ff
+}
+
+// InjectFaults exposes the journal's fault hook at the store level; see
+// Journal.InjectFaults.
+func (s *Store) InjectFaults() *FaultyFile { return s.journal.InjectFaults() }
+
 // FailSyncs makes the next n Sync calls fail with ErrInjected.
 func (f *FaultyFile) FailSyncs(n int) {
 	f.mu.Lock()

@@ -85,9 +85,14 @@ func (m *Manager) TransferUsagePerMB() float64 { return m.cfg.TransferUsagePerMB
 // account is one node of the accounting hierarchy: a group, a tenant, or
 // a tenant's per-site usage bucket. Usage decays lazily: it is brought
 // forward to the clock's current time whenever it is read or added to.
+// rate is the aggregate inflow (CPU-seconds per second) of the open
+// usage flows feeding this account; the lazy settle folds it in with the
+// closed-form integral, so a million running jobs cost nothing between
+// read points.
 type account struct {
 	weight float64
 	usage  float64
+	rate   float64
 	last   time.Time
 }
 
@@ -113,8 +118,12 @@ type Manager struct {
 	// sorts call EffectivePriority O(n log n) times with the clock frozen,
 	// so each tenant's hierarchy walk happens once per tick instead of
 	// once per comparison. Any usage or weight mutation clears the memo.
+	// The map itself is recycled across invalidations (clear, not
+	// reallocate): negotiation passes invalidate it on every completion,
+	// and at million-job scale the per-pass make() showed up in profiles.
 	epCache   map[string]float64
 	epCacheAt time.Time
+	epCacheOK bool
 }
 
 // NewManager creates a Manager. It panics if cfg.Clock is nil, since a
@@ -156,7 +165,7 @@ func (m *Manager) SetGroup(name string, weight float64) {
 	defer m.mu.Unlock()
 	g := m.groupLocked(name)
 	g.weight = weight
-	m.epCache = nil
+	m.epCacheOK = false
 }
 
 // SetTenant declares (or moves/reweights) a tenant within a group. An
@@ -184,13 +193,15 @@ func (m *Manager) SetTenant(name, group string, weight float64) {
 		if old.usage < 0 {
 			old.usage = 0
 		}
+		old.rate -= t.rate
 		next := m.groupLocked(group)
 		m.decayLocked(next, now)
 		next.usage += t.usage
+		next.rate += t.rate
 		t.group = group
 	}
 	m.groupLocked(group)
-	m.epCache = nil
+	m.epCacheOK = false
 }
 
 // RecordUsage folds cpuSeconds of consumption by tenant at site into the
@@ -205,7 +216,7 @@ func (m *Manager) RecordUsage(tenant, site string, cpuSeconds float64) {
 	tenant = tenantName(tenant)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.epCache = nil
+	m.epCacheOK = false
 	now := m.clock.Now()
 	t := m.tenantLocked(tenant)
 	m.decayLocked(&t.account, now)
@@ -285,9 +296,14 @@ func (m *Manager) effectiveLocked(tenant string) float64 {
 }
 
 func (m *Manager) effectiveAtLocked(tenant string, now time.Time) float64 {
-	if m.epCache == nil || !m.epCacheAt.Equal(now) {
-		m.epCache = make(map[string]float64)
+	if !m.epCacheOK || !m.epCacheAt.Equal(now) {
+		if m.epCache == nil {
+			m.epCache = make(map[string]float64)
+		} else {
+			clear(m.epCache)
+		}
 		m.epCacheAt = now
+		m.epCacheOK = true
 	}
 	if ep, ok := m.epCache[tenant]; ok {
 		return ep
@@ -312,7 +328,13 @@ func (m *Manager) effectiveAtLocked(tenant string, now time.Time) float64 {
 	return ep
 }
 
-// decayLocked brings an account's usage forward to now.
+// decayLocked brings an account's usage forward to now: the recorded
+// usage decays exponentially, and any constant-rate flow inflow over the
+// elapsed window accrues in closed form. With u' = rate − λ·u and
+// λ = ln2/HalfLife, the interval solution is
+// u(now) = u·2^(−dt/HL) + rate·(HL/ln2)·(1 − 2^(−dt/HL)); with decay
+// disabled it degenerates to u += rate·dt. When no flows feed the
+// account (rate == 0) this is exactly the pre-flow settle, bit for bit.
 func (m *Manager) decayLocked(a *account, now time.Time) {
 	if a.last.IsZero() {
 		a.last = now
@@ -323,10 +345,22 @@ func (m *Manager) decayLocked(a *account, now time.Time) {
 		return
 	}
 	a.last = now
-	if m.cfg.HalfLife < 0 || a.usage == 0 {
-		return // decay disabled, or nothing to decay
+	if m.cfg.HalfLife < 0 {
+		if a.rate != 0 {
+			a.usage += a.rate * dt.Seconds()
+		}
+		return // decay disabled
 	}
-	a.usage *= math.Exp2(-float64(dt) / float64(m.cfg.HalfLife))
+	if a.usage == 0 && a.rate == 0 {
+		return // nothing to decay, nothing flowing in
+	}
+	d := math.Exp2(-float64(dt) / float64(m.cfg.HalfLife))
+	u := a.usage * d
+	if a.rate != 0 {
+		tau := m.cfg.HalfLife.Seconds() / math.Ln2
+		u += a.rate * tau * (1 - d)
+	}
+	a.usage = u
 }
 
 // groupLocked returns the named group, creating it with the default

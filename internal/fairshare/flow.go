@@ -1,0 +1,144 @@
+package fairshare
+
+import "time"
+
+// UsageFlow is one job's constant-rate usage stream. The execution
+// service opens a flow when a job starts on a machine whose execution
+// rate is analytically known (constant background load, sole occupant),
+// adjusts the rate when the machine's picture changes, and closes it
+// with the exact executed total when the job reaches a terminal state.
+// Between those calls the owning accounts accrue the flow lazily, in
+// closed form, at read points — replacing the per-tick RecordUsage
+// drumbeat that otherwise forces a pool wake-up every tick for every
+// running job.
+type UsageFlow interface {
+	// SetRate changes the flow's inflow (CPU-seconds per second of
+	// simulated time) from now on; accrual so far is settled first.
+	SetRate(rate float64)
+	// Close settles the flow and reconciles it against the exact total
+	// CPU-seconds the job actually executed: any residual between the
+	// analytic integral and the measured total is applied as an
+	// instantaneous usage correction, so terminal accounting matches the
+	// eager path to float precision. A closed flow is inert.
+	Close(total float64)
+}
+
+// FlowSink is the optional Sink extension for lazily-accrued usage.
+// Pools probe for it with a type assertion; sinks that only implement
+// RecordUsage keep receiving eager per-tick deltas.
+type FlowSink interface {
+	Sink
+	OpenFlow(tenant, site string, rate float64) UsageFlow
+}
+
+// flow is the Manager's UsageFlow: it pins the tenant, group, and site
+// accounts its rate feeds and tracks the undecayed total it has emitted
+// so Close can reconcile against the measured CPU-seconds.
+type flow struct {
+	m       *Manager
+	tenant  string
+	site    string
+	rate    float64
+	since   time.Time // when the current rate took effect
+	emitted float64   // undecayed CPU-seconds contributed so far
+	closed  bool
+}
+
+// OpenFlow starts a constant-rate usage flow for tenant at site,
+// implementing FlowSink. An empty tenant accounts to Anonymous; an empty
+// site accrues tenant/group usage only. Negative rates are clamped to 0.
+func (m *Manager) OpenFlow(tenant, site string, rate float64) UsageFlow {
+	if rate < 0 {
+		rate = 0
+	}
+	tenant = tenantName(tenant)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &flow{m: m, tenant: tenant, site: site}
+	f.setRateLocked(rate, m.clock.Now())
+	return f
+}
+
+// SetRate implements UsageFlow.
+func (f *flow) SetRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	m := f.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.setRateLocked(rate, m.clock.Now())
+}
+
+// setRateLocked settles the fed accounts through now at the old rate,
+// then swaps in the new one.
+func (f *flow) setRateLocked(rate float64, now time.Time) {
+	m := f.m
+	if !f.since.IsZero() {
+		f.emitted += f.rate * now.Sub(f.since).Seconds()
+	}
+	delta := rate - f.rate
+	f.rate = rate
+	f.since = now
+	if delta == 0 {
+		return
+	}
+	m.epCacheOK = false
+	t := m.tenantLocked(f.tenant)
+	m.decayLocked(&t.account, now)
+	t.rate += delta
+	g := m.groupLocked(t.group)
+	m.decayLocked(g, now)
+	g.rate += delta
+	if f.site != "" {
+		s, ok := t.sites[f.site]
+		if !ok {
+			s = &account{last: now}
+			t.sites[f.site] = s
+		}
+		m.decayLocked(s, now)
+		s.rate += delta
+	}
+}
+
+// Close implements UsageFlow.
+func (f *flow) Close(total float64) {
+	m := f.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f.closed {
+		return
+	}
+	now := m.clock.Now()
+	f.setRateLocked(0, now)
+	f.closed = true
+	residual := total - f.emitted
+	if residual == 0 {
+		return
+	}
+	m.epCacheOK = false
+	t := m.tenantLocked(f.tenant)
+	m.decayLocked(&t.account, now)
+	t.usage += residual
+	if t.usage < 0 {
+		t.usage = 0
+	}
+	g := m.groupLocked(t.group)
+	m.decayLocked(g, now)
+	g.usage += residual
+	if g.usage < 0 {
+		g.usage = 0
+	}
+	if f.site != "" {
+		if s, ok := t.sites[f.site]; ok {
+			m.decayLocked(s, now)
+			s.usage += residual
+			if s.usage < 0 {
+				s.usage = 0
+			}
+		}
+	}
+}

@@ -71,7 +71,7 @@ func (m *Manager) Restore(st *durable.FairShareState) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.epCache = nil
+	m.epCacheOK = false
 	m.groups = make(map[string]*account, len(st.Groups))
 	m.tenants = make(map[string]*tenantAccount, len(st.Tenants))
 	m.lastStart = make(map[string]time.Time)

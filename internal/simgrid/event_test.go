@@ -128,27 +128,64 @@ func TestWakeRequestDuringOwnFiring(t *testing.T) {
 	}
 }
 
-// TestConstLoadDetection pins the mechanism the analytic-deadline path
-// depends on: ConstantLoad and IdleLoad are recognized as constants, and
-// every other load family is conservatively treated as time-varying.
-func TestConstLoadDetection(t *testing.T) {
-	if v, ok := constLoadValue(ConstantLoad(0.3)); !ok || v != 0.3 {
-		t.Fatalf("ConstantLoad(0.3) detected as (%v, %v), want (0.3, true)", v, ok)
+// TestPiecewiseDetection pins the structural contract the analytic-
+// deadline path depends on: every load this package constructs (except
+// genuinely noisy ones) advertises PiecewiseConstant, wrappers preserve
+// it, and opaque function loads are conservatively treated as
+// time-varying.
+func TestPiecewiseDetection(t *testing.T) {
+	if pc := pieceOf(ConstantLoad(0.3)); pc == nil {
+		t.Fatal("ConstantLoad not detected as piecewise")
+	} else if v, until := pc.Segment(time.Time{}); v != 0.3 || !until.IsZero() {
+		t.Fatalf("ConstantLoad segment = (%v, %v), want (0.3, forever)", v, until)
 	}
-	if v, ok := constLoadValue(IdleLoad()); !ok || v != 0 {
-		t.Fatalf("IdleLoad detected as (%v, %v), want (0, true)", v, ok)
+	if pc := pieceOf(IdleLoad()); pc == nil {
+		t.Fatal("IdleLoad not detected as piecewise")
+	} else if v, _ := pc.Segment(time.Time{}); v != 0 {
+		t.Fatalf("IdleLoad segment value = %v, want 0", v)
 	}
-	if v, ok := constLoadValue(nil); !ok || v != 0 {
-		t.Fatalf("nil load detected as (%v, %v), want (0, true)", v, ok)
+	if pc := pieceOf(nil); pc == nil {
+		t.Fatal("nil load not treated as idle piecewise")
+	} else if v, until := pc.Segment(time.Time{}); v != 0 || !until.IsZero() {
+		t.Fatalf("nil load segment = (%v, %v), want (0, forever)", v, until)
 	}
-	for name, fn := range map[string]LoadFn{
-		"diurnal": DiurnalLoad(0.5, 0.3, 14),
-		"step":    StepLoad(time.Time{}, []time.Duration{time.Minute}, []float64{0.1, 0.9}),
-		"noisy":   NoisyLoad(ConstantLoad(0.5), 0.1, 7),
-		"custom":  func(time.Time) float64 { return 0.4 },
+	epoch := time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)
+	if pc := pieceOf(DiurnalLoad(0.5, 0.3, 14)); pc == nil {
+		t.Fatal("DiurnalLoad not detected as piecewise")
+	} else {
+		at := epoch.Add(90 * time.Second)
+		v, until := pc.Segment(at)
+		if want := pc.LoadAt(at); v != want {
+			t.Fatalf("diurnal segment value %v != sampled %v", v, want)
+		}
+		if want := epoch.Add(2 * time.Minute); !until.Equal(want) {
+			t.Fatalf("diurnal segment ends %v, want minute boundary %v", until, want)
+		}
+	}
+	if pc := pieceOf(StepLoad(epoch, []time.Duration{time.Minute}, []float64{0.1, 0.9})); pc == nil {
+		t.Fatal("StepLoad not detected as piecewise")
+	} else {
+		if v, until := pc.Segment(epoch.Add(10 * time.Second)); v != 0.1 || !until.Equal(epoch.Add(time.Minute)) {
+			t.Fatalf("step segment = (%v, %v), want (0.1, %v)", v, until, epoch.Add(time.Minute))
+		}
+		if v, until := pc.Segment(epoch.Add(2 * time.Minute)); v != 0.9 || !until.IsZero() {
+			t.Fatalf("final step segment = (%v, %v), want (0.9, forever)", v, until)
+		}
+	}
+	// The old code-pointer detection silently degraded wrapped constants;
+	// the structural contract must not: zero-amplitude noise is exactly
+	// the base load and keeps its segments.
+	if pc := pieceOf(NoisyLoad(ConstantLoad(0.4), 0, 7)); pc == nil {
+		t.Fatal("NoisyLoad(const, amplitude=0) lost the piecewise contract")
+	} else if v, until := pc.Segment(epoch); v != 0.4 || !until.IsZero() {
+		t.Fatalf("zero-noise const segment = (%v, %v), want (0.4, forever)", v, until)
+	}
+	for name, fn := range map[string]Load{
+		"noisy":  NoisyLoad(ConstantLoad(0.5), 0.1, 7),
+		"custom": LoadFn(func(time.Time) float64 { return 0.4 }),
 	} {
-		if _, ok := constLoadValue(fn); ok {
-			t.Errorf("%s load misdetected as constant", name)
+		if pieceOf(fn) != nil {
+			t.Errorf("%s load misdetected as piecewise-constant", name)
 		}
 	}
 }

@@ -3,94 +3,185 @@ package simgrid
 import (
 	"math"
 	"math/rand"
-	"reflect"
 	"time"
 )
 
-// LoadFn models background CPU load on a node as a function of simulated
-// time, returning a value in [0, 1]: the fraction of the CPU consumed by
-// non-Grid work (interactive users, system daemons, higher-priority
-// owners). A Condor job on the node makes progress at rate 1-load.
+// Load models background CPU load on a node as a function of simulated
+// time: LoadAt returns a value in [0, 1], the fraction of the CPU
+// consumed by non-Grid work (interactive users, system daemons,
+// higher-priority owners). A Condor job on the node makes progress at
+// rate 1-load.
+type Load interface {
+	LoadAt(t time.Time) float64
+}
+
+// LoadFn adapts a plain function to the Load interface. Function loads
+// are conservatively treated as time-varying: nodes sample them at every
+// tick boundary. Loads that are constant over known intervals should
+// implement PiecewiseConstant instead (all constructors in this package
+// do), which lets the event engine compute analytic completion deadlines
+// and skip the per-tick sampling entirely.
 type LoadFn func(t time.Time) float64
 
-// ConstantLoad returns a load fixed at x (clamped to [0, 1]). The
-// event-driven node recognizes ConstantLoad (and IdleLoad) functions and
-// computes analytic task-completion deadlines for them instead of
-// sampling the load every tick.
+// LoadAt implements Load.
+func (f LoadFn) LoadAt(t time.Time) float64 { return f(t) }
+
+// PiecewiseConstant is the optional contract that makes a load
+// event-friendly: Segment(t) returns the load value in effect at t and
+// the instant the current constant segment ends. The value must already
+// be clamped to [0, 1] and must equal clamp01(LoadAt(u)) for every u in
+// [t, until). A zero until means the value holds forever.
 //
-// Marked noinline so every returned closure shares one code body: if the
-// function were inlined, each call site would clone the closure and the
-// code-pointer recognition in constLoadValue would silently stop
-// matching, degrading nodes to per-tick sampling.
-//
-//go:noinline
-func ConstantLoad(x float64) LoadFn {
-	x = clamp01(x)
-	return func(time.Time) float64 { return x }
+// Detection is structural — a type assertion — so wrappers compose: a
+// decorator that preserves piecewise-ness simply implements Segment by
+// delegation, and one that destroys it (e.g. additive noise) simply
+// doesn't.
+type PiecewiseConstant interface {
+	Load
+	Segment(t time.Time) (value float64, until time.Time)
 }
 
-// constLoadPC identifies closures produced by ConstantLoad: every closure
-// built from the same function literal shares one code pointer, distinct
-// from every other load constructor's.
-var constLoadPC = reflect.ValueOf(ConstantLoad(0)).Pointer()
-
-// constLoadValue reports whether fn is a ConstantLoad/IdleLoad closure
-// (nil counts as idle) and, if so, its fixed value. Any other load —
-// diurnal, stepped, noisy, or user-supplied — is conservatively treated
-// as time-varying.
-func constLoadValue(fn LoadFn) (float64, bool) {
-	if fn == nil {
-		return 0, true
+// pieceOf reports the piecewise view of l, or nil when l only supports
+// point sampling. A nil load counts as permanently idle.
+func pieceOf(l Load) PiecewiseConstant {
+	if l == nil {
+		return constantLoad{0}
 	}
-	if reflect.ValueOf(fn).Pointer() == constLoadPC {
-		return fn(time.Time{}), true
+	pc, ok := l.(PiecewiseConstant)
+	if !ok {
+		return nil
 	}
-	return 0, false
+	return pc
 }
+
+// constantLoad is a load fixed forever at v.
+type constantLoad struct{ v float64 }
+
+func (c constantLoad) LoadAt(time.Time) float64 { return c.v }
+
+func (c constantLoad) Segment(time.Time) (float64, time.Time) {
+	return c.v, time.Time{}
+}
+
+// ConstantLoad returns a load fixed at x (clamped to [0, 1]). The result
+// implements PiecewiseConstant with a single unbounded segment, so
+// event-driven nodes compute analytic task-completion deadlines for it
+// instead of sampling the load every tick.
+func ConstantLoad(x float64) Load { return constantLoad{clamp01(x)} }
 
 // IdleLoad is a node with no background activity.
-func IdleLoad() LoadFn { return ConstantLoad(0) }
+func IdleLoad() Load { return ConstantLoad(0) }
+
+// diurnalLoad models a daily usage cycle. Its value depends only on the
+// hour and minute of the sampled instant, so each wall-clock minute is
+// one constant segment.
+type diurnalLoad struct {
+	base, amplitude float64
+	peakHour        int
+}
+
+func (d diurnalLoad) LoadAt(t time.Time) float64 {
+	hour := float64(t.Hour()) + float64(t.Minute())/60
+	phase := 2 * math.Pi * (hour - float64(d.peakHour)) / 24
+	return clamp01(d.base + d.amplitude*math.Cos(phase))
+}
+
+func (d diurnalLoad) Segment(t time.Time) (float64, time.Time) {
+	return d.LoadAt(t), t.Truncate(time.Minute).Add(time.Minute)
+}
 
 // DiurnalLoad models a daily usage cycle: base load plus a sinusoid
-// peaking at peakHour with the given amplitude.
-func DiurnalLoad(base, amplitude float64, peakHour int) LoadFn {
-	return func(t time.Time) float64 {
-		hour := float64(t.Hour()) + float64(t.Minute())/60
-		phase := 2 * math.Pi * (hour - float64(peakHour)) / 24
-		return clamp01(base + amplitude*math.Cos(phase))
+// peaking at peakHour with the given amplitude. The curve only samples
+// the hour and minute, so it is piecewise-constant with one-minute
+// segments and event-driven nodes need at most one wake per minute of
+// simulated time — not one per tick.
+func DiurnalLoad(base, amplitude float64, peakHour int) Load {
+	return diurnalLoad{base: base, amplitude: amplitude, peakHour: peakHour}
+}
+
+// stepLoad switches between fixed levels at fixed boundaries.
+type stepLoad struct {
+	epoch      time.Time
+	boundaries []time.Duration
+	levels     []float64
+}
+
+func (s stepLoad) LoadAt(t time.Time) float64 {
+	v, _ := s.Segment(t)
+	return v
+}
+
+func (s stepLoad) Segment(t time.Time) (float64, time.Time) {
+	d := t.Sub(s.epoch)
+	for i, b := range s.boundaries {
+		if d < b {
+			return clamp01(s.levels[i]), s.epoch.Add(b)
+		}
 	}
+	return clamp01(s.levels[len(s.levels)-1]), time.Time{}
 }
 
 // StepLoad switches between levels at fixed boundaries. Boundaries are
-// offsets from epoch; levels[i] applies before boundaries[i], and the last
-// level applies afterwards. len(levels) must be len(boundaries)+1.
-func StepLoad(epoch time.Time, boundaries []time.Duration, levels []float64) LoadFn {
+// offsets from epoch; levels[i] applies before boundaries[i], and the
+// last level applies afterwards. len(levels) must be len(boundaries)+1.
+// Each level is one constant segment, so event-driven nodes wake only at
+// the step boundaries.
+func StepLoad(epoch time.Time, boundaries []time.Duration, levels []float64) Load {
 	if len(levels) != len(boundaries)+1 {
 		panic("simgrid: StepLoad needs len(levels) == len(boundaries)+1")
 	}
-	return func(t time.Time) float64 {
-		d := t.Sub(epoch)
-		for i, b := range boundaries {
-			if d < b {
-				return clamp01(levels[i])
-			}
+	for i := 1; i < len(boundaries); i++ {
+		if boundaries[i] <= boundaries[i-1] {
+			panic("simgrid: StepLoad boundaries must be strictly increasing")
 		}
-		return clamp01(levels[len(levels)-1])
 	}
+	return stepLoad{epoch: epoch, boundaries: boundaries, levels: levels}
+}
+
+// noisyLoad perturbs a base load with seeded, time-hashed noise.
+type noisyLoad struct {
+	base      Load
+	amplitude float64
+	seed      int64
+}
+
+func (n noisyLoad) LoadAt(t time.Time) float64 {
+	h := n.seed ^ t.Unix()
+	h ^= h << 13
+	h ^= h >> 7
+	h ^= h << 17
+	r := rand.New(rand.NewSource(h))
+	return clamp01(n.base.LoadAt(t) + n.amplitude*(2*r.Float64()-1))
+}
+
+// clampedLoad clamps a base load into [0, 1], preserving its piecewise
+// segments when it has them.
+type clampedLoad struct{ base PiecewiseConstant }
+
+func (c clampedLoad) LoadAt(t time.Time) float64 { return clamp01(c.base.LoadAt(t)) }
+
+func (c clampedLoad) Segment(t time.Time) (float64, time.Time) {
+	v, until := c.base.Segment(t)
+	return clamp01(v), until
 }
 
 // NoisyLoad wraps a base load with seeded, time-hashed noise of the given
 // amplitude. The same (seed, time) pair always yields the same value, so
-// simulations remain reproducible regardless of call order.
-func NoisyLoad(base LoadFn, amplitude float64, seed int64) LoadFn {
-	return func(t time.Time) float64 {
-		h := seed ^ t.Unix()
-		h ^= h << 13
-		h ^= h >> 7
-		h ^= h << 17
-		r := rand.New(rand.NewSource(h))
-		return clamp01(base(t) + amplitude*(2*r.Float64()-1))
+// simulations remain reproducible regardless of call order. A zero
+// amplitude adds exactly nothing: the result then preserves the base's
+// piecewise-constant segments instead of degrading it to per-tick
+// sampling.
+func NoisyLoad(base Load, amplitude float64, seed int64) Load {
+	if base == nil {
+		base = IdleLoad()
 	}
+	if amplitude == 0 {
+		if pc, ok := base.(PiecewiseConstant); ok {
+			return clampedLoad{base: pc}
+		}
+		return LoadFn(func(t time.Time) float64 { return clamp01(base.LoadAt(t)) })
+	}
+	return noisyLoad{base: base, amplitude: amplitude, seed: seed}
 }
 
 func clamp01(x float64) float64 {

@@ -2,6 +2,7 @@ package simgrid
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 )
@@ -182,27 +183,28 @@ const maxPredictTicks = 1 << 22
 // is event-driven: running tasks accrue work lazily (the per-tick
 // arithmetic is replayed, bit for bit, whenever state is observed or
 // changed) and task completions are scheduled as engine events — the
-// exact tick boundary is found analytically for constant background
-// loads, while time-varying loads fall back to per-tick wakeups, since
-// the load must be sampled at every boundary. A node driven as a plain
-// Actor (AddActor) keeps the legacy per-tick OnTick path.
+// exact tick boundary is found analytically for loads that advertise
+// the PiecewiseConstant contract (all loads this package constructs),
+// while opaque function loads fall back to per-tick wakeups, since they
+// must be sampled at every boundary. A node driven as a plain Actor
+// (AddActor) keeps the legacy per-tick OnTick path.
 type Node struct {
 	Name string
 	Site string
 	Mips float64
 
-	mu        sync.Mutex
-	load      LoadFn
-	loadVal   float64 // fixed load value when loadConst
-	loadConst bool
-	tasks     []*Task
-	eng       *Engine
-	wake      *Wake
-	lastSync  time.Time // last boundary through which accrual has been applied
+	mu       sync.Mutex
+	load     Load
+	seg      PiecewiseConstant // piecewise view of load, nil when opaque
+	tasks    []*Task
+	eng      *Engine
+	wake     *Wake
+	lastSync time.Time // last boundary through which accrual has been applied
+	observer func()    // fired (unlocked) after task-set or load changes
 }
 
 // NewNode creates a node. A nil load means idle; mips<=0 defaults to 1.
-func NewNode(name, site string, mips float64, load LoadFn) *Node {
+func NewNode(name, site string, mips float64, load Load) *Node {
 	if mips <= 0 {
 		mips = 1
 	}
@@ -210,7 +212,7 @@ func NewNode(name, site string, mips float64, load LoadFn) *Node {
 		load = IdleLoad()
 	}
 	n := &Node{Name: name, Site: site, Mips: mips, load: load}
-	n.loadVal, n.loadConst = constLoadValue(load)
+	n.seg = pieceOf(load)
 	return n
 }
 
@@ -227,25 +229,61 @@ func (n *Node) attach(e *Engine) {
 	n.wake = e.Register(n.onWake)
 }
 
-// SetLoad replaces the node's background load function. Work accrued so
-// far is settled under the old load first.
-func (n *Node) SetLoad(load LoadFn) {
+// SetLoad replaces the node's background load. Work accrued so far is
+// settled under the old load first.
+func (n *Node) SetLoad(load Load) {
 	if load == nil {
 		load = IdleLoad()
 	}
 	n.observeNow()
 	n.mu.Lock()
 	n.load = load
-	n.loadVal, n.loadConst = constLoadValue(load)
+	n.seg = pieceOf(load)
 	n.rederiveLocked()
 	n.mu.Unlock()
+	n.notifyObserver()
+}
+
+// SetObserver installs a callback fired — outside the node lock — after
+// any change that can alter the node's scheduling picture: a task placed
+// or removed, or the load replaced. Pools subscribe here so a freed
+// machine wakes the negotiator instead of the negotiator polling every
+// tick. Only one observer is supported; nil clears it.
+func (n *Node) SetObserver(fn func()) {
+	n.mu.Lock()
+	n.observer = fn
+	n.mu.Unlock()
+}
+
+// notifyObserver fires the observer callback, if any, without holding
+// the node lock (the observer typically takes its own locks).
+func (n *Node) notifyObserver() {
+	n.mu.Lock()
+	fn := n.observer
+	n.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
 }
 
 // LoadAt reports the background load at time t.
 func (n *Node) LoadAt(t time.Time) float64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return clamp01(n.load(t))
+	return clamp01(n.load.LoadAt(t))
+}
+
+// LoadSegment reports the background load at t together with the end of
+// the current constant segment (zero when the value holds forever), and
+// whether the node's load advertises piecewise segments at all.
+func (n *Node) LoadSegment(t time.Time) (value float64, until time.Time, ok bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.seg == nil {
+		return clamp01(n.load.LoadAt(t)), time.Time{}, false
+	}
+	v, u := n.seg.Segment(t)
+	return v, u, true
 }
 
 // Place starts a task on this node.
@@ -258,6 +296,7 @@ func (n *Node) Place(t *Task) {
 	n.tasks = append(n.tasks, t)
 	n.rederiveLocked()
 	n.mu.Unlock()
+	n.notifyObserver()
 }
 
 // Remove detaches a task (completed, killed, or migrating) from the node.
@@ -282,6 +321,7 @@ func (n *Node) Remove(t *Task) {
 			t.node = nil
 		}
 		t.mu.Unlock()
+		n.notifyObserver()
 	}
 }
 
@@ -354,6 +394,9 @@ func (n *Node) onWake(now time.Time) {
 			cb(t)
 		}
 	}
+	if len(fin) > 0 {
+		n.notifyObserver()
+	}
 }
 
 // taskRun is a running task's accrual state copied out for replay.
@@ -389,20 +432,67 @@ func (n *Node) syncLocked(to time.Time, observe bool) []*Task {
 	}
 	var finished []*Task
 	end := to
+	base := n.lastSync
+	var segVal float64
+	var segUntil time.Time
+	segValid := false
+	tryJump := n.seg != nil // retried after each segment or task-set change
 loop:
-	for bt := n.lastSync.Add(tick); !bt.After(to); bt = bt.Add(tick) {
+	for bt := base.Add(tick); !bt.After(to); bt = bt.Add(tick) {
 		if len(running) == 0 {
 			break
 		}
-		load := n.loadVal
-		if !n.loadConst {
-			load = clamp01(n.load(bt))
-		} else if load >= 1 {
-			break // constant full load: nothing ever accrues
+		var load float64
+		if n.seg != nil {
+			if !segValid || (!segUntil.IsZero() && !bt.Before(segUntil)) {
+				segVal, segUntil = n.seg.Segment(bt)
+				segValid = true
+				tryJump = true
+			}
+			load = segVal
+			if load >= 1 {
+				if segUntil.IsZero() {
+					break // full load forever: nothing ever accrues
+				}
+				// Zero-progress segment: jump to its last boundary so the
+				// loop's Add(tick) lands on the first boundary past it.
+				// Adding share=0 per boundary would be bit-identical but
+				// cost one iteration per tick.
+				k := int64((segUntil.Sub(base) + tick - 1) / tick)
+				if nb := base.Add(time.Duration(k-1) * tick); nb.After(bt) {
+					bt = nb
+				}
+				continue
+			}
+		} else {
+			load = clamp01(n.load.LoadAt(bt))
 		}
 		m := float64(len(running))
 		share := (1 - load) * n.Mips / m
 		runFrac := (1 - load) / m
+		if tryJump {
+			// Bulk-apply every boundary of this segment that no task
+			// completes at: when each per-tick step is an exact power of
+			// two and each accumulator an exact multiple of it, the closed
+			// form reproduces the repeated additions bit for bit. A failed
+			// exactness check stays off until the segment or the running
+			// set changes (alignment cannot spontaneously appear).
+			w := int64(to.Sub(bt)/tick) + 1
+			if !segUntil.IsZero() {
+				if ws := int64((segUntil.Sub(bt)-1)/tick) + 1; ws < w {
+					w = ws
+				}
+			}
+			if jump := bulkTicks(running, sec*share, sec*runFrac, w); jump > 0 {
+				for i := range running {
+					running[i].done += float64(jump) * (sec * share)
+					running[i].wall += float64(jump) * (sec * runFrac)
+				}
+				bt = bt.Add(time.Duration(jump-1) * tick)
+				continue
+			}
+			tryJump = false
+		}
 		if observe {
 			for i := range running {
 				if running[i].done+sec*share >= running[i].t.Need {
@@ -421,6 +511,7 @@ loop:
 				n.writeBackLocked(*r, true)
 				running = append(running[:i], running[i+1:]...)
 				i--
+				tryJump = n.seg != nil // share changes with the task count
 			}
 		}
 	}
@@ -439,6 +530,61 @@ loop:
 	return finished
 }
 
+// bulkTicks reports how many consecutive tick boundaries — at most window,
+// all within one constant load segment — can be applied to the running set
+// in closed form without changing a single floating-point result. The
+// per-tick accrual x += step is exactly reproduced by x + n·step when step
+// is a power of two, x is an exact multiple of it, and the scaled sums stay
+// below 2⁵³: every partial sum is then representable, so the repeated
+// additions never round. The jump stops just before the first boundary at
+// which a task would complete, leaving completion bookkeeping to the
+// regular per-tick body. Returns 0 when no exact jump is possible.
+func bulkTicks(running []taskRun, stepD, stepW float64, window int64) int64 {
+	if window <= 1 {
+		return 0
+	}
+	if fr, _ := math.Frexp(stepD); fr != 0.5 {
+		return 0
+	}
+	if fr, _ := math.Frexp(stepW); fr != 0.5 {
+		return 0
+	}
+	const maxExact = float64(1 << 53)
+	jump := window
+	for i := range running {
+		r := &running[i]
+		d := r.done / stepD
+		w := r.wall / stepW
+		if d != math.Trunc(d) || w != math.Trunc(w) ||
+			d+float64(window) >= maxExact || w+float64(window) >= maxExact {
+			return 0
+		}
+		if r.done+float64(jump)*stepD < r.t.Need {
+			continue // no completion inside the current jump
+		}
+		// Completes inside the window: find the exact first completing
+		// boundary (the float seed is within an ulp; the adjustment loops
+		// settle it against the exact products).
+		c := int64(math.Ceil((r.t.Need - r.done) / stepD))
+		if c < 1 {
+			c = 1
+		}
+		for c > 1 && r.done+float64(c-1)*stepD >= r.t.Need {
+			c--
+		}
+		for r.done+float64(c)*stepD < r.t.Need {
+			c++
+		}
+		if c-1 < jump {
+			jump = c - 1
+		}
+		if jump == 0 {
+			return 0
+		}
+	}
+	return jump
+}
+
 // writeBackLocked stores a replayed accrual state into its task,
 // completing it when done.
 func (n *Node) writeBackLocked(r taskRun, completed bool) {
@@ -452,12 +598,14 @@ func (n *Node) writeBackLocked(r taskRun, completed bool) {
 	r.t.mu.Unlock()
 }
 
-// rederiveLocked recomputes the node's next wake: for constant loads, the
-// exact tick boundary of the earliest completion, found by replaying the
-// same floating-point sums the sync will perform; for time-varying loads,
-// the next boundary, since the load must be sampled every tick. Idle (or
-// fully loaded) nodes schedule nothing — this is what lets the event
-// driver skip their boundaries entirely.
+// rederiveLocked recomputes the node's next wake: for piecewise-constant
+// loads, the exact tick boundary of the earliest completion, found by
+// replaying the same floating-point sums the sync will perform segment by
+// segment; for opaque function loads, the next boundary, since they must
+// be sampled every tick. Idle nodes — and nodes pinned at full load
+// forever — schedule nothing; this is what lets the event driver skip
+// their boundaries entirely and keeps the event count independent of the
+// tick resolution.
 func (n *Node) rederiveLocked() {
 	if n.eng == nil {
 		return
@@ -474,19 +622,13 @@ func (n *Node) rederiveLocked() {
 		return
 	}
 	tick := n.eng.Tick()
-	if !n.loadConst {
+	if n.seg == nil {
 		n.wake.Request(n.lastSync.Add(tick))
 		return
 	}
-	if n.loadVal >= 1 {
-		return // no progress until the load or the task set changes
-	}
-	// Mirror syncLocked's expression order exactly (share first, then
-	// scaled by the tick): any other float association can drift an ulp
-	// and predict a boundary the accrual replay doesn't complete at.
-	share := (1 - n.loadVal) * n.Mips / float64(count)
-	step := tick.Seconds() * share
-	best := int64(maxPredictTicks)
+	m := float64(count)
+	best := int64(math.MaxInt64)
+	scheduled := false
 	for _, t := range n.tasks {
 		t.mu.Lock()
 		state, done, need := t.state, t.done, t.Need
@@ -494,32 +636,120 @@ func (n *Node) rederiveLocked() {
 		if state != TaskRunning {
 			continue
 		}
-		if k := ticksToComplete(done, need, step, best); k < best {
+		lim := best
+		if lim > maxPredictTicks {
+			lim = maxPredictTicks // replay cap; the exact path may exceed it
+		}
+		k := n.segTicksToComplete(done, need, m, tick, lim)
+		if k < 0 {
+			continue // never completes under the remaining load profile
+		}
+		scheduled = true
+		if k < best {
 			best = k
 		}
+	}
+	if !scheduled {
+		return // no progress until the load or the task set changes
+	}
+	if maxK := int64(math.MaxInt64) / int64(tick); best > maxK {
+		best = maxK // keep the duration multiply from overflowing
 	}
 	n.wake.Request(n.lastSync.Add(time.Duration(best) * tick))
 }
 
-// ticksToComplete replays done += step until done ≥ need, returning the
-// boundary count (capped at limit). The replay — rather than a division —
-// guarantees the predicted boundary matches the accrual sum bit for bit.
-func ticksToComplete(done, need, step float64, limit int64) int64 {
-	if step <= 0 {
-		return limit
-	}
+// segTicksToComplete replays done += step across the load's constant
+// segments until done ≥ need, returning the boundary count. The replay —
+// rather than a division — guarantees the predicted boundary matches the
+// accrual sum bit for bit: within each segment it mirrors syncLocked's
+// expression order exactly (share first, then scaled by the tick), since
+// any other float association can drift an ulp and predict a boundary the
+// accrual replay doesn't complete at. Full-load segments are jumped over
+// arithmetically, and segments in bulkTicks' exact power-of-two regime are
+// solved in closed form — in that regime the result may exceed limit,
+// since the cap only bounds replay work. Otherwise returns limit when
+// completion lies at or beyond limit boundaries, and -1 when the task can
+// never complete (full load forever).
+func (n *Node) segTicksToComplete(done, need, m float64, tick time.Duration, limit int64) int64 {
+	base := n.lastSync
+	sec := tick.Seconds()
 	var k int64
-	for done < need {
-		done += step
-		k++
-		if k >= limit {
-			return limit
+	for k < limit {
+		bt := base.Add(time.Duration(k+1) * tick)
+		v, until := n.seg.Segment(bt)
+		kEnd := limit
+		if !until.IsZero() {
+			// Boundaries base+j·tick with j ≥ k+1 inside [bt, until).
+			if ke := int64((until.Sub(base) - 1) / tick); ke < kEnd {
+				kEnd = ke
+			}
+			if kEnd <= k {
+				kEnd = k + 1 // defensive: a segment must cover its own start
+			}
+		}
+		share := (1 - v) * n.Mips / m
+		step := sec * share
+		if step <= 0 {
+			if until.IsZero() {
+				return -1 // no progress, forever
+			}
+			k = kEnd
+			continue
+		}
+		// Exact closed form (same regime as bulkTicks): a power-of-two
+		// step over an aligned accumulator accrues without rounding, so
+		// the completing boundary is the exact ceiling — no replay needed.
+		if fr, _ := math.Frexp(step); fr == 0.5 {
+			if d := done / step; d == math.Trunc(d) && d+float64(kEnd-k) < float64(1<<53) {
+				if rem := float64(kEnd - k); done+rem*step < need {
+					if until.IsZero() && kEnd == limit {
+						// Unbounded final segment: the cap only bounds
+						// replay work, of which the closed form does none —
+						// return the true boundary so a long task wakes
+						// once, at completion, instead of at every cap.
+						c := int64(math.Ceil((need - done) / step))
+						if c < 1 {
+							c = 1
+						}
+						if d+float64(c)+1 < float64(1<<53) {
+							for c > 1 && done+float64(c-1)*step >= need {
+								c--
+							}
+							for done+float64(c)*step < need {
+								c++
+							}
+							return k + c
+						}
+					}
+					done += rem * step
+					k = kEnd
+					continue
+				}
+				c := int64(math.Ceil((need - done) / step))
+				if c < 1 {
+					c = 1
+				}
+				for c > 1 && done+float64(c-1)*step >= need {
+					c--
+				}
+				for done+float64(c)*step < need {
+					c++
+				}
+				return k + c
+			}
+		}
+		for k < kEnd {
+			done += step
+			k++
+			if done >= need {
+				if k < 1 {
+					k = 1
+				}
+				return k
+			}
 		}
 	}
-	if k < 1 {
-		k = 1
-	}
-	return k
+	return limit
 }
 
 // OnTick advances every running task by one tick — the legacy fixed-tick
@@ -533,7 +763,7 @@ func (n *Node) OnTick(now time.Time, dt time.Duration) {
 		n.mu.Unlock()
 		return
 	}
-	load := clamp01(n.load(now))
+	load := clamp01(n.load.LoadAt(now))
 	running := make([]*Task, 0, len(n.tasks))
 	for _, t := range n.tasks {
 		if t.State() == TaskRunning {

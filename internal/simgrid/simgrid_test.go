@@ -281,18 +281,18 @@ func TestNewTaskValidations(t *testing.T) {
 
 func TestLoadFns(t *testing.T) {
 	epoch := time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)
-	if got := ConstantLoad(0.5)(epoch); got != 0.5 {
+	if got := ConstantLoad(0.5).LoadAt(epoch); got != 0.5 {
 		t.Errorf("ConstantLoad = %v", got)
 	}
-	if got := ConstantLoad(1.5)(epoch); got != 1 {
+	if got := ConstantLoad(1.5).LoadAt(epoch); got != 1 {
 		t.Errorf("ConstantLoad clamps high = %v", got)
 	}
-	if got := ConstantLoad(-1)(epoch); got != 0 {
+	if got := ConstantLoad(-1).LoadAt(epoch); got != 0 {
 		t.Errorf("ConstantLoad clamps low = %v", got)
 	}
 	d := DiurnalLoad(0.5, 0.3, 14)
-	peak := d(time.Date(2005, 1, 1, 14, 0, 0, 0, time.UTC))
-	trough := d(time.Date(2005, 1, 1, 2, 0, 0, 0, time.UTC))
+	peak := d.LoadAt(time.Date(2005, 1, 1, 14, 0, 0, 0, time.UTC))
+	trough := d.LoadAt(time.Date(2005, 1, 1, 2, 0, 0, 0, time.UTC))
 	if peak <= trough {
 		t.Errorf("diurnal peak %v <= trough %v", peak, trough)
 	}
@@ -300,10 +300,10 @@ func TestLoadFns(t *testing.T) {
 		t.Errorf("diurnal peak = %v, want 0.8", peak)
 	}
 	st := StepLoad(epoch, []time.Duration{time.Minute}, []float64{0.1, 0.9})
-	if got := st(epoch.Add(30 * time.Second)); got != 0.1 {
+	if got := st.LoadAt(epoch.Add(30 * time.Second)); got != 0.1 {
 		t.Errorf("step before boundary = %v", got)
 	}
-	if got := st(epoch.Add(2 * time.Minute)); got != 0.9 {
+	if got := st.LoadAt(epoch.Add(2 * time.Minute)); got != 0.9 {
 		t.Errorf("step after boundary = %v", got)
 	}
 }
@@ -321,12 +321,12 @@ func TestNoisyLoadDeterministicAndBounded(t *testing.T) {
 	base := ConstantLoad(0.5)
 	noisy := NoisyLoad(base, 0.2, 42)
 	ts := time.Date(2005, 3, 1, 9, 30, 0, 0, time.UTC)
-	a, b := noisy(ts), noisy(ts)
+	a, b := noisy.LoadAt(ts), noisy.LoadAt(ts)
 	if a != b {
 		t.Fatalf("NoisyLoad not deterministic: %v vs %v", a, b)
 	}
 	for i := 0; i < 100; i++ {
-		v := noisy(ts.Add(time.Duration(i) * time.Second))
+		v := noisy.LoadAt(ts.Add(time.Duration(i) * time.Second))
 		if v < 0 || v > 1 {
 			t.Fatalf("NoisyLoad out of range: %v", v)
 		}

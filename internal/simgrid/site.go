@@ -26,7 +26,7 @@ func NewSite(name string) *Site {
 // AddNode creates a node inside this site and attaches it to the engine:
 // the node is event-driven, accruing task work lazily and scheduling its
 // own completion deadlines, so idle nodes cost the simulation nothing.
-func (s *Site) AddNode(e *Engine, name string, mips float64, load LoadFn) *Node {
+func (s *Site) AddNode(e *Engine, name string, mips float64, load Load) *Node {
 	n := NewNode(name, s.Name, mips, load)
 	n.attach(e)
 	s.mu.Lock()

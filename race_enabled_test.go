@@ -1,0 +1,8 @@
+//go:build race
+
+package repro_test
+
+// raceEnabled reports whether the race detector is compiled in; perf
+// assertions (wall-time budgets) are meaningless under its ~10x
+// instrumentation overhead and skip themselves.
+const raceEnabled = true

@@ -1,0 +1,184 @@
+// Million-job scale scenario: the tentpole benchmark for the event-driven
+// engine. A deep backlog (10 waves of jobs per machine) over a six-figure
+// machine count, with fair-share flows accruing lazily and the negotiation
+// order maintained incrementally — every hot path is event-driven, so the
+// event driver's work is proportional to completions while the tick driver
+// pays for every boundary of a multi-month horizon at millisecond ticks.
+//
+// The full scale (1M jobs, 100k machines) runs by default and is what
+// BENCH_*.json records; set GAE_SCENARIO_SCALE=smoke for the scaled-down
+// CI variant (100k jobs, 10k machines) with a small wall-time budget.
+package repro_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/classad"
+	"repro/internal/condor"
+	"repro/internal/fairshare"
+	"repro/internal/simgrid"
+)
+
+// millionScale parameterizes the scenario. Durations and the tick are
+// chosen to keep the accrual arithmetic in the engine's exact
+// power-of-two regime (tick = 2⁻ᵏ seconds, idle machines, Mips 1), so
+// completion deadlines are closed-form: whole-second completion instants
+// that land on the grid at any dyadic tick — which is also what makes the
+// event count independent of the tick resolution.
+type millionScale struct {
+	pools      int
+	machines   int // per pool
+	jobs       int // total
+	tick       time.Duration
+	baseNeed   float64       // CPU-seconds; stagger adds (job % 509) whole seconds
+	horizon    time.Duration // past the last completion of the deepest machine
+	simSeconds float64
+}
+
+var millionFull = millionScale{
+	pools:      10,
+	machines:   10_000,
+	jobs:       1_000_000,
+	tick:       time.Second / 512,
+	baseNeed:   2_500_000, // ~29-day production jobs, 10 waves deep
+	horizon:    25_006_000 * time.Second,
+	simSeconds: 25_006_000,
+}
+
+var millionSmoke = millionScale{
+	pools:      10,
+	machines:   1_000,
+	jobs:       100_000,
+	tick:       time.Second / 128,
+	baseNeed:   2_000,
+	horizon:    26_000 * time.Second,
+	simSeconds: 26_000,
+}
+
+// buildMillionScenario constructs the grid, pools, machines and the full
+// backlog of submissions; the returned closure runs the simulation. The
+// split lets the benchmark exclude setup (ad construction, matcher
+// compilation, a million queue inserts) from the timed region.
+func buildMillionScenario(tb testing.TB, sc millionScale, d simgrid.Driver) (*simgrid.Grid, func() *simgrid.Engine) {
+	g := simgrid.NewGrid(sc.tick, 1)
+	g.Engine.SetDriver(d)
+	pools := make([]*condor.Pool, sc.pools)
+	for p := range pools {
+		name := fmt.Sprintf("site%d", p)
+		site := g.AddSite(name)
+		pool := condor.NewPool(name, g, site)
+		for i := 0; i < sc.machines; i++ {
+			pool.AddMachine(site.AddNode(g.Engine, fmt.Sprintf("%s-n%05d", name, i), 1, simgrid.IdleLoad()), nil)
+		}
+		mgr := fairshare.NewManager(fairshare.Config{Clock: g.Engine.Clock(), HalfLife: time.Hour})
+		pool.SetFairShare(mgr)
+		pools[p] = pool
+	}
+	owners := []string{"atlas", "cms", "lhcb", "alice"}
+	lastID, lastPool := 0, 0
+	for j := 0; j < sc.jobs; j++ {
+		need := sc.baseNeed + float64(j%509)
+		ad := classad.New().
+			Set(condor.AttrOwner, owners[j%len(owners)]).
+			Set(condor.AttrCpuSeconds, need).
+			Set(condor.AttrPriority, j%2)
+		id, err := pools[j%sc.pools].Submit(ad)
+		if err != nil {
+			tb.Fatalf("submit %d: %v", j, err)
+		}
+		lastID, lastPool = id, j%sc.pools
+	}
+	return g, func() *simgrid.Engine {
+		g.Engine.RunFor(sc.horizon)
+		// A scenario bug that strands the backlog would make the event
+		// side look absurdly fast; make sure the last submission ran.
+		if info, err := pools[lastPool].Job(lastID); err != nil || info.Status != condor.StatusCompleted {
+			tb.Fatalf("last job %d: status %v err %v — backlog did not drain", lastID, info.Status, err)
+		}
+		return g.Engine
+	}
+}
+
+func millionScaleFromEnv() millionScale {
+	if os.Getenv("GAE_SCENARIO_SCALE") == "smoke" {
+		return millionSmoke
+	}
+	return millionFull
+}
+
+func BenchmarkScenarioMillionJobs(b *testing.B) {
+	sc := millionScaleFromEnv()
+	for _, d := range []struct {
+		name   string
+		driver simgrid.Driver
+	}{
+		{"driver=tick", simgrid.DriverTick},
+		{"driver=event", simgrid.DriverEvent},
+	} {
+		b.Run(d.name, func(b *testing.B) {
+			var events int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				_, run := buildMillionScenario(b, sc, d.driver)
+				b.StartTimer()
+				events = run().Events()
+			}
+			b.ReportMetric(sc.simSeconds*float64(b.N)/b.Elapsed().Seconds(), "sim_s/wall_s")
+			b.ReportMetric(float64(events), "events")
+		})
+	}
+}
+
+// TestMillionSmokeWallBudget is the CI-sized wall-time assertion behind
+// `make bench-smoke`: the event driver must push the smoke scale (100k
+// jobs over 10k machines, a 26,000-second horizon) end to end well
+// inside a budget that would be unreachable if any converted path
+// regressed to per-tick or per-pass scanning. The budget is deliberately
+// loose — about 10x the measured wall time on a single modest core — so
+// it only trips on structural regressions, not machine noise.
+func TestMillionSmokeWallBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-time budget is meaningless under the race detector's overhead")
+	}
+	const budget = 45 * time.Second
+	_, run := buildMillionScenario(t, millionSmoke, simgrid.DriverEvent)
+	start := time.Now()
+	run()
+	if wall := time.Since(start); wall > budget {
+		t.Fatalf("smoke scenario took %v, budget %v — a hot path has regressed to per-tick cost", wall, budget)
+	}
+}
+
+// TestMillionScenarioEventCountTickIndependent pins the tentpole's
+// structural claim: under the event driver the number of processed events
+// depends on the workload, not on the tick resolution. A 128x finer grid
+// must process (nearly) the same events — completions and the pool passes
+// they trigger — rather than 128x more boundaries.
+func TestMillionScenarioEventCountTickIndependent(t *testing.T) {
+	sc := millionScale{
+		pools:    2,
+		machines: 200,
+		jobs:     4_000,
+		baseNeed: 600,
+		horizon:  12_000 * time.Second,
+	}
+	run := func(tick time.Duration) int64 {
+		sc := sc
+		sc.tick = tick
+		_, runFn := buildMillionScenario(t, sc, simgrid.DriverEvent)
+		return runFn().Events()
+	}
+	coarse := run(time.Second)
+	fine := run(time.Second / 128)
+	if coarse == 0 || fine == 0 {
+		t.Fatalf("vacuous run: events coarse=%d fine=%d", coarse, fine)
+	}
+	ratio := float64(fine) / float64(coarse)
+	if ratio > 1.1 || ratio < 1/1.1 {
+		t.Fatalf("event count depends on tick resolution: %d at 1s vs %d at 1/128s (ratio %.3f)",
+			coarse, fine, ratio)
+	}
+}
