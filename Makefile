@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race bench bench-json bench-smoke load-smoke chaos-smoke obs-smoke sim fmt vet
+.PHONY: build test test-race race-smoke bench bench-json bench-smoke load-smoke chaos-smoke obs-smoke sim fmt vet lint lint-test
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,15 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# Race-enabled smoke legs at reduced sizes: the serving, chaos, and
+# observability harnesses under the race detector, with a
+# race-instrumented gae-server for the spawning harnesses.
+race-smoke:
+	$(GO) build -race -o bin/gae-server-race ./cmd/gae-server
+	$(GO) run -race ./cmd/gae-loadgen -clients 2 -ops 8 -data "$$(mktemp -d)" -json -
+	$(GO) run -race ./cmd/gae-chaos -clients 2 -ops 6 -kills 1 -server bin/gae-server-race
+	$(GO) run -race ./cmd/gae-obs-smoke -clients 2 -ops 8 -server bin/gae-server-race
 
 # Full benchmark sweep (figures, ablations, micro, fairness).
 bench:
@@ -56,7 +65,18 @@ sim:
 	$(GO) run ./cmd/gae-sim -scenario $(SCENARIO) $(SIMFLAGS) -output -
 
 fmt:
-	gofmt -w .
+	gofmt -w $$(find . -name '*.go' -not -path './tools/lint/*/testdata/*')
 
 vet:
 	$(GO) vet ./...
+
+# gae-lint: the repo's own analyzers (detorder, simtime, lockheld) over
+# the main module. Lives in its own module so the main go.mod stays
+# dependency-free; `make lint` must exit 0 on the committed tree.
+lint:
+	cd tools/lint && $(GO) run ./cmd/gae-lint -dir ../.. ./...
+
+# The analyzers' own test suite: per-analyzer fixtures plus the
+# self-lint regression test (equivalent to `make lint`, as a test).
+lint-test:
+	cd tools/lint && $(GO) vet ./... && $(GO) test ./...

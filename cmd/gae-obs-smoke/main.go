@@ -46,6 +46,7 @@ func main() {
 	var (
 		clients = flag.Int("clients", 4, "concurrent loadgen clients")
 		ops     = flag.Int("ops", 32, "operations per client")
+		server  = flag.String("server", "", "prebuilt gae-server binary (empty: go build ./cmd/gae-server)")
 		timeout = flag.Duration("timeout", 2*time.Minute, "overall deadline")
 	)
 	flag.Parse()
@@ -54,13 +55,13 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	if err := run(ctx, *clients, *ops); err != nil {
+	if err := run(ctx, *clients, *ops, *server); err != nil {
 		log.Fatalf("FAIL: %v", err)
 	}
 	log.Print("PASS")
 }
 
-func run(ctx context.Context, clients, ops int) error {
+func run(ctx context.Context, clients, ops int, server string) error {
 	scratch, err := os.MkdirTemp("", "gae-obs-smoke-")
 	if err != nil {
 		return err
@@ -72,12 +73,16 @@ func run(ctx context.Context, clients, ops int) error {
 	}
 
 	// A real binary, as in the chaos harness: `go run` would leave the
-	// server a process group away.
-	bin := filepath.Join(scratch, "gae-server")
-	build := exec.CommandContext(ctx, "go", "build", "-o", bin, "./cmd/gae-server")
-	build.Stderr = os.Stderr
-	if err := build.Run(); err != nil {
-		return fmt.Errorf("building gae-server: %w", err)
+	// server a process group away. A prebuilt -server binary (e.g. a
+	// race-instrumented one from the race-smoke leg) skips the build.
+	bin := server
+	if bin == "" {
+		bin = filepath.Join(scratch, "gae-server")
+		build := exec.CommandContext(ctx, "go", "build", "-o", bin, "./cmd/gae-server")
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("building gae-server: %w", err)
+		}
 	}
 
 	l, err := net.Listen("tcp", "127.0.0.1:0")

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -79,6 +80,9 @@ func (s *Server) RegisterService(name, description string, methods map[string]xm
 		s.mux.Handle(fq, h)
 		full = append(full, fq)
 	}
+	// The method list is wire-visible through the registry's service
+	// listing; map order must not leak into it.
+	sort.Strings(full)
 	s.mu.Lock()
 	base := s.baseURL
 	s.mu.Unlock()

@@ -947,7 +947,7 @@ func (p *Pool) negotiateLocked(now time.Time) {
 	}
 	var t0 time.Time
 	if p.obsPasses != nil {
-		t0 = time.Now()
+		t0 = time.Now() //lint:walltime telemetry: real pass latency for operator metrics, never read back into sim state
 	}
 	p.refreshFreeLocked(now)
 	var peerFree []*machine
@@ -971,7 +971,7 @@ func (p *Pool) negotiateLocked(now time.Time) {
 	if p.obsPasses != nil {
 		p.obsPasses.Inc()
 		p.obsMatches.Add(int64(matched))
-		p.obsPassSeconds.Observe(time.Since(t0).Seconds())
+		p.obsPassSeconds.Observe(time.Since(t0).Seconds()) //lint:walltime telemetry: real pass latency for operator metrics, never read back into sim state
 	}
 }
 
@@ -989,7 +989,7 @@ func (p *Pool) negotiateStreamLocked(now time.Time, kr fairshare.KeyRanker) {
 	}
 	var t0 time.Time
 	if p.obsPasses != nil {
-		t0 = time.Now()
+		t0 = time.Now() //lint:walltime telemetry: real pass latency for operator metrics, never read back into sim state
 	}
 	st := p.refreshFreeLocked(now)
 	var peerFree []*machine
@@ -1039,7 +1039,7 @@ func (p *Pool) negotiateStreamLocked(now time.Time, kr fairshare.KeyRanker) {
 	if p.obsPasses != nil {
 		p.obsPasses.Inc()
 		p.obsMatches.Add(int64(matched))
-		p.obsPassSeconds.Observe(time.Since(t0).Seconds())
+		p.obsPassSeconds.Observe(time.Since(t0).Seconds()) //lint:walltime telemetry: real pass latency for operator metrics, never read back into sim state
 	}
 }
 
@@ -1299,11 +1299,11 @@ func (p *Pool) removeFreeLocked(m *machine) {
 	m.freeIdx = -1
 }
 
-// claimMachine removes m from its owner's free set when a job starts on
+// claimMachineLocked removes m from its owner's free set when a job starts on
 // it. The caller holds p.mu; a flocked machine's owner is locked briefly,
 // which cannot deadlock because all cross-pool negotiation runs on the
 // single engine goroutine.
-func (p *Pool) claimMachine(m *machine) {
+func (p *Pool) claimMachineLocked(m *machine) {
 	if m.owner == p {
 		p.removeFreeLocked(m)
 		return
@@ -1462,7 +1462,7 @@ func (p *Pool) startLocked(j *job, m *machine, now time.Time) {
 	if p.fairStart != nil {
 		p.fairStart.ObserveStart(j.owner, now)
 	}
-	p.claimMachine(m)
+	p.claimMachineLocked(m)
 	j.claimed = m
 	// The claim is released the moment the task completes (the node drops
 	// finished tasks immediately), not at the next harvest — so the free

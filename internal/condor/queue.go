@@ -328,6 +328,7 @@ func (p *Pool) negotiationStreamLocked(now time.Time, kr fairshare.KeyRanker) *n
 	}
 	refs := p.refScratch[:0]
 	cursors := p.curScratch[:0]
+	//lint:unordered cursorHeap.Less fully tie-breaks (ep, priority, submitTime, id), so the heap's pop order is independent of this seed order
 	for _, q := range p.owners {
 		if q.count <= 0 {
 			continue

@@ -149,7 +149,7 @@ func (p *Pool) rebindLocked(j *job, m *machine, now time.Time) {
 		p.produceOutputLocked(j)
 		return
 	}
-	p.claimMachine(m)
+	p.claimMachineLocked(m)
 	j.claimed = m
 	j.task = simgrid.NewTask(fmt.Sprintf("%s-%d", p.Name, j.id), remaining, func(*simgrid.Task) {
 		p.mu.Lock()

@@ -55,7 +55,7 @@ func (m *Manager) OpenFlow(tenant, site string, rate float64) UsageFlow {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	f := &flow{m: m, tenant: tenant, site: site}
-	f.setRateLocked(rate, m.clock.Now())
+	m.setFlowRateLocked(f, rate, m.clock.Now())
 	return f
 }
 
@@ -70,13 +70,14 @@ func (f *flow) SetRate(rate float64) {
 	if f.closed {
 		return
 	}
-	f.setRateLocked(rate, m.clock.Now())
+	m.setFlowRateLocked(f, rate, m.clock.Now())
 }
 
-// setRateLocked settles the fed accounts through now at the old rate,
-// then swaps in the new one.
-func (f *flow) setRateLocked(rate float64, now time.Time) {
-	m := f.m
+// setFlowRateLocked settles the accounts f feeds through now at the old
+// rate, then swaps in the new one. It is a Manager method — the mutex
+// it runs under is m.mu, not anything of the flow's — so the *Locked
+// suffix names whose lock is held.
+func (m *Manager) setFlowRateLocked(f *flow, rate float64, now time.Time) {
 	if !f.since.IsZero() {
 		f.emitted += f.rate * now.Sub(f.since).Seconds()
 	}
@@ -113,7 +114,7 @@ func (f *flow) Close(total float64) {
 		return
 	}
 	now := m.clock.Now()
-	f.setRateLocked(0, now)
+	m.setFlowRateLocked(f, 0, now)
 	f.closed = true
 	residual := total - f.emitted
 	if residual == 0 {

@@ -462,8 +462,8 @@ func (s *Scheduler) SelectSiteFor(owner string, t TaskPlan, exclude map[string]b
 	}
 	var t0 time.Time
 	if s.obsPlaceSeconds != nil {
-		t0 = time.Now()
-		defer func() { s.obsPlaceSeconds.Observe(time.Since(t0).Seconds()) }()
+		t0 = time.Now()                                                        //lint:walltime telemetry: real placement latency for operator metrics, never feeds the estimate
+		defer func() { s.obsPlaceSeconds.Observe(time.Since(t0).Seconds()) }() //lint:walltime telemetry: real placement latency for operator metrics, never feeds the estimate
 	}
 	all := make([]SiteEstimate, 0, len(names))
 	for i, site := range names {

@@ -2,6 +2,7 @@ package steering
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/condor"
@@ -19,17 +20,11 @@ func (s *Service) poll(now time.Time) {
 	s.mu.Unlock()
 
 	// Deterministic iteration order.
-	sortWatched(tasks)
+	sort.Slice(tasks, func(i, j int) bool {
+		return tasks[i].ref.String() < tasks[j].ref.String()
+	})
 	for _, w := range tasks {
 		s.pollTask(w, now)
-	}
-}
-
-func sortWatched(ws []*watched) {
-	for i := 1; i < len(ws); i++ {
-		for j := i; j > 0 && ws[j].ref.String() < ws[j-1].ref.String(); j-- {
-			ws[j], ws[j-1] = ws[j-1], ws[j]
-		}
 	}
 }
 

@@ -28,9 +28,9 @@ func Real() Clock { return realClock{} }
 
 type realClock struct{}
 
-func (realClock) Now() time.Time                         { return time.Now() }
-func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
-func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (realClock) Now() time.Time                         { return time.Now() }    //lint:walltime realClock is the explicit wall-clock escape hatch; sim code injects SimClock
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }        //lint:walltime realClock is the explicit wall-clock escape hatch; sim code injects SimClock
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) } //lint:walltime realClock is the explicit wall-clock escape hatch; sim code injects SimClock
 
 // SimClock is a deterministic simulated clock. Time advances only when
 // Advance or Run is called. Goroutines blocked in Sleep/After are woken in

@@ -8,9 +8,9 @@ import (
 
 func TestRealClockNow(t *testing.T) {
 	c := Real()
-	before := time.Now()
+	before := time.Now() //lint:walltime test exercises the real wall-clock escape hatch itself
 	got := c.Now()
-	after := time.Now()
+	after := time.Now() //lint:walltime test exercises the real wall-clock escape hatch itself
 	if got.Before(before) || got.After(after) {
 		t.Fatalf("Real().Now() = %v, want within [%v, %v]", got, before, after)
 	}
@@ -20,7 +20,7 @@ func TestRealClockAfter(t *testing.T) {
 	c := Real()
 	select {
 	case <-c.After(time.Millisecond):
-	case <-time.After(5 * time.Second):
+	case <-time.After(5 * time.Second): //lint:walltime real-time watchdog for a test of the real clock
 		t.Fatal("Real().After(1ms) did not fire")
 	}
 }
@@ -120,13 +120,13 @@ func TestSimClockWakeOrderIsDeadlineOrder(t *testing.T) {
 	}
 	// Wait for all three goroutines to register.
 	for c.PendingWaiters() != 3 {
-		time.Sleep(time.Millisecond)
+		time.Sleep(time.Millisecond) //lint:walltime real sleep lets the woken goroutine run; sim state is unaffected
 	}
 	// Advance in small steps so each deadline is crossed separately; the
 	// wake order must then be 1 (10s), 2 (20s), 0 (30s).
 	for i := 0; i < 3; i++ {
 		c.Advance(10 * time.Second)
-		time.Sleep(5 * time.Millisecond) // let the woken goroutine record itself
+		time.Sleep(5 * time.Millisecond) // let the woken goroutine record itself //lint:walltime real sleep lets the woken goroutine record itself; sim state is unaffected
 	}
 	wg.Wait()
 	want := []int{1, 2, 0}
@@ -147,7 +147,7 @@ func TestSimClockSleepNonPositive(t *testing.T) {
 	}()
 	select {
 	case <-done:
-	case <-time.After(time.Second):
+	case <-time.After(time.Second): //lint:walltime real-time watchdog so a missed wake fails instead of hanging
 		t.Fatal("Sleep(<=0) blocked")
 	}
 }
@@ -236,14 +236,14 @@ func TestSimClockConcurrentAfter(t *testing.T) {
 		}(i)
 	}
 	for c.PendingWaiters() != n {
-		time.Sleep(time.Millisecond)
+		time.Sleep(time.Millisecond) //lint:walltime real sleep lets woken goroutines register; sim state is unaffected
 	}
 	c.Advance(time.Duration(n) * time.Second)
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
 	select {
 	case <-done:
-	case <-time.After(5 * time.Second):
+	case <-time.After(5 * time.Second): //lint:walltime real-time watchdog so a missed wake fails instead of hanging
 		t.Fatalf("%d waiters still pending after advance", c.PendingWaiters())
 	}
 }

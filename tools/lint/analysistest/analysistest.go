@@ -1,0 +1,192 @@
+// Package analysistest runs one analyzer over fixture packages under
+// testdata/src and checks its diagnostics against `// want "regex"`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest on
+// top of the repo's own loader. A fixture line may carry several want
+// strings; every want must be matched by a diagnostic on its line and
+// every diagnostic must match a want.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/tools/lint/analysis"
+	"repro/tools/lint/driver"
+	"repro/tools/lint/loader"
+)
+
+// wantRe matches the tail of a fixture line holding expectations:
+//
+//	x := onlyFromSim() // want "wall-clock call" "second pattern"
+//
+// An optional signed offset targets a neighbouring line — needed when
+// the diagnostic lands on a line that is itself a lint annotation
+// comment, which cannot also carry a want comment:
+//
+//	//lint:walltime
+//	// want:-1 "annotation needs a justification"
+var wantRe = regexp.MustCompile(`//\s*want(:[+-]?\d+)?((?:\s+"(?:[^"\\]|\\.)*")+)\s*$`)
+
+var wantStr = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run checks analyzer against each named fixture package, looked up as
+// testdata/src/<pkg> relative to the calling test's directory. The
+// directory name is used as the package path, so simtime fixtures can
+// take critical-package names like "simgrid".
+func Run(t *testing.T, analyzer *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			runPkg(t, analyzer, pkg)
+		})
+	}
+}
+
+func runPkg(t *testing.T, analyzer *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixture files in %s: %v", dir, err)
+	}
+	sort.Strings(files)
+
+	var wants []*want
+	imports := make(map[string]bool)
+	for _, f := range files {
+		ws, imps, err := scanFixture(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, ws...)
+		for _, im := range imps {
+			imports[im] = true
+		}
+	}
+	var deps []string
+	for im := range imports {
+		deps = append(deps, im)
+	}
+	sort.Strings(deps)
+	exports, err := loader.StdExports(deps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fset := token.NewFileSet()
+	loaded, err := loader.CheckFiles(fset, pkg, files, exports, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := driver.Analyze(loaded, []*analysis.Analyzer{analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, f := range findings {
+		if !claim(wants, f) {
+			t.Errorf("%s: unexpected diagnostic: %s", posOf(f), f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %s, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched want on the finding's line whose
+// regexp matches the message.
+func claim(wants []*want, f driver.Finding) bool {
+	base := filepath.Base(f.Pos.Filename)
+	for _, w := range wants {
+		if w.matched || w.line != f.Pos.Line || filepath.Base(w.file) != base {
+			continue
+		}
+		if w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func posOf(f driver.Finding) string {
+	return fmt.Sprintf("%s:%d:%d", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Pos.Column)
+}
+
+// scanFixture extracts want expectations and import paths from one
+// fixture file. Wants are matched textually per line so they work in
+// any position a comment can appear; imports come from a light scan of
+// the import block (fixtures only import the standard library).
+func scanFixture(path string) ([]*want, []string, error) {
+	data, err := readFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var wants []*want
+	var imports []string
+	inImports := false
+	for i, line := range strings.Split(data, "\n") {
+		if m := wantRe.FindStringSubmatch(line); m != nil {
+			target := i + 1
+			if m[1] != "" {
+				off, err := strconv.Atoi(strings.TrimPrefix(m[1][1:], "+"))
+				if err != nil {
+					return nil, nil, fmt.Errorf("%s:%d: bad want offset %q", path, i+1, m[1])
+				}
+				target += off
+			}
+			for _, q := range wantStr.FindAllString(m[2], -1) {
+				raw, err := strconv.Unquote(q)
+				if err != nil {
+					return nil, nil, fmt.Errorf("%s:%d: bad want string %s: %v", path, i+1, q, err)
+				}
+				re, err := regexp.Compile(raw)
+				if err != nil {
+					return nil, nil, fmt.Errorf("%s:%d: bad want regexp %s: %v", path, i+1, q, err)
+				}
+				wants = append(wants, &want{file: path, line: target, re: re, raw: q})
+			}
+		}
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "import ("):
+			inImports = true
+		case inImports && trimmed == ")":
+			inImports = false
+		case inImports || strings.HasPrefix(trimmed, "import "):
+			if q := wantStr.FindString(trimmed); q != "" {
+				if p, err := strconv.Unquote(q); err == nil {
+					imports = append(imports, p)
+				}
+			}
+		}
+	}
+	return wants, imports, nil
+}
+
+func readFile(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("analysistest: %v", err)
+	}
+	return string(b), nil
+}

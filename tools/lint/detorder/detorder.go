@@ -1,0 +1,438 @@
+// Package detorder implements the gae-lint analyzer that keeps Go's
+// randomized map iteration order away from ordered sinks.
+//
+// The repo's parity and recovery guarantees compare byte streams:
+// snapshot encodes, journal records, and scenario traces must come out
+// identical run after run. Iterating a map in the middle of producing
+// one silently randomizes the stream. The hand-maintained convention
+// (condor/snapshot.go, core/persist.go, fairshare/snapshot.go,
+// xmlrpc/encode.go all follow it) is: collect the keys, sort them, then
+// iterate the sorted slice. detorder machine-checks that convention.
+//
+// A `range` over a map-typed expression is flagged when its loop
+// effects can reach an ordered sink:
+//
+//   - the body writes to an io.Writer — a method call on a value
+//     implementing io.Writer (bytes.Buffer, strings.Builder, files,
+//     the journal) or a call passing one as an argument (fmt.Fprintf);
+//     iteration order reaches the byte stream directly;
+//   - the body sends on a channel — delivery order is observable;
+//   - the body appends to a slice declared outside the loop, and that
+//     slice is neither sorted afterwards (sort.* / slices.Sort*) nor
+//     confined to the function — it escapes by being rooted in a
+//     receiver/outer variable, returned, or passed to another call.
+//     Unsorted map-ordered elements baked into an escaping slice are
+//     exactly the "serialized later" hazard.
+//
+// The canonical key-collect idiom passes: the append lands in a local
+// slice and a dominating sort follows before any use. Purely local
+// effects (counters, map-to-map copies, deletes) pass too.
+//
+// Order-insensitive by design? Annotate the range statement:
+//
+//	//lint:unordered <justification>
+//
+// Limitations (documented, deliberate): the analysis is per-function
+// and syntactic about sort domination — a sort anywhere after the loop
+// in an enclosing statement list counts, and calls made from the loop
+// body are not followed interprocedurally.
+package detorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/tools/lint/analysis"
+	"repro/tools/lint/lintutil"
+)
+
+// Analyzer is the detorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "detorder",
+	Doc:  "flag map iteration whose order reaches an ordered sink (writer, channel, escaping slice) without a dominating sort (suppress with //lint:unordered <why>)",
+	Run:  run,
+}
+
+// AnnotationName is the suppression annotation detorder honors.
+const AnnotationName = "unordered"
+
+var sinkPattern string
+
+func init() {
+	Analyzer.Flags.StringVar(&sinkPattern, "sinks", "",
+		"optional regexp of extra callee names treated as ordered sinks inside map-range bodies")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	var sinkRE *regexp.Regexp
+	if sinkPattern != "" {
+		re, err := regexp.Compile(sinkPattern)
+		if err != nil {
+			return nil, err
+		}
+		sinkRE = re
+	}
+	anns := lintutil.CollectAnnotations(pass, AnnotationName)
+	c := &checker{pass: pass, anns: anns, sinkRE: sinkRE}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	anns   *lintutil.Annotations
+	sinkRE *regexp.Regexp
+}
+
+// checkFunc walks one function body (function literals included — their
+// bodies are part of the same syntax tree) and analyzes every range
+// statement over a map.
+func (c *checker) checkFunc(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := c.pass.TypesInfo.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		c.checkMapRange(body, rs)
+		return true
+	})
+}
+
+func (c *checker) checkMapRange(funcBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	if c.anns.Suppressed(AnnotationName, rs.Pos()) {
+		return
+	}
+	var appends []appendEffect
+	diagnosed := false
+	report := func(pos token.Pos, format string, args ...any) {
+		if !diagnosed {
+			c.pass.Reportf(pos, format, args...)
+			diagnosed = true
+		}
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if diagnosed {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			report(rs.Pos(), "map iteration order reaches a channel send at %s; iterate sorted keys instead (or annotate //lint:unordered <why>)",
+				c.pass.Fset.Position(n.Pos()))
+		case *ast.CallExpr:
+			if name, bad := c.orderedSinkCall(n); bad {
+				report(rs.Pos(), "map iteration order reaches ordered sink %s at %s; collect and sort keys first (or annotate //lint:unordered <why>)",
+					name, c.pass.Fset.Position(n.Pos()))
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !c.isBuiltinAppend(call) || i >= len(n.Lhs) {
+					continue
+				}
+				target := n.Lhs[i]
+				root := rootIdent(target)
+				if root == nil {
+					continue
+				}
+				obj := c.objectOf(root)
+				if obj == nil || declaredWithin(obj, rs.Body) {
+					continue // per-iteration local accumulation
+				}
+				appends = append(appends, appendEffect{target: target, root: root, obj: obj})
+			}
+		}
+		return true
+	})
+	if diagnosed {
+		return
+	}
+
+	for _, eff := range appends {
+		if c.sortedAfter(funcBody, rs, eff) {
+			continue
+		}
+		if c.escapes(funcBody, rs, eff) {
+			report(rs.Pos(),
+				"map iteration appends to %s, which escapes this function without a dominating sort; collect keys, sort, then build it in key order (or annotate //lint:unordered <why>)",
+				exprString(eff.target))
+		}
+	}
+}
+
+type appendEffect struct {
+	target ast.Expr   // the full append target, e.g. st.Jobs
+	root   *ast.Ident // its leftmost identifier, e.g. st
+	obj    types.Object
+}
+
+// orderedSinkCall reports whether call writes through an io.Writer —
+// as method receiver or argument — or matches the extra sink pattern.
+func (c *checker) orderedSinkCall(call *ast.CallExpr) (string, bool) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		// Package qualifiers (fmt.Fprintf) have no entry in Types;
+		// their writer-typed arguments are caught below.
+		if recvTV, ok := c.pass.TypesInfo.Types[sel.X]; ok && implementsWriter(recvTV.Type) {
+			return exprString(sel), true
+		}
+		if c.sinkRE != nil && c.sinkRE.MatchString(sel.Sel.Name) {
+			return exprString(sel), true
+		}
+	} else if id, ok := call.Fun.(*ast.Ident); ok {
+		if c.sinkRE != nil && c.sinkRE.MatchString(id.Name) {
+			return id.Name, true
+		}
+	}
+	if c.isBuiltin(call) {
+		return "", false
+	}
+	for _, arg := range call.Args {
+		if tv, ok := c.pass.TypesInfo.Types[arg]; ok && implementsWriter(tv.Type) {
+			return exprString(call.Fun), true
+		}
+	}
+	return "", false
+}
+
+func (c *checker) isBuiltinAppend(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func (c *checker) isBuiltin(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func (c *checker) objectOf(id *ast.Ident) types.Object {
+	if o := c.pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return c.pass.TypesInfo.Defs[id]
+}
+
+// sortedAfter reports whether a sort call mentioning eff.target appears
+// after the range statement in any statement list enclosing it — the
+// canonical collect-sort-iterate shape, where the sort dominates every
+// later use because the shape is strictly sequential.
+func (c *checker) sortedAfter(funcBody *ast.BlockStmt, rs *ast.RangeStmt, eff appendEffect) bool {
+	targetText := exprString(eff.target)
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if !c.isSortCall(call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if strings.Contains(exprString(arg), targetText) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall recognizes the sort and slices package ordering entry
+// points, plus sort.Sort/Stable with any sort.Interface argument.
+func (c *checker) isSortCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := c.pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	switch pn.Imported().Path() {
+	case "sort":
+		switch sel.Sel.Name {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return true
+		}
+	case "slices":
+		return strings.HasPrefix(sel.Sel.Name, "Sort")
+	}
+	return false
+}
+
+// escapes reports whether eff's slice leaves the function carrying its
+// map-ordered contents: rooted in a non-local (receiver field, outer
+// variable, named result), mentioned in a return statement, or passed
+// to a non-sort call after the loop.
+func (c *checker) escapes(funcBody *ast.BlockStmt, rs *ast.RangeStmt, eff appendEffect) bool {
+	if !declaredWithin(eff.obj, funcBody) {
+		return true // receiver field, package var, or outer-closure var
+	}
+	escaped := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			if n.Pos() > rs.End() && c.mentionsObj(n, eff.obj) {
+				escaped = true
+			}
+		case *ast.CallExpr:
+			if n.Pos() <= rs.End() || c.isSortCall(n) || c.isBuiltin(n) {
+				return true
+			}
+			for _, arg := range n.Args {
+				if c.mentionsObj(arg, eff.obj) {
+					escaped = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return escaped
+}
+
+func (c *checker) mentionsObj(n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && c.objectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// declaredWithin reports whether obj's declaration lies inside node.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj.Pos() != token.NoPos && node.Pos() <= obj.Pos() && obj.Pos() < node.End()
+}
+
+// rootIdent returns the leftmost identifier of an lvalue chain
+// (st.Jobs → st, keys → keys), or nil for anything stranger.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprString renders a (small) expression for diagnostics and textual
+// sort matching.
+func exprString(e ast.Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	return b.String()
+}
+
+func writeExpr(b *strings.Builder, e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		b.WriteString(x.Name)
+	case *ast.SelectorExpr:
+		writeExpr(b, x.X)
+		b.WriteByte('.')
+		b.WriteString(x.Sel.Name)
+	case *ast.IndexExpr:
+		writeExpr(b, x.X)
+		b.WriteString("[...]")
+	case *ast.ParenExpr:
+		writeExpr(b, x.X)
+	case *ast.StarExpr:
+		b.WriteByte('*')
+		writeExpr(b, x.X)
+	case *ast.CallExpr:
+		writeExpr(b, x.Fun)
+		b.WriteString("(")
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, a)
+		}
+		b.WriteString(")")
+	case *ast.UnaryExpr:
+		b.WriteString(x.Op.String())
+		writeExpr(b, x.X)
+	default:
+		b.WriteString("<expr>")
+	}
+}
+
+// writerIface is a structurally built io.Writer, so the check needs no
+// access to the io package object itself.
+var writerIface = func() *types.Interface {
+	errType := types.Universe.Lookup("error").Type()
+	sig := types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte]))),
+		types.NewTuple(types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+			types.NewVar(token.NoPos, nil, "err", errType)),
+		false)
+	i := types.NewInterfaceType([]*types.Func{
+		types.NewFunc(token.NoPos, nil, "Write", sig),
+	}, nil)
+	i.Complete()
+	return i
+}()
+
+func implementsWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if types.Implements(t, writerIface) {
+		return true
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		if types.Implements(types.NewPointer(t), writerIface) {
+			return true
+		}
+	}
+	return false
+}

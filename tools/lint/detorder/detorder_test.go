@@ -1,0 +1,12 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"repro/tools/lint/analysistest"
+	"repro/tools/lint/detorder"
+)
+
+func TestDetorder(t *testing.T) {
+	analysistest.Run(t, detorder.Analyzer, "snapshot")
+}

@@ -1,0 +1,83 @@
+// Package snapshot is a detorder fixture shaped like the repo's
+// snapshot encoders: map state serialized into deterministic byte
+// streams and wire-visible lists.
+package snapshot
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+type State struct {
+	Pools map[string]int
+}
+
+// BadEncode streams map entries straight into the writer: the encoded
+// bytes depend on Go's randomized map order.
+func (s *State) BadEncode(w io.Writer) {
+	for name, n := range s.Pools { // want "map iteration order reaches ordered sink"
+		fmt.Fprintf(w, "%s=%d\n", name, n)
+	}
+}
+
+// GoodEncode collects keys, sorts, then writes in key order.
+func (s *State) GoodEncode(w io.Writer) {
+	names := make([]string, 0, len(s.Pools))
+	for name := range s.Pools {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s=%d\n", name, s.Pools[name])
+	}
+}
+
+// BadList returns a wire-visible slice built in map order.
+func (s *State) BadList() []string {
+	var names []string
+	for name := range s.Pools { // want "map iteration appends to names, which escapes this function without a dominating sort"
+		names = append(names, name)
+	}
+	return names
+}
+
+// GoodList sorts the collected slice before it escapes.
+func (s *State) GoodList() []string {
+	var names []string
+	for name := range s.Pools {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BadSend leaks map order through a channel.
+func (s *State) BadSend(ch chan<- string) {
+	for name := range s.Pools { // want "map iteration order reaches a channel send"
+		ch <- name
+	}
+}
+
+// LocalTally never escapes: order cannot be observed.
+func (s *State) LocalTally() int {
+	var parts []int
+	total := 0
+	for _, n := range s.Pools {
+		parts = append(parts, n)
+	}
+	for _, p := range parts {
+		total += p
+	}
+	return total
+}
+
+// Annotated is suppressed: the caller re-sorts downstream.
+func (s *State) Annotated() []string {
+	var names []string
+	//lint:unordered fixture: the downstream consumer fully re-sorts
+	for name := range s.Pools {
+		names = append(names, name)
+	}
+	return names
+}

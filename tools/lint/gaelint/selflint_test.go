@@ -1,0 +1,22 @@
+package gaelint_test
+
+import (
+	"testing"
+
+	"repro/tools/lint/driver"
+	"repro/tools/lint/gaelint"
+)
+
+// TestSelfLint runs the full suite over the main module. The committed
+// tree must stay diagnostic-free: every legitimate exception is a
+// visible //lint: annotation with a justification, so any new finding
+// is either a real bug or a decision someone has to write down.
+func TestSelfLint(t *testing.T) {
+	findings, err := driver.Run("../..", []string{"./..."}, gaelint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,3 @@
+module repro/tools/lint
+
+go 1.22

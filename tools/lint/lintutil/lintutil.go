@@ -1,0 +1,131 @@
+// Package lintutil carries the pieces the three gae-lint analyzers
+// share: the //lint:<name> annotation protocol and the
+// determinism-critical package matcher.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/tools/lint/analysis"
+)
+
+// An Annotations index records, per file line, the //lint: annotations
+// present on that line. A diagnostic at line L is suppressed by an
+// annotation on L (trailing comment) or on L-1 (comment on its own
+// line above the statement) — and every annotation must carry a
+// justification, so each suppression stays a visible, audited decision.
+type Annotations struct {
+	fset *token.FileSet
+	// byLine maps file name → line → annotation names present.
+	byLine map[string]map[int][]annotation
+}
+
+type annotation struct {
+	name   string
+	reason string
+	pos    token.Pos
+}
+
+// Marker is the comment prefix all gae-lint annotations share.
+const Marker = "//lint:"
+
+// CollectAnnotations scans every comment in the pass's files. Malformed
+// annotations — a //lint: marker with no justification text — are
+// reported immediately through the pass, since a bare suppression
+// defeats the audited-decision purpose of the protocol.
+func CollectAnnotations(pass *analysis.Pass, names ...string) *Annotations {
+	known := make(map[string]bool, len(names))
+	for _, n := range names {
+		known[n] = true
+	}
+	a := &Annotations{fset: pass.Fset, byLine: make(map[string]map[int][]annotation)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				a.addComment(pass, c, known)
+			}
+		}
+	}
+	return a
+}
+
+func (a *Annotations) addComment(pass *analysis.Pass, c *ast.Comment, known map[string]bool) {
+	text := c.Text
+	idx := strings.Index(text, Marker)
+	if idx < 0 {
+		return
+	}
+	rest := text[idx+len(Marker):]
+	name, reason, _ := strings.Cut(rest, " ")
+	name = strings.TrimSpace(name)
+	reason = strings.TrimSpace(reason)
+	if !known[name] {
+		// Someone else's annotation namespace (or a typo for an
+		// analyzer not in this run); a typo'd name simply fails to
+		// suppress, which the finding itself then surfaces.
+		return
+	}
+	if reason == "" {
+		pass.Reportf(c.Pos(), "%s%s annotation needs a justification: //lint:%s <why>", Marker, name, name)
+		return
+	}
+	pos := a.fset.Position(c.Pos())
+	lines := a.byLine[pos.Filename]
+	if lines == nil {
+		lines = make(map[int][]annotation)
+		a.byLine[pos.Filename] = lines
+	}
+	lines[pos.Line] = append(lines[pos.Line], annotation{name: name, reason: reason, pos: c.Pos()})
+}
+
+// Suppressed reports whether a diagnostic named name at pos is covered
+// by an annotation on the same line or the line above.
+func (a *Annotations) Suppressed(name string, pos token.Pos) bool {
+	p := a.fset.Position(pos)
+	lines := a.byLine[p.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, cand := range [2]int{p.Line, p.Line - 1} {
+		for _, ann := range lines[cand] {
+			if ann.name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CriticalDefault is the default determinism-critical package set: the
+// simulation core, every service that runs inside it, and the durable
+// encode/replay path. Serving-side infrastructure (clarens transport,
+// xmlrpc codec, telemetry, loadgen, chaos) legitimately reads the wall
+// clock and is excluded.
+const CriticalDefault = "repro/internal/vtime,repro/internal/simgrid,repro/internal/classad," +
+	"repro/internal/condor,repro/internal/fairshare,repro/internal/scheduler," +
+	"repro/internal/estimator,repro/internal/quota,repro/internal/replica," +
+	"repro/internal/steering,repro/internal/jobmon,repro/internal/monalisa," +
+	"repro/internal/workload,repro/internal/experiments,repro/internal/durable," +
+	"repro/internal/core"
+
+// MatchesCritical reports whether pkgPath is in the comma-separated
+// critical list. An entry matches exactly, as a path prefix followed by
+// "/", or — for analysistest fixtures, which live outside the module —
+// as the final path element.
+func MatchesCritical(list, pkgPath string) bool {
+	for _, entry := range strings.Split(list, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		if pkgPath == entry || strings.HasPrefix(pkgPath, entry+"/") {
+			return true
+		}
+		if base := entry[strings.LastIndex(entry, "/")+1:]; base == pkgPath {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"repro/tools/lint/analysistest"
+	"repro/tools/lint/lockheld"
+)
+
+func TestLockheld(t *testing.T) {
+	analysistest.Run(t, lockheld.Analyzer, "pool")
+}

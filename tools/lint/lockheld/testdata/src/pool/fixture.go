@@ -1,0 +1,122 @@
+// Package pool is a lockheld fixture shaped like the repo's condor
+// pool: a primary mutex guarding *Locked methods, auxiliary leaf
+// mutexes, and the transition() locking-wrapper idiom.
+package pool
+
+import "sync"
+
+type Pool struct {
+	mu    sync.Mutex
+	relMu sync.Mutex
+	jobs  map[int]string
+}
+
+func (p *Pool) addLocked(id int, s string) { p.jobs[id] = s }
+func (p *Pool) dropLocked(id int)          { delete(p.jobs, id) }
+
+// rebalanceLocked calls a sibling *Locked method: held by contract.
+func (p *Pool) rebalanceLocked() {
+	p.dropLocked(0)
+}
+
+// drainLocked takes and releases an auxiliary leaf mutex; that pair
+// does not surrender the primary lock the *Locked contract asserts.
+func (p *Pool) drainLocked() {
+	p.relMu.Lock()
+	ids := []int{1}
+	p.relMu.Unlock()
+	for _, id := range ids {
+		p.dropLocked(id)
+	}
+}
+
+// ExportedLocked is exported, which leaks a package-private contract.
+func (p *Pool) ExportedLocked() {} // want "must not be exported"
+
+// selfLockLocked locks the mutex its own suffix asserts is held.
+func (p *Pool) selfLockLocked() {
+	p.mu.Lock() // want "locks p\\.mu itself"
+	defer p.mu.Unlock()
+}
+
+func (p *Pool) Add(id int, s string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.addLocked(id, s)
+}
+
+func (p *Pool) AddRacy(id int, s string) {
+	p.addLocked(id, s) // want "without holding its mutex"
+}
+
+func (p *Pool) AddAfterUnlock(id int, s string) {
+	p.mu.Lock()
+	p.jobs[id] = s
+	p.mu.Unlock()
+	p.dropLocked(id) // want "without holding its mutex"
+}
+
+// EarlyReturn unlocks only on the error path; the fallthrough path
+// still holds the lock.
+func (p *Pool) EarlyReturn(id int) {
+	p.mu.Lock()
+	if p.jobs == nil {
+		p.mu.Unlock()
+		return
+	}
+	p.dropLocked(id)
+	p.mu.Unlock()
+}
+
+// transition is the locking-wrapper idiom: the callback it receives
+// runs under p.mu.
+func (p *Pool) transition(id int, fn func(int)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fn(id)
+}
+
+func (p *Pool) ViaWrapper(id int) {
+	p.transition(id, func(id int) {
+		p.dropLocked(id)
+	})
+}
+
+func (p *Pool) ClosureRacy(id int) func() {
+	return func() {
+		p.dropLocked(id) // want "without holding its mutex"
+	}
+}
+
+// ClosureUnderLock is defined where the lock is held; the engine runs
+// it synchronously in this repo's single-goroutine event loop.
+func (p *Pool) ClosureUnderLock(id int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fn := func() { p.dropLocked(id) }
+	fn()
+}
+
+func (p *Pool) Annotated(id int) {
+	//lint:lockheld fixture: caller chain holds p.mu by construction
+	p.dropLocked(id)
+}
+
+// Store has its primary mutex under a non-"mu" name, like core.GAE's
+// persistMu: any receiver-rooted acquisition guards *Locked calls.
+type Store struct {
+	persistMu sync.Mutex
+	n         int
+}
+
+func (s *Store) bumpLocked() { s.n++ }
+
+func (s *Store) Bump() {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	s.bumpLocked()
+}
+
+func (s *Store) BumpRacy() {
+	s.bumpLocked() // want "without holding its mutex"
+}

@@ -1,0 +1,12 @@
+package simtime_test
+
+import (
+	"testing"
+
+	"repro/tools/lint/analysistest"
+	"repro/tools/lint/simtime"
+)
+
+func TestSimtime(t *testing.T) {
+	analysistest.Run(t, simtime.Analyzer, "simgrid", "telemetry")
+}

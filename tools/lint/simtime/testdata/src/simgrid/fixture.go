@@ -1,0 +1,63 @@
+// Package simgrid is a simtime fixture: its name matches the
+// determinism-critical list, so wall-clock and global-rand calls are
+// diagnosed unless annotated.
+package simgrid
+
+import (
+	"math/rand"
+	"time"
+)
+
+type Engine struct {
+	now time.Time
+	rng *rand.Rand
+}
+
+func NewEngine(seed int64) *Engine {
+	// Constructing a private seeded stream is the sanctioned pattern.
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (e *Engine) Tick() time.Time {
+	e.now = e.now.Add(time.Second) // duration arithmetic is fine
+	return e.now
+}
+
+func (e *Engine) BadNow() time.Time {
+	return time.Now() // want "wall-clock call time\\.Now in determinism-critical package simgrid"
+}
+
+func (e *Engine) BadSleep() {
+	time.Sleep(time.Millisecond) // want "wall-clock call time\\.Sleep"
+}
+
+func (e *Engine) BadSince() time.Duration {
+	return time.Since(e.now) // want "wall-clock call time\\.Since"
+}
+
+func (e *Engine) BadJitter() float64 {
+	return rand.Float64() // want "global math/rand call rand\\.Float64"
+}
+
+func (e *Engine) BadShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand call rand\\.Shuffle"
+}
+
+func (e *Engine) GoodJitter() float64 {
+	return e.rng.Float64() // per-engine seeded stream: legal
+}
+
+func (e *Engine) AnnotatedTrailing() time.Time {
+	return time.Now() //lint:walltime fixture: telemetry-style read that never feeds sim state
+}
+
+func (e *Engine) AnnotatedAbove() time.Time {
+	//lint:walltime fixture: telemetry-style read that never feeds sim state
+	return time.Now()
+}
+
+func (e *Engine) BareAnnotation() time.Time {
+	//lint:walltime
+	// want:-1 "annotation needs a justification"
+	return time.Now() // want "wall-clock call time\\.Now"
+}

@@ -1,0 +1,10 @@
+// Package telemetry is a simtime negative fixture: it is not on the
+// determinism-critical list, so wall-clock reads pass without
+// annotations.
+package telemetry
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now() // non-critical package: legal
+}
